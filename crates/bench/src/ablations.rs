@@ -1,0 +1,168 @@
+//! Ablation studies beyond the paper's figures.
+//!
+//! Three design points the paper argues for in prose get measured here:
+//! the full machine-code maps (Section 4.2's compiler extension), the
+//! choice of sampled event (Section 6.3 notes TLB-driven decisions do
+//! not help jbb), and the hardware prefetcher's role in the streaming
+//! programs' immunity.
+
+use hpmopt_gc::CollectorKind;
+use hpmopt_memsim::EventKind;
+use hpmopt_workloads::{by_name, Size};
+
+use crate::{fmt, setup};
+
+/// Ablation 1 — full MC maps vs. stock GC-point-only maps, on `db`.
+///
+/// Without the extension, samples landing between GC points cannot be
+/// attributed; the policy starves and co-allocation collapses.
+#[must_use]
+pub fn maps(size: Size) -> String {
+    let w = by_name("db", size).expect("db exists");
+    let mut rows = Vec::new();
+    for full in [true, false] {
+        let heap = setup::heap_config(&w, 4, 1, CollectorKind::GenMs);
+        let mut cfg = setup::run_config(&w, size, heap, setup::auto_interval(), true);
+        cfg.vm.full_mcmaps = full;
+        let r = setup::run(&w, cfg);
+        let a = r.attribution;
+        rows.push(vec![
+            if full { "full maps (paper)" } else { "GC points only" }.to_string(),
+            a.total().to_string(),
+            a.unmapped.to_string(),
+            fmt::pct(a.attribution_rate()),
+            r.vm.gc.objects_coallocated.to_string(),
+            r.vm.mem.l1_misses.to_string(),
+        ]);
+    }
+    let mut out = String::from(
+        "Ablation 1: the machine-code-map extension (db, heap = 4x, auto interval).\n\n",
+    );
+    out.push_str(&fmt::table(
+        &["opt-tier maps", "samples", "unmapped", "attributed", "coallocated", "L1 misses"],
+        &rows,
+    ));
+    out
+}
+
+/// Ablation 2 — which hardware event drives the policy, on `db`.
+#[must_use]
+pub fn events(size: Size) -> String {
+    let w = by_name("db", size).expect("db exists");
+    let heap = setup::heap_config(&w, 4, 1, CollectorKind::GenMs);
+    let base = setup::baseline_report(&w, size, 4, 1);
+    let mut rows = Vec::new();
+    for event in EventKind::all() {
+        let mut cfg = setup::run_config(&w, size, heap.clone(), setup::auto_interval(), true);
+        cfg.hpm.event = event;
+        let r = setup::run(&w, cfg);
+        rows.push(vec![
+            event.to_string(),
+            r.hpm.events.to_string(),
+            r.vm.gc.objects_coallocated.to_string(),
+            fmt::pct_change(r.vm.mem.l1_misses as f64 / base.vm.mem.l1_misses as f64),
+            fmt::pct_change(r.cycles as f64 / base.cycles as f64),
+        ]);
+    }
+    let mut out = String::from(
+        "Ablation 2: the event driving co-allocation (db, heap = 4x, auto interval).\n\n",
+    );
+    out.push_str(&fmt::table(
+        &["event", "events seen", "coallocated", "L1 miss change", "time change"],
+        &rows,
+    ));
+    out.push_str("\n(the paper notes TLB-driven decisions do not beat L1-driven ones)\n");
+    out
+}
+
+/// Ablation 3 — the stream prefetcher's contribution, on `compress` (the
+/// streaming program it shields) and `db` (pointer chasing it cannot
+/// help).
+#[must_use]
+pub fn prefetch(size: Size) -> String {
+    let mut rows = Vec::new();
+    for name in ["compress", "db"] {
+        let w = by_name(name, size).expect("workload exists");
+        for pf in [true, false] {
+            let heap = setup::heap_config(&w, 4, 1, CollectorKind::GenMs);
+            let mut cfg =
+                setup::run_config(&w, size, heap, hpmopt_hpm::SamplingInterval::Off, false);
+            if !pf {
+                cfg.vm.mem = cfg.vm.mem.without_prefetch();
+            }
+            let r = setup::run(&w, cfg);
+            rows.push(vec![
+                format!("{name} ({})", if pf { "prefetch on" } else { "prefetch off" }),
+                r.cycles.to_string(),
+                r.vm.mem.l2_misses.to_string(),
+                r.vm.mem.prefetches.to_string(),
+            ]);
+        }
+    }
+    let mut out = String::from("Ablation 3: the hardware stream prefetcher.\n\n");
+    out.push_str(&fmt::table(
+        &["configuration", "cycles", "L2 misses", "prefetches"],
+        &rows,
+    ));
+    out.push_str(
+        "\n(streaming programs lean on the prefetcher; pointer chasing cannot — which is why\nco-allocation, not prefetching, is the lever for db-like programs)\n",
+    );
+    out
+}
+
+/// All three ablations.
+#[must_use]
+pub fn run(size: Size) -> String {
+    let mut out = maps(size);
+    out.push('\n');
+    out.push_str(&events(size));
+    out.push('\n');
+    out.push_str(&prefetch(size));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_point_maps_starve_attribution() {
+        let text = maps(Size::Tiny);
+        // The rendered table carries the numbers; assert the mechanism
+        // via a direct comparison.
+        let w = by_name("db", Size::Tiny).unwrap();
+        let heap = setup::heap_config(&w, 4, 1, CollectorKind::GenMs);
+        let mut full = setup::run_config(&w, Size::Tiny, heap.clone(), setup::auto_interval(), true);
+        full.vm.full_mcmaps = true;
+        let mut stock = setup::run_config(&w, Size::Tiny, heap, setup::auto_interval(), true);
+        stock.vm.full_mcmaps = false;
+        let rf = setup::run(&w, full);
+        let rs = setup::run(&w, stock);
+        assert!(rs.attribution.unmapped > 0, "stock maps must drop samples");
+        assert!(
+            rs.attribution.attributed < rf.attribution.attributed,
+            "extension must attribute more: {:?} vs {:?}",
+            rs.attribution,
+            rf.attribution
+        );
+        assert!(text.contains("GC points only"));
+    }
+
+    #[test]
+    fn prefetcher_absorbs_streaming_misses() {
+        let w = by_name("compress", Size::Tiny).unwrap();
+        let heap = setup::heap_config(&w, 4, 1, CollectorKind::GenMs);
+        let on = setup::run_config(&w, Size::Tiny, heap.clone(), hpmopt_hpm::SamplingInterval::Off, false);
+        let mut off = setup::run_config(&w, Size::Tiny, heap, hpmopt_hpm::SamplingInterval::Off, false);
+        off.vm.mem = off.vm.mem.without_prefetch();
+        let r_on = setup::run(&w, on);
+        let r_off = setup::run(&w, off);
+        assert!(
+            r_on.vm.mem.l2_misses < r_off.vm.mem.l2_misses,
+            "prefetcher must absorb L2 misses: {} vs {}",
+            r_on.vm.mem.l2_misses,
+            r_off.vm.mem.l2_misses
+        );
+        assert!(r_on.cycles < r_off.cycles);
+    }
+}

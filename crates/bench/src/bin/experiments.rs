@@ -1,0 +1,67 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [table1|table2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablations|all] [tiny|small|full]
+//! ```
+//!
+//! Defaults: `all small`. Output goes to stdout as aligned text tables;
+//! `EXPERIMENTS.md` in the repository root records a reference run.
+
+use std::time::Instant;
+
+use hpmopt_bench::{ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2};
+use hpmopt_workloads::Size;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map_or("all", String::as_str);
+    let size = match args.get(1).map(String::as_str) {
+        Some("tiny") => Size::Tiny,
+        Some("full") => Size::Full,
+        None | Some("small") => Size::Small,
+        Some(other) => {
+            eprintln!("unknown size {other:?} (expected tiny|small|full)");
+            std::process::exit(2);
+        }
+    };
+
+    let experiments: Vec<(&str, fn(Size) -> String)> = vec![
+        ("table1", table1::run),
+        ("table2", table2::run),
+        ("fig2", fig2::run),
+        ("fig3", fig3::run),
+        ("fig4", fig4::run),
+        ("fig5", fig5::run),
+        ("fig6", fig6::run),
+        ("fig7", fig7::run),
+        ("fig8", fig8::run),
+        ("ablations", ablations::run),
+    ];
+
+    let selected: Vec<&(&str, fn(Size) -> String)> = if what == "all" {
+        experiments.iter().collect()
+    } else {
+        let found: Vec<_> = experiments.iter().filter(|(n, _)| *n == what).collect();
+        if found.is_empty() {
+            eprintln!(
+                "unknown experiment {what:?}; expected one of: all, {}",
+                experiments
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        }
+        found
+    };
+
+    println!("hpmopt experiments — size = {size}\n");
+    for (name, f) in selected {
+        let t0 = Instant::now();
+        let text = f(size);
+        println!("=== {name} ===\n");
+        println!("{text}");
+        println!("[{name} completed in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,143 @@
+//! CSV export of experiment data, for plotting the figures with external
+//! tools.
+//!
+//! Each `*_csv` function takes the same measured data the text renderers
+//! take and produces an RFC-4180-ish CSV string (comma-separated, `\n`
+//! line endings, no quoting needed — all fields are numeric or simple
+//! identifiers).
+
+use crate::{fig2, fig3, fig4, fig5, fig7, HEAP_MULTS, INTERVALS};
+
+/// Figure 2 data as CSV: `program,i25k,i50k,i100k,auto` overhead ratios.
+#[must_use]
+pub fn fig2_csv(rows: &[fig2::Row]) -> String {
+    let mut out = String::from("program");
+    for &(_, label) in &INTERVALS {
+        out.push_str(&format!(",{label}"));
+    }
+    out.push_str(",auto\n");
+    for r in rows {
+        out.push_str(&r.program);
+        for &x in &r.fixed {
+            out.push_str(&format!(",{x:.6}"));
+        }
+        out.push_str(&format!(",{:.6}\n", r.auto));
+    }
+    out
+}
+
+/// Figure 3 data as CSV: co-allocated object counts per interval.
+#[must_use]
+pub fn fig3_csv(rows: &[fig3::Row]) -> String {
+    let mut out = String::from("program");
+    for &(_, label) in &INTERVALS {
+        out.push_str(&format!(",{label}"));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.program);
+        for &c in &r.coallocated {
+            out.push_str(&format!(",{c}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 4 data as CSV.
+#[must_use]
+pub fn fig4_csv(rows: &[fig4::Row]) -> String {
+    let mut out = String::from("program,misses_off,misses_on,ratio,coallocated\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{}\n",
+            r.program,
+            r.misses_off,
+            r.misses_on,
+            r.ratio(),
+            r.coallocated
+        ));
+    }
+    out
+}
+
+/// Figure 5 data as CSV: normalized time per heap multiplier.
+#[must_use]
+pub fn fig5_csv(rows: &[fig5::Row]) -> String {
+    let mut out = String::from("program");
+    for &(_, _, label) in &HEAP_MULTS {
+        out.push_str(&format!(",{label}"));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.program);
+        for &x in &r.normalized {
+            out.push_str(&format!(",{x:.6}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 7 data as CSV: the cumulative and rate series.
+#[must_use]
+pub fn fig7_csv(s: &fig7::Series) -> String {
+    let mut out = String::from("cycles,cumulative,rate,rate_ma3\n");
+    for (i, p) in s.cumulative.iter().enumerate() {
+        let (rate, ma) = if i == 0 {
+            (0.0, 0.0)
+        } else {
+            (s.rate[i - 1].1, s.rate_ma3[i - 1].1)
+        };
+        out.push_str(&format!("{},{},{rate:.4},{ma:.4}\n", p.cycles, p.total));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_core::monitor::SeriesPoint;
+
+    #[test]
+    fn fig4_csv_shape() {
+        let rows = vec![fig4::Row {
+            program: "db".into(),
+            misses_off: 100,
+            misses_on: 80,
+            coallocated: 7,
+        }];
+        let csv = fig4_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].split(',').count(), 5);
+        assert!(lines[1].starts_with("db,100,80,0.8"));
+    }
+
+    #[test]
+    fn fig2_csv_has_all_interval_columns() {
+        let rows = vec![fig2::Row {
+            program: "fop".into(),
+            fixed: vec![1.01, 1.005, 1.002],
+            auto: 1.003,
+        }];
+        let csv = fig2_csv(&rows);
+        assert_eq!(csv.lines().next().unwrap().split(',').count(), 5);
+    }
+
+    #[test]
+    fn fig7_csv_aligns_series() {
+        let s = fig7::Series {
+            cumulative: vec![
+                SeriesPoint { cycles: 10, total: 1 },
+                SeriesPoint { cycles: 20, total: 3 },
+            ],
+            rate: vec![(20, 0.2)],
+            rate_ma3: vec![(20, 0.2)],
+            decision_at: None,
+        };
+        let csv = fig7_csv(&s);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(2).unwrap().starts_with("20,3,0.2"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 2 — execution-time overhead of runtime event sampling.
+//!
+//! Per program: execution time with monitoring at the three fixed
+//! intervals and in auto mode, relative to the unmonitored baseline
+//! (co-allocation off — this isolates monitoring cost). Heap = 4× min.
+//!
+//! Expected shape (paper): overhead roughly proportional to sampling
+//! rate; worst cases ~3 % at the finest interval; auto and the coarsest
+//! interval below 1 % on average.
+
+use hpmopt_gc::CollectorKind;
+use hpmopt_hpm::SamplingInterval;
+use hpmopt_workloads::{all, Size, Workload};
+
+use crate::{fmt, setup, INTERVALS};
+
+/// One Figure 2 row: per-interval overhead ratios (monitored/baseline).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Program name.
+    pub program: String,
+    /// Overhead ratio at each fixed interval, in [`INTERVALS`] order.
+    pub fixed: Vec<f64>,
+    /// Overhead ratio in auto mode.
+    pub auto: f64,
+}
+
+/// Measure the given workloads.
+#[must_use]
+pub fn measure(ws: &[Workload], size: Size) -> Vec<Row> {
+    ws.iter()
+        .map(|w| {
+            let base = setup::baseline_report(w, size, 4, 1).cycles as f64;
+            let at = |sampling: SamplingInterval| {
+                let heap = setup::heap_config(w, 4, 1, CollectorKind::GenMs);
+                let cfg = setup::run_config(w, size, heap, sampling, false);
+                setup::run(w, cfg).cycles as f64 / base
+            };
+            Row {
+                program: w.name.to_string(),
+                fixed: INTERVALS
+                    .iter()
+                    .map(|&(n, _)| at(SamplingInterval::Fixed(n)))
+                    .collect(),
+                auto: at(setup::auto_interval()),
+            }
+        })
+        .collect()
+}
+
+/// Render the figure as a table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.program.clone()];
+            cells.extend(r.fixed.iter().map(|&x| fmt::pct_change(x)));
+            cells.push(fmt::pct_change(r.auto));
+            cells
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("program".to_string())
+        .chain(INTERVALS.iter().map(|&(_, l)| l.to_string()))
+        .chain(std::iter::once("auto".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut out = String::from(
+        "Figure 2: Execution-time overhead of event sampling vs. interval (heap = 4x min).\n\n",
+    );
+    out.push_str(&fmt::table(&header_refs, &data));
+    let avg_auto: f64 = rows.iter().map(|r| r.auto - 1.0).sum::<f64>() / rows.len() as f64;
+    let avg_fine: f64 = rows.iter().map(|r| r.fixed[0] - 1.0).sum::<f64>() / rows.len() as f64;
+    out.push_str(&format!(
+        "\naverage overhead: {} (finest interval), {} (auto)\n",
+        fmt::pct(avg_fine),
+        fmt::pct(avg_auto)
+    ));
+    out
+}
+
+/// Run and render over all workloads.
+#[must_use]
+pub fn run(size: Size) -> String {
+    render(&measure(&all(size), size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_workloads::by_name;
+
+    #[test]
+    fn finer_sampling_costs_more_and_stays_bounded() {
+        let ws = vec![by_name("db", Size::Tiny).unwrap()];
+        let rows = measure(&ws, Size::Tiny);
+        let r = &rows[0];
+        assert!(
+            r.fixed[0] >= r.fixed[2] - 0.005,
+            "finest interval should cost at least as much: {:?}",
+            r.fixed
+        );
+        for &x in &r.fixed {
+            assert!((0.99..1.10).contains(&x), "overhead out of range: {x}");
+        }
+    }
+}

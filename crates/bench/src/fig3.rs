@@ -1,0 +1,96 @@
+//! Figure 3 — number of co-allocated objects at different sampling
+//! intervals (heap = 4× min).
+//!
+//! Expected shape (paper): `compress` and `mpegaudio` co-allocate
+//! nothing; the programs with large counts (db, pseudojbb, hsqldb,
+//! luindex, pmd) are insensitive to the interval; programs with small
+//! counts are more sensitive.
+
+use hpmopt_gc::CollectorKind;
+use hpmopt_hpm::SamplingInterval;
+use hpmopt_workloads::{all, Size, Workload};
+
+use crate::{fmt, setup, INTERVALS};
+
+/// One Figure 3 row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Program name.
+    pub program: String,
+    /// Objects co-allocated at each interval, in [`INTERVALS`] order.
+    pub coallocated: Vec<u64>,
+}
+
+/// Measure the given workloads.
+#[must_use]
+pub fn measure(ws: &[Workload], size: Size) -> Vec<Row> {
+    ws.iter()
+        .map(|w| {
+            let coallocated = INTERVALS
+                .iter()
+                .map(|&(n, _)| {
+                    let heap = setup::heap_config(w, 4, 1, CollectorKind::GenMs);
+                    let cfg = setup::run_config(w, size, heap, SamplingInterval::Fixed(n), true);
+                    setup::run(w, cfg).vm.gc.objects_coallocated
+                })
+                .collect();
+            Row {
+                program: w.name.to_string(),
+                coallocated,
+            }
+        })
+        .collect()
+}
+
+/// Render the figure as a table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.program.clone()];
+            cells.extend(r.coallocated.iter().map(u64::to_string));
+            cells
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("program".to_string())
+        .chain(INTERVALS.iter().map(|&(_, l)| l.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut out = String::from(
+        "Figure 3: Number of co-allocated objects at different sampling intervals (heap = 4x).\n\n",
+    );
+    out.push_str(&fmt::table(&header_refs, &data));
+    out
+}
+
+/// Run and render over all workloads.
+#[must_use]
+pub fn run(size: Size) -> String {
+    render(&measure(&all(size), size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_workloads::by_name;
+
+    #[test]
+    fn compress_never_coallocates_and_db_does() {
+        let ws = vec![
+            by_name("compress", Size::Tiny).unwrap(),
+            by_name("db", Size::Tiny).unwrap(),
+        ];
+        let rows = measure(&ws, Size::Tiny);
+        assert!(
+            rows[0].coallocated.iter().all(|&c| c == 0),
+            "compress has no candidates: {:?}",
+            rows[0]
+        );
+        assert!(
+            rows[1].coallocated.iter().any(|&c| c > 0),
+            "db must co-allocate: {:?}",
+            rows[1]
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 5 — execution time relative to the baseline across heap sizes
+//! (1× to 4× min heap, auto-selected sampling interval).
+//!
+//! Expected shape (paper): at large heaps db (and to a lesser degree
+//! pseudojbb, bloat) speed up, several programs show ~1–2 % slowdown
+//! (monitoring cost); at the minimum heap the free-list fragmentation
+//! introduced by co-allocated cells erodes the gains for almost every
+//! program.
+
+use hpmopt_gc::CollectorKind;
+use hpmopt_workloads::{all, Size, Workload};
+
+use crate::{fmt, setup, HEAP_MULTS};
+
+/// One Figure 5 row: normalized execution time per heap size.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Program name.
+    pub program: String,
+    /// `monitored+coalloc / baseline` cycles at each heap multiplier, in
+    /// [`HEAP_MULTS`] order.
+    pub normalized: Vec<f64>,
+}
+
+/// Measure the given workloads.
+#[must_use]
+pub fn measure(ws: &[Workload], size: Size) -> Vec<Row> {
+    ws.iter()
+        .map(|w| {
+            let normalized = HEAP_MULTS
+                .iter()
+                .map(|&(num, den, _)| {
+                    let base = setup::baseline_report(w, size, num, den).cycles as f64;
+                    let heap = setup::heap_config(w, num, den, CollectorKind::GenMs);
+                    let cfg = setup::run_config(w, size, heap, setup::auto_interval(), true);
+                    setup::run(w, cfg).cycles as f64 / base
+                })
+                .collect();
+            Row {
+                program: w.name.to_string(),
+                normalized,
+            }
+        })
+        .collect()
+}
+
+/// Render the figure as a table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.program.clone()];
+            cells.extend(r.normalized.iter().map(|&x| format!("{x:.3}")));
+            cells
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("program".to_string())
+        .chain(HEAP_MULTS.iter().map(|&(_, _, l)| l.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut out = String::from(
+        "Figure 5: Execution time relative to baseline across heap sizes (auto interval, co-allocation on).\n\n",
+    );
+    out.push_str(&fmt::table(&header_refs, &data));
+    out.push_str("\n(< 1.0 = speedup over the unmonitored baseline at the same heap size)\n");
+    out
+}
+
+/// Run and render over all workloads.
+#[must_use]
+pub fn run(size: Size) -> String {
+    render(&measure(&all(size), size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_workloads::by_name;
+
+    #[test]
+    fn db_speeds_up_at_large_heaps() {
+        let ws = vec![by_name("db", Size::Tiny).unwrap()];
+        let rows = measure(&ws, Size::Tiny);
+        let r = &rows[0];
+        let large_heap = *r.normalized.last().unwrap();
+        assert!(
+            large_heap < 1.0,
+            "db must be faster than baseline at 4x heap: {:?}",
+            r.normalized
+        );
+        // At the minimum heap the advantage shrinks (fragmentation +
+        // extra GC pressure).
+        assert!(
+            r.normalized[0] > large_heap - 0.02,
+            "1x heap should not beat 4x: {:?}",
+            r.normalized
+        );
+    }
+}

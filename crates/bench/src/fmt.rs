@@ -1,0 +1,74 @@
+//! Tiny text-table formatting helpers shared by the experiments.
+
+/// Render a table: a header row plus data rows, columns padded to fit.
+/// The first column is left-aligned, the rest right-aligned.
+#[must_use]
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{:<w$}", cell, w = widths[0]));
+            } else {
+                line.push_str(&format!("  {:>w$}", cell, w = widths[i]));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Format a ratio as a signed percentage change (`0.98` → `-2.0%`).
+#[must_use]
+pub fn pct_change(ratio: f64) -> String {
+    format!("{:+.1}%", (ratio - 1.0) * 100.0)
+}
+
+/// Format a fraction as a percentage (`0.034` → `3.4%`).
+#[must_use]
+pub fn pct(frac: f64) -> String {
+    format!("{:.2}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(pct_change(1.021), "+2.1%");
+        assert_eq!(pct_change(0.861), "-13.9%");
+        assert_eq!(pct(0.0034), "0.34%");
+    }
+}

@@ -1,0 +1,46 @@
+//! Table 1 — the benchmark programs.
+
+use hpmopt_workloads::{all, Size, Workload};
+
+use crate::fmt;
+
+/// Render Table 1.
+#[must_use]
+pub fn run(size: Size) -> String {
+    let ws = all(size);
+    render(&ws)
+}
+
+/// Render the table for an explicit workload set.
+#[must_use]
+pub fn render(ws: &[Workload]) -> String {
+    let rows: Vec<Vec<String>> = ws
+        .iter()
+        .map(|w| {
+            vec![
+                w.name.to_string(),
+                w.suite.to_string(),
+                format!("{} KB", w.min_heap_bytes / 1024),
+                w.description.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table 1: Benchmark programs.\n\n");
+    out.push_str(&fmt::table(&["program", "suite", "min heap", "models"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_all_sixteen() {
+        let t = run(Size::Tiny);
+        for name in hpmopt_workloads::names() {
+            assert!(t.contains(name), "missing {name}");
+        }
+        assert!(t.contains("SPECjvm98"));
+        assert!(t.contains("DaCapo"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Table 2 — space overhead: size of machine-code maps.
+//!
+//! The paper measures, per program, the machine-code bytes the compilers
+//! emitted, the stock GC-map bytes, and the bytes of the extended
+//! machine-code maps (an entry per instruction). The headline: MC maps
+//! are 4–5× the GC maps, but small in absolute terms.
+
+use hpmopt_workloads::{all, Size, Workload};
+
+use crate::{fmt, setup};
+
+/// One Table 2 row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Program name.
+    pub program: String,
+    /// Machine-code bytes of all compiled methods.
+    pub machine_code: u64,
+    /// GC-map bytes.
+    pub gc_maps: u64,
+    /// Machine-code-map bytes.
+    pub mc_maps: u64,
+}
+
+/// Measure every workload.
+#[must_use]
+pub fn measure(ws: &[Workload], size: Size) -> Vec<Row> {
+    ws.iter()
+        .map(|w| {
+            let report = setup::baseline_report(w, size, 4, 1);
+            Row {
+                program: w.name.to_string(),
+                machine_code: report.vm.total_machine_code_bytes(),
+                gc_maps: report.vm.total_gc_map_bytes(),
+                mc_maps: report.vm.total_mc_map_bytes(),
+            }
+        })
+        .collect()
+}
+
+/// Render the table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.program.clone(),
+                format!("{:.1}", r.machine_code as f64 / 1024.0),
+                format!("{:.1}", r.gc_maps as f64 / 1024.0),
+                format!("{:.1}", r.mc_maps as f64 / 1024.0),
+                format!("{:.1}x", r.mc_maps as f64 / r.gc_maps.max(1) as f64),
+            ]
+        })
+        .collect();
+    let mut out =
+        String::from("Table 2: Space overhead — size of machine code and maps (KB).\n\n");
+    out.push_str(&fmt::table(
+        &["program", "machine code", "GC maps", "MC maps", "MC/GC"],
+        &data,
+    ));
+    out
+}
+
+/// Run and render.
+#[must_use]
+pub fn run(size: Size) -> String {
+    render(&measure(&all(size), size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_workloads::by_name;
+
+    #[test]
+    fn maps_are_several_times_gc_maps_and_jython_is_largest() {
+        let ws = vec![
+            by_name("fop", Size::Tiny).unwrap(),
+            by_name("jython", Size::Tiny).unwrap(),
+        ];
+        let rows = measure(&ws, Size::Tiny);
+        for r in &rows {
+            assert!(r.mc_maps > 2 * r.gc_maps, "{}: {:?}", r.program, r);
+            assert!(r.machine_code > 0);
+        }
+        // jython's generated handlers dominate fop (the paper's extremes).
+        assert!(rows[1].machine_code > 5 * rows[0].machine_code);
+        assert!(rows[1].mc_maps > 5 * rows[0].mc_maps);
+    }
+}

@@ -1,0 +1,199 @@
+//! Class, field, and static-variable definitions with object layout.
+
+use crate::{FIELD_SLOT_BYTES, OBJECT_HEADER_BYTES};
+
+/// The type of an instance field or static variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FieldType {
+    /// A 64-bit integer slot.
+    #[default]
+    Int,
+    /// An object reference slot (traced by the garbage collector).
+    Ref,
+}
+
+impl FieldType {
+    /// Whether the collector must trace this slot.
+    #[must_use]
+    pub const fn is_ref(self) -> bool {
+        matches!(self, FieldType::Ref)
+    }
+}
+
+impl std::fmt::Display for FieldType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldType::Int => f.write_str("int"),
+            FieldType::Ref => f.write_str("ref"),
+        }
+    }
+}
+
+/// An instance field of a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    name: String,
+    ty: FieldType,
+    /// Byte offset from the object start (header included).
+    offset: u64,
+}
+
+impl FieldDef {
+    pub(crate) fn new(name: impl Into<String>, ty: FieldType, index: usize) -> Self {
+        FieldDef {
+            name: name.into(),
+            ty,
+            offset: OBJECT_HEADER_BYTES + FIELD_SLOT_BYTES * index as u64,
+        }
+    }
+
+    /// Field name, unique within its class.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared type of the field.
+    #[must_use]
+    pub fn ty(&self) -> FieldType {
+        self.ty
+    }
+
+    /// Byte offset of the field from the start of the object (the header
+    /// occupies the first [`OBJECT_HEADER_BYTES`] bytes).
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+/// A class definition: a name plus an ordered list of fields.
+///
+/// Layout is fixed at definition time: the object header is followed by one
+/// word-sized slot per field, in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    name: String,
+    fields: Vec<FieldDef>,
+}
+
+impl ClassDef {
+    pub(crate) fn new(name: impl Into<String>, fields: Vec<FieldDef>) -> Self {
+        ClassDef {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// Class name, unique within the program.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fields in declaration order.
+    #[must_use]
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Total size in bytes of an instance, including the header.
+    #[must_use]
+    pub fn instance_size(&self) -> u64 {
+        OBJECT_HEADER_BYTES + FIELD_SLOT_BYTES * self.fields.len() as u64
+    }
+
+    /// Indices of the fields the collector must trace.
+    pub fn ref_field_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.ty().is_ref())
+            .map(|(i, _)| i)
+    }
+
+    /// Look up a field index by name.
+    #[must_use]
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name() == name)
+    }
+}
+
+/// A static (global) variable definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticDef {
+    name: String,
+    ty: FieldType,
+}
+
+impl StaticDef {
+    pub(crate) fn new(name: impl Into<String>, ty: FieldType) -> Self {
+        StaticDef {
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// Static variable name, unique within the program.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared type.
+    #[must_use]
+    pub fn ty(&self) -> FieldType {
+        self.ty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_class() -> ClassDef {
+        ClassDef::new(
+            "String",
+            vec![
+                FieldDef::new("value", FieldType::Ref, 0),
+                FieldDef::new("hash", FieldType::Int, 1),
+                FieldDef::new("next", FieldType::Ref, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn field_offsets_follow_header() {
+        let c = sample_class();
+        assert_eq!(c.fields()[0].offset(), OBJECT_HEADER_BYTES);
+        assert_eq!(c.fields()[1].offset(), OBJECT_HEADER_BYTES + 8);
+        assert_eq!(c.fields()[2].offset(), OBJECT_HEADER_BYTES + 16);
+    }
+
+    #[test]
+    fn instance_size_counts_all_fields() {
+        let c = sample_class();
+        assert_eq!(c.instance_size(), OBJECT_HEADER_BYTES + 3 * 8);
+    }
+
+    #[test]
+    fn ref_fields_are_identified() {
+        let c = sample_class();
+        let refs: Vec<usize> = c.ref_field_indices().collect();
+        assert_eq!(refs, vec![0, 2]);
+    }
+
+    #[test]
+    fn field_lookup_by_name() {
+        let c = sample_class();
+        assert_eq!(c.field_index("hash"), Some(1));
+        assert_eq!(c.field_index("missing"), None);
+    }
+
+    #[test]
+    fn empty_class_is_header_only() {
+        let c = ClassDef::new("Empty", vec![]);
+        assert_eq!(c.instance_size(), OBJECT_HEADER_BYTES);
+        assert_eq!(c.ref_field_indices().count(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Human-readable disassembly of methods and programs.
+//!
+//! Used in diagnostics, examples, and the experiment reports; the output is
+//! also a convenient golden-test surface.
+
+use std::fmt::Write as _;
+
+use crate::instr::Instr;
+use crate::program::{MethodId, Program};
+
+/// Disassemble one method to a string, one instruction per line.
+///
+/// # Example
+///
+/// ```
+/// use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+/// use hpmopt_bytecode::disasm;
+///
+/// let mut pb = ProgramBuilder::new();
+/// let mut m = MethodBuilder::new("main", 0, 0, false);
+/// m.const_i(1);
+/// m.pop();
+/// m.ret();
+/// let id = pb.add_method(m);
+/// pb.set_entry(id);
+/// let p = pb.finish()?;
+/// let text = disasm::method(&p, id);
+/// assert!(text.contains("const 1"));
+/// # Ok::<(), hpmopt_bytecode::VerifyError>(())
+/// ```
+#[must_use]
+pub fn method(program: &Program, id: MethodId) -> String {
+    let m = program.method(id);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "method {} (params={}, locals={}, returns={})",
+        program.method_name(id),
+        m.params(),
+        m.locals(),
+        m.returns_value()
+    );
+    for (pc, &i) in m.body().iter().enumerate() {
+        let _ = writeln!(out, "  {pc:4}: {}", instr(program, i));
+    }
+    out
+}
+
+/// Render one instruction with resolved names.
+#[must_use]
+pub fn instr(program: &Program, i: Instr) -> String {
+    match i {
+        Instr::Const(v) => format!("const {v}"),
+        Instr::Load(n) => format!("load {n}"),
+        Instr::Store(n) => format!("store {n}"),
+        Instr::Jump(t) => format!("jump -> {t}"),
+        Instr::JumpIf(t) => format!("jump_if -> {t}"),
+        Instr::JumpIfNot(t) => format!("jump_if_not -> {t}"),
+        Instr::New(c) => format!("new {}", program.class(c).name()),
+        Instr::NewArray(k) => format!("new_array {k}"),
+        Instr::GetField(f) => format!("get_field {}", program.field_name(f)),
+        Instr::PutField(f) => format!("put_field {}", program.field_name(f)),
+        Instr::GetStatic(s) => format!("get_static {}", program.statics()[s.0 as usize].name()),
+        Instr::PutStatic(s) => format!("put_static {}", program.statics()[s.0 as usize].name()),
+        Instr::ArrayGet(k) => format!("array_get {k}"),
+        Instr::ArraySet(k) => format!("array_set {k}"),
+        Instr::Call(m) => format!("call {}", program.method_name(m)),
+        other => other.mnemonic().to_string(),
+    }
+}
+
+/// Disassemble the whole program.
+#[must_use]
+pub fn program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, c) in program.classes().iter().enumerate() {
+        let _ = writeln!(out, "class {} (#{i}, {} bytes)", c.name(), c.instance_size());
+        for f in c.fields() {
+            let _ = writeln!(out, "  field {}: {} @ {}", f.name(), f.ty(), f.offset());
+        }
+    }
+    for s in program.statics() {
+        let _ = writeln!(out, "static {}: {}", s.name(), s.ty());
+    }
+    for i in 0..program.methods().len() {
+        out.push_str(&method(program, MethodId(i as u32)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{MethodBuilder, ProgramBuilder};
+    use crate::FieldType;
+
+    #[test]
+    fn disassembles_field_names() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("Str", &[("value", FieldType::Ref)]);
+        let f = pb.field_id(c, "value").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.new_object(c);
+        m.get_field(f);
+        m.pop();
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let text = program(&p);
+        assert!(text.contains("get_field Str::value"), "{text}");
+        assert!(text.contains("class Str"), "{text}");
+    }
+}

@@ -1,0 +1,315 @@
+//! The bytecode instruction set.
+//!
+//! hpmopt bytecode is a small stack machine in the spirit of JVM bytecode:
+//! instructions pop operands from and push results to an operand stack, and
+//! access a method-local variable array. Heap accesses are explicit
+//! ([`Instr::GetField`], [`Instr::ArrayGet`], ...) which is what lets the
+//! monitoring infrastructure attribute sampled cache misses to individual
+//! source-level operations (Section 4.2 of the paper).
+
+use crate::program::{ClassId, FieldId, MethodId, StaticId};
+
+/// Element kind of an array, determining element width and whether the
+/// garbage collector must scan the elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElemKind {
+    /// 1-byte integers (`byte[]`).
+    I8,
+    /// 2-byte integers (`char[]`/`short[]`).
+    I16,
+    /// 4-byte integers (`int[]`).
+    I32,
+    /// 8-byte integers (`long[]`).
+    I64,
+    /// Object references (`Object[]`); scanned by the collector.
+    Ref,
+}
+
+impl ElemKind {
+    /// Width of one element in bytes.
+    #[must_use]
+    pub const fn width(self) -> u64 {
+        match self {
+            ElemKind::I8 => 1,
+            ElemKind::I16 => 2,
+            ElemKind::I32 => 4,
+            ElemKind::I64 | ElemKind::Ref => 8,
+        }
+    }
+
+    /// Whether elements are references the collector must trace.
+    #[must_use]
+    pub const fn is_ref(self) -> bool {
+        matches!(self, ElemKind::Ref)
+    }
+
+    /// All element kinds, for exhaustive tests.
+    #[must_use]
+    pub const fn all() -> [ElemKind; 5] {
+        [
+            ElemKind::I8,
+            ElemKind::I16,
+            ElemKind::I32,
+            ElemKind::I64,
+            ElemKind::Ref,
+        ]
+    }
+}
+
+impl std::fmt::Display for ElemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ElemKind::I8 => "i8",
+            ElemKind::I16 => "i16",
+            ElemKind::I32 => "i32",
+            ElemKind::I64 => "i64",
+            ElemKind::Ref => "ref",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single bytecode instruction.
+///
+/// Branch targets ([`Instr::Jump`], [`Instr::JumpIf`], [`Instr::JumpIfNot`])
+/// are absolute instruction indices within the containing method body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Push a constant integer.
+    Const(i64),
+    /// Push the null reference.
+    ConstNull,
+    /// Push local variable `n`.
+    Load(u16),
+    /// Pop into local variable `n`.
+    Store(u16),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the two top-of-stack values.
+    Swap,
+
+    /// Pop `b`, pop `a`, push `a + b` (wrapping).
+    Add,
+    /// Pop `b`, pop `a`, push `a - b` (wrapping).
+    Sub,
+    /// Pop `b`, pop `a`, push `a * b` (wrapping).
+    Mul,
+    /// Pop `b`, pop `a`, push `a / b`; traps on division by zero.
+    Div,
+    /// Pop `b`, pop `a`, push `a % b`; traps on division by zero.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left by `b & 63`.
+    Shl,
+    /// Arithmetic shift right by `b & 63`.
+    Shr,
+    /// Logical shift right by `b & 63`.
+    UShr,
+    /// Pop `a`, push `-a` (wrapping).
+    Neg,
+
+    /// Pop two integers, push 1 if equal else 0.
+    Eq,
+    /// Pop two integers, push 1 if unequal else 0.
+    Ne,
+    /// Pop `b`, pop `a`, push `a < b`.
+    Lt,
+    /// Pop `b`, pop `a`, push `a <= b`.
+    Le,
+    /// Pop `b`, pop `a`, push `a > b`.
+    Gt,
+    /// Pop `b`, pop `a`, push `a >= b`.
+    Ge,
+
+    /// Unconditional branch to instruction index.
+    Jump(u32),
+    /// Pop condition; branch if non-zero.
+    JumpIf(u32),
+    /// Pop condition; branch if zero.
+    JumpIfNot(u32),
+
+    /// Allocate an instance of the class; push its reference.
+    New(ClassId),
+    /// Pop a length; allocate an array of the element kind; push its reference.
+    NewArray(ElemKind),
+    /// Pop an object reference; push the value of the field.
+    GetField(FieldId),
+    /// Pop a value, pop an object reference; store the value into the field.
+    PutField(FieldId),
+    /// Push the value of a static (global) variable.
+    GetStatic(StaticId),
+    /// Pop a value into a static (global) variable.
+    PutStatic(StaticId),
+    /// Pop index, pop array reference; push the element.
+    ArrayGet(ElemKind),
+    /// Pop value, pop index, pop array reference; store the element.
+    ArraySet(ElemKind),
+    /// Pop an array reference; push its length.
+    ArrayLen,
+    /// Pop a reference; push 1 if null else 0.
+    IsNull,
+    /// Pop two references; push 1 if identical else 0.
+    RefEq,
+
+    /// Call a method, popping its arguments (last argument on top).
+    Call(MethodId),
+    /// Return from a `void` method.
+    Return,
+    /// Pop the return value and return it to the caller.
+    ReturnVal,
+}
+
+impl Instr {
+    /// Whether this instruction reads or writes the heap through an object
+    /// reference taken from the operand stack.
+    ///
+    /// These are the candidate *instructions of interest* for the
+    /// cache-miss-to-field attribution analysis (Section 5.2): a miss
+    /// incurred here can be blamed on the reference that produced the base
+    /// object.
+    #[must_use]
+    pub const fn is_heap_access(self) -> bool {
+        matches!(
+            self,
+            Instr::GetField(_)
+                | Instr::PutField(_)
+                | Instr::ArrayGet(_)
+                | Instr::ArraySet(_)
+                | Instr::ArrayLen
+        )
+    }
+
+    /// Whether this instruction can allocate (and therefore trigger a
+    /// garbage collection). These are the GC points the baseline compiler
+    /// records maps for, together with calls.
+    #[must_use]
+    pub const fn is_allocation(self) -> bool {
+        matches!(self, Instr::New(_) | Instr::NewArray(_))
+    }
+
+    /// Whether this instruction is a GC point (allocation or call).
+    #[must_use]
+    pub const fn is_gc_point(self) -> bool {
+        self.is_allocation() || matches!(self, Instr::Call(_))
+    }
+
+    /// The branch target if this is a branch instruction.
+    #[must_use]
+    pub const fn branch_target(self) -> Option<u32> {
+        match self {
+            Instr::Jump(t) | Instr::JumpIf(t) | Instr::JumpIfNot(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether control never falls through to the next instruction.
+    #[must_use]
+    pub const fn is_terminator(self) -> bool {
+        matches!(self, Instr::Jump(_) | Instr::Return | Instr::ReturnVal)
+    }
+
+    /// Short mnemonic used by the disassembler.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Instr::Const(_) => "const",
+            Instr::ConstNull => "const_null",
+            Instr::Load(_) => "load",
+            Instr::Store(_) => "store",
+            Instr::Dup => "dup",
+            Instr::Pop => "pop",
+            Instr::Swap => "swap",
+            Instr::Add => "add",
+            Instr::Sub => "sub",
+            Instr::Mul => "mul",
+            Instr::Div => "div",
+            Instr::Rem => "rem",
+            Instr::And => "and",
+            Instr::Or => "or",
+            Instr::Xor => "xor",
+            Instr::Shl => "shl",
+            Instr::Shr => "shr",
+            Instr::UShr => "ushr",
+            Instr::Neg => "neg",
+            Instr::Eq => "eq",
+            Instr::Ne => "ne",
+            Instr::Lt => "lt",
+            Instr::Le => "le",
+            Instr::Gt => "gt",
+            Instr::Ge => "ge",
+            Instr::Jump(_) => "jump",
+            Instr::JumpIf(_) => "jump_if",
+            Instr::JumpIfNot(_) => "jump_if_not",
+            Instr::New(_) => "new",
+            Instr::NewArray(_) => "new_array",
+            Instr::GetField(_) => "get_field",
+            Instr::PutField(_) => "put_field",
+            Instr::GetStatic(_) => "get_static",
+            Instr::PutStatic(_) => "put_static",
+            Instr::ArrayGet(_) => "array_get",
+            Instr::ArraySet(_) => "array_set",
+            Instr::ArrayLen => "array_len",
+            Instr::IsNull => "is_null",
+            Instr::RefEq => "ref_eq",
+            Instr::Call(_) => "call",
+            Instr::Return => "return",
+            Instr::ReturnVal => "return_val",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_widths_are_powers_of_two() {
+        for k in ElemKind::all() {
+            assert!(k.width().is_power_of_two(), "{k} width {}", k.width());
+        }
+    }
+
+    #[test]
+    fn only_ref_elem_kind_is_traced() {
+        for k in ElemKind::all() {
+            assert_eq!(k.is_ref(), k == ElemKind::Ref);
+        }
+    }
+
+    #[test]
+    fn heap_access_classification() {
+        assert!(Instr::GetField(FieldId(0)).is_heap_access());
+        assert!(Instr::ArraySet(ElemKind::I8).is_heap_access());
+        assert!(!Instr::GetStatic(StaticId(0)).is_heap_access());
+        assert!(!Instr::Add.is_heap_access());
+    }
+
+    #[test]
+    fn gc_points_cover_allocations_and_calls() {
+        assert!(Instr::New(ClassId(0)).is_gc_point());
+        assert!(Instr::NewArray(ElemKind::Ref).is_gc_point());
+        assert!(Instr::Call(MethodId(3)).is_gc_point());
+        assert!(!Instr::GetField(FieldId(1)).is_gc_point());
+    }
+
+    #[test]
+    fn branch_targets() {
+        assert_eq!(Instr::Jump(7).branch_target(), Some(7));
+        assert_eq!(Instr::JumpIf(9).branch_target(), Some(9));
+        assert_eq!(Instr::Add.branch_target(), None);
+    }
+
+    #[test]
+    fn terminators_do_not_fall_through() {
+        assert!(Instr::Jump(0).is_terminator());
+        assert!(Instr::Return.is_terminator());
+        assert!(!Instr::JumpIf(0).is_terminator());
+    }
+}

@@ -1,0 +1,67 @@
+//! Class model, typed bytecode instruction set, and program builder for the
+//! hpmopt managed runtime.
+//!
+//! This crate is the program-representation substrate of the hpmopt
+//! workspace, a reproduction of *Schneider, Payer, Gross: "Online
+//! Optimizations Driven by Hardware Performance Monitoring" (PLDI 2007)*.
+//! It plays the role that Java class files play for the Jikes RVM: it
+//! defines what a program *is*, independent of how it is executed.
+//!
+//! A [`Program`] is a set of [`ClassDef`]s (with reference and scalar
+//! fields), [`MethodDef`]s containing stack-machine [`Instr`]uctions,
+//! static (global) variables, and an entry method. Programs are built with
+//! the [`builder::ProgramBuilder`] API and checked by [`verify`], which
+//! performs abstract-interpretation-based stack verification (the same
+//! discipline the JVM's bytecode verifier enforces).
+//!
+//! # Example
+//!
+//! ```
+//! use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+//! use hpmopt_bytecode::FieldType;
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let point = pb.add_class("Point", &[("x", FieldType::Int), ("y", FieldType::Int)]);
+//! let x = pb.field_id(point, "x").unwrap();
+//!
+//! let mut main = MethodBuilder::new("main", 0, 1, false);
+//! main.new_object(point);
+//! main.store(0);
+//! main.load(0);
+//! main.const_i(7);
+//! main.put_field(x);
+//! main.ret();
+//! let main_id = pb.add_method(main);
+//! pb.set_entry(main_id);
+//!
+//! let program = pb.finish()?;
+//! assert_eq!(program.classes().len(), 1);
+//! # Ok::<(), hpmopt_bytecode::VerifyError>(())
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod class;
+pub mod disasm;
+pub mod instr;
+pub mod method;
+pub mod program;
+pub mod verify;
+
+pub use class::{ClassDef, FieldDef, FieldType, StaticDef};
+pub use instr::{ElemKind, Instr};
+pub use method::MethodDef;
+pub use program::{ClassId, FieldId, MethodId, Program, StaticId};
+pub use verify::VerifyError;
+
+/// Size in bytes of the object header every heap object carries.
+///
+/// The header stores the type tag, GC state bits, the object size, and (for
+/// arrays) the element count. Sixteen bytes matches a two-word header plus a
+/// word-aligned length slot, the layout the paper's VM (Jikes RVM) uses.
+pub const OBJECT_HEADER_BYTES: u64 = 16;
+
+/// Size in bytes of every non-array field slot.
+///
+/// Fields are word-sized, as in a 64-bit JVM without compressed references.
+pub const FIELD_SLOT_BYTES: u64 = 8;

@@ -1,0 +1,380 @@
+//! Bytecode verification.
+//!
+//! A lightweight analogue of the JVM verifier: every method is checked by
+//! abstract interpretation over operand-stack depths. Verification
+//! guarantees the interpreter and the compilers can process any
+//! [`Program`] without bounds errors, and gives the use-def analysis in
+//! `hpmopt-core` a well-formedness baseline (consistent stack depth at
+//! every join point).
+
+use crate::instr::Instr;
+use crate::program::{MethodId, Program};
+
+/// Why a program failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// No entry method was set.
+    NoEntry,
+    /// The entry method must take no parameters and return nothing.
+    BadEntrySignature,
+    /// A method body is empty.
+    EmptyBody { method: String },
+    /// An instruction references an out-of-range class/field/method/static.
+    BadId { method: String, at: usize, what: &'static str },
+    /// A local-variable index is out of range.
+    LocalOutOfRange { method: String, at: usize, local: u16 },
+    /// A branch target is outside the method body.
+    BadBranchTarget { method: String, at: usize, target: u32 },
+    /// The operand stack would underflow.
+    StackUnderflow { method: String, at: usize },
+    /// Two control-flow paths reach the same instruction with different
+    /// stack depths.
+    InconsistentStackDepth { method: String, at: usize, a: usize, b: usize },
+    /// Control can fall off the end of the method body.
+    FallsOffEnd { method: String },
+    /// A void method executes `ReturnVal`, or vice versa.
+    WrongReturnKind { method: String, at: usize },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::NoEntry => write!(f, "no entry method set"),
+            VerifyError::BadEntrySignature => {
+                write!(f, "entry method must take no parameters and return void")
+            }
+            VerifyError::EmptyBody { method } => write!(f, "method {method} has an empty body"),
+            VerifyError::BadId { method, at, what } => {
+                write!(f, "method {method} instruction {at}: invalid {what} id")
+            }
+            VerifyError::LocalOutOfRange { method, at, local } => {
+                write!(f, "method {method} instruction {at}: local {local} out of range")
+            }
+            VerifyError::BadBranchTarget { method, at, target } => {
+                write!(f, "method {method} instruction {at}: branch target {target} out of range")
+            }
+            VerifyError::StackUnderflow { method, at } => {
+                write!(f, "method {method} instruction {at}: operand stack underflow")
+            }
+            VerifyError::InconsistentStackDepth { method, at, a, b } => write!(
+                f,
+                "method {method} instruction {at}: inconsistent stack depth ({a} vs {b})"
+            ),
+            VerifyError::FallsOffEnd { method } => {
+                write!(f, "control can fall off the end of method {method}")
+            }
+            VerifyError::WrongReturnKind { method, at } => {
+                write!(f, "method {method} instruction {at}: return kind mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Net stack effect and required depth of one instruction.
+///
+/// Returns `(pops, pushes)`.
+pub(crate) fn stack_effect(program: &Program, i: Instr) -> (usize, usize) {
+    match i {
+        Instr::Const(_) | Instr::ConstNull | Instr::Load(_) => (0, 1),
+        Instr::GetStatic(_) => (0, 1),
+        Instr::Store(_) | Instr::Pop | Instr::PutStatic(_) => (1, 0),
+        Instr::Dup => (1, 2),
+        Instr::Swap => (2, 2),
+        Instr::Add
+        | Instr::Sub
+        | Instr::Mul
+        | Instr::Div
+        | Instr::Rem
+        | Instr::And
+        | Instr::Or
+        | Instr::Xor
+        | Instr::Shl
+        | Instr::Shr
+        | Instr::UShr
+        | Instr::Eq
+        | Instr::Ne
+        | Instr::Lt
+        | Instr::Le
+        | Instr::Gt
+        | Instr::Ge
+        | Instr::RefEq => (2, 1),
+        Instr::Neg | Instr::IsNull | Instr::ArrayLen | Instr::GetField(_) => (1, 1),
+        Instr::Jump(_) => (0, 0),
+        Instr::JumpIf(_) | Instr::JumpIfNot(_) => (1, 0),
+        Instr::New(_) => (0, 1),
+        Instr::NewArray(_) => (1, 1),
+        Instr::PutField(_) => (2, 0),
+        Instr::ArrayGet(_) => (2, 1),
+        Instr::ArraySet(_) => (3, 0),
+        Instr::Call(m) => {
+            let callee = program.method(m);
+            (
+                callee.params() as usize,
+                usize::from(callee.returns_value()),
+            )
+        }
+        Instr::Return => (0, 0),
+        Instr::ReturnVal => (1, 0),
+    }
+}
+
+fn check_ids(program: &Program, method: MethodId) -> Result<(), VerifyError> {
+    let m = program.method(method);
+    let name = program.method_name(method);
+    for (at, &i) in m.body().iter().enumerate() {
+        let bad = |what| VerifyError::BadId {
+            method: name.clone(),
+            at,
+            what,
+        };
+        match i {
+            Instr::New(c) if c.0 as usize >= program.classes().len() => return Err(bad("class")),
+            Instr::GetField(f) | Instr::PutField(f) if f.0 as usize >= program.field_count() => {
+                return Err(bad("field"))
+            }
+            Instr::GetStatic(s) | Instr::PutStatic(s)
+                if s.0 as usize >= program.statics().len() =>
+            {
+                return Err(bad("static"))
+            }
+            Instr::Call(c) if c.0 as usize >= program.methods().len() => {
+                return Err(bad("method"))
+            }
+            Instr::Load(l) | Instr::Store(l) if l >= m.locals() => {
+                return Err(VerifyError::LocalOutOfRange {
+                    method: name.clone(),
+                    at,
+                    local: l,
+                })
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_flow(program: &Program, method: MethodId) -> Result<(), VerifyError> {
+    let m = program.method(method);
+    let name = program.method_name(method);
+    let len = m.len();
+    if len == 0 {
+        return Err(VerifyError::EmptyBody { method: name });
+    }
+
+    // Abstract interpretation over stack depth; usize::MAX = unvisited.
+    let mut depth_at: Vec<usize> = vec![usize::MAX; len];
+    let mut worklist = vec![(0usize, 0usize)];
+    while let Some((pc, depth)) = worklist.pop() {
+        if pc >= len {
+            return Err(VerifyError::FallsOffEnd { method: name });
+        }
+        match depth_at[pc] {
+            usize::MAX => depth_at[pc] = depth,
+            d if d == depth => continue,
+            d => {
+                return Err(VerifyError::InconsistentStackDepth {
+                    method: name,
+                    at: pc,
+                    a: d,
+                    b: depth,
+                })
+            }
+        }
+        let i = m.body()[pc];
+        if let Some(t) = i.branch_target() {
+            if t as usize >= len {
+                return Err(VerifyError::BadBranchTarget {
+                    method: name,
+                    at: pc,
+                    target: t,
+                });
+            }
+        }
+        let (pops, pushes) = stack_effect(program, i);
+        if depth < pops {
+            return Err(VerifyError::StackUnderflow { method: name, at: pc });
+        }
+        let next = depth - pops + pushes;
+        match i {
+            Instr::Return => {
+                if m.returns_value() {
+                    return Err(VerifyError::WrongReturnKind { method: name, at: pc });
+                }
+            }
+            Instr::ReturnVal => {
+                if !m.returns_value() {
+                    return Err(VerifyError::WrongReturnKind { method: name, at: pc });
+                }
+            }
+            Instr::Jump(t) => worklist.push((t as usize, next)),
+            Instr::JumpIf(t) | Instr::JumpIfNot(t) => {
+                worklist.push((t as usize, next));
+                worklist.push((pc + 1, next));
+            }
+            _ => worklist.push((pc + 1, next)),
+        }
+    }
+    Ok(())
+}
+
+/// Verify every method of a program plus its entry signature.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_program(program: &Program) -> Result<(), VerifyError> {
+    let entry = program.method(program.entry());
+    if entry.params() != 0 || entry.returns_value() {
+        return Err(VerifyError::BadEntrySignature);
+    }
+    for i in 0..program.methods().len() {
+        let id = MethodId(i as u32);
+        check_ids(program, id)?;
+        check_flow(program, id)?;
+    }
+    Ok(())
+}
+
+/// Maximum operand-stack depth of a verified method, used for frame sizing
+/// and code-size estimation by the compilers.
+///
+/// # Panics
+///
+/// May panic on unverified methods.
+#[must_use]
+pub fn max_stack_depth(program: &Program, method: MethodId) -> usize {
+    let m = program.method(method);
+    let len = m.len();
+    let mut depth_at: Vec<usize> = vec![usize::MAX; len];
+    let mut worklist = vec![(0usize, 0usize)];
+    let mut max = 0usize;
+    while let Some((pc, depth)) = worklist.pop() {
+        if pc >= len || depth_at[pc] != usize::MAX {
+            continue;
+        }
+        depth_at[pc] = depth;
+        let i = m.body()[pc];
+        let (pops, pushes) = stack_effect(program, i);
+        let next = depth - pops + pushes;
+        max = max.max(next);
+        match i {
+            Instr::Return | Instr::ReturnVal => {}
+            Instr::Jump(t) => worklist.push((t as usize, next)),
+            Instr::JumpIf(t) | Instr::JumpIfNot(t) => {
+                worklist.push((t as usize, next));
+                worklist.push((pc + 1, next));
+            }
+            _ => worklist.push((pc + 1, next)),
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{MethodBuilder, ProgramBuilder};
+
+    fn single(mb: MethodBuilder) -> Result<Program, VerifyError> {
+        let mut pb = ProgramBuilder::new();
+        let id = pb.add_method(mb);
+        pb.set_entry(id);
+        pb.finish()
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.add();
+        m.ret();
+        assert!(matches!(
+            single(m),
+            Err(VerifyError::StackUnderflow { at: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn fall_off_end_detected() {
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.const_i(1);
+        m.pop();
+        assert!(matches!(single(m), Err(VerifyError::FallsOffEnd { .. })));
+    }
+
+    #[test]
+    fn inconsistent_join_depth_detected() {
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        // Path A reaches the join with 1 value, path B with 0.
+        let join = m.label();
+        let b = m.label();
+        m.const_i(0);
+        m.jump_if(b);
+        m.const_i(42); // depth 1
+        m.jump(join);
+        m.bind(b); // depth 0
+        m.bind(join);
+        m.ret();
+        assert!(matches!(
+            single(m),
+            Err(VerifyError::InconsistentStackDepth { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_return_kind_detected() {
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.const_i(1);
+        m.ret_val();
+        assert!(matches!(
+            single(m),
+            Err(VerifyError::WrongReturnKind { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_signature_enforced() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = MethodBuilder::new("main", 1, 0, false);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        assert_eq!(pb.finish().unwrap_err(), VerifyError::BadEntrySignature);
+    }
+
+    #[test]
+    fn bad_local_detected() {
+        let mut m = MethodBuilder::new("main", 0, 1, false);
+        m.load(5);
+        m.pop();
+        m.ret();
+        assert!(matches!(
+            single(m),
+            Err(VerifyError::LocalOutOfRange { local: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn max_stack_depth_of_straightline() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.const_i(1);
+        m.const_i(2);
+        m.const_i(3);
+        m.add();
+        m.add();
+        m.pop();
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        assert_eq!(max_stack_depth(&p, id), 3);
+    }
+
+    #[test]
+    fn missing_entry_detected() {
+        let pb = ProgramBuilder::new();
+        assert_eq!(pb.finish().unwrap_err(), VerifyError::NoEntry);
+    }
+}

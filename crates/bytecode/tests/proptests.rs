@@ -1,0 +1,129 @@
+//! Property-based tests for the bytecode substrate.
+
+use proptest::prelude::*;
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::verify::max_stack_depth;
+use hpmopt_bytecode::{FieldType, Instr};
+
+/// Generate a random but *well-formed* straight-line body: a sequence of
+/// stack-neutral snippets.
+fn snippet() -> impl Strategy<Value = Vec<Instr>> {
+    prop_oneof![
+        // push-pop
+        any::<i64>().prop_map(|v| vec![Instr::Const(v), Instr::Pop]),
+        // arithmetic on two constants
+        (any::<i64>(), any::<i64>()).prop_map(|(a, b)| vec![
+            Instr::Const(a),
+            Instr::Const(b),
+            Instr::Add,
+            Instr::Pop
+        ]),
+        // local round trip
+        any::<i64>().prop_map(|v| vec![
+            Instr::Const(v),
+            Instr::Store(0),
+            Instr::Load(0),
+            Instr::Pop
+        ]),
+        // dup/swap gymnastics
+        Just(vec![
+            Instr::Const(1),
+            Instr::Dup,
+            Instr::Swap,
+            Instr::Pop,
+            Instr::Pop
+        ]),
+        // comparison
+        (any::<i64>(), any::<i64>()).prop_map(|(a, b)| vec![
+            Instr::Const(a),
+            Instr::Const(b),
+            Instr::Lt,
+            Instr::Pop
+        ]),
+    ]
+}
+
+proptest! {
+    /// Any concatenation of stack-neutral snippets plus a return
+    /// verifies, and the verifier's max-stack matches a direct
+    /// simulation.
+    #[test]
+    fn neutral_snippets_verify(snips in proptest::collection::vec(snippet(), 0..40)) {
+        let mut pb = ProgramBuilder::new();
+        let mut m = MethodBuilder::new("main", 0, 1, false);
+        let mut depth = 0i64;
+        let mut max_depth = 0i64;
+        for s in snips.iter().flatten() {
+            m.emit(*s);
+            depth += match s {
+                Instr::Const(_) | Instr::Load(_) | Instr::Dup => 1,
+                Instr::Pop | Instr::Store(_) | Instr::Add | Instr::Lt => -1,
+                Instr::Swap => 0,
+                _ => unreachable!(),
+            };
+            // `Add`/`Lt` pop 2 push 1; adjust: they were counted as -1
+            // which is exactly the net effect.
+            max_depth = max_depth.max(depth);
+        }
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().expect("neutral snippets verify");
+        prop_assert_eq!(max_stack_depth(&p, id) as i64, max_depth);
+    }
+
+    /// Truncating a verified body (removing the trailing return) always
+    /// fails verification — control must not fall off the end.
+    #[test]
+    fn truncated_bodies_fail(n in 1usize..20) {
+        let mut pb = ProgramBuilder::new();
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        for i in 0..n {
+            m.const_i(i as i64);
+            m.pop();
+        }
+        // no return
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        prop_assert!(pb.finish().is_err());
+    }
+
+    /// Random branch targets beyond the body are rejected.
+    #[test]
+    fn wild_branch_targets_rejected(target in 10u32..1000) {
+        let mut pb = ProgramBuilder::new();
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.emit(Instr::Jump(target));
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        prop_assert!(pb.finish().is_err());
+    }
+
+    /// Class layout: field offsets are disjoint, 8-byte-spaced slots
+    /// after the header, for any field list.
+    #[test]
+    fn layout_is_dense_and_disjoint(refs in proptest::collection::vec(any::<bool>(), 0..32)) {
+        let mut pb = ProgramBuilder::new();
+        let names: Vec<String> = (0..refs.len()).map(|i| format!("f{i}")).collect();
+        let fields: Vec<(&str, FieldType)> = names
+            .iter()
+            .zip(&refs)
+            .map(|(n, &r)| (n.as_str(), if r { FieldType::Ref } else { FieldType::Int }))
+            .collect();
+        let c = pb.add_class("C", &fields);
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let class = p.class(c);
+        prop_assert_eq!(class.instance_size(), 16 + 8 * refs.len() as u64);
+        for (i, f) in class.fields().iter().enumerate() {
+            prop_assert_eq!(f.offset(), 16 + 8 * i as u64);
+        }
+        let ref_count = class.ref_field_indices().count();
+        prop_assert_eq!(ref_count, refs.iter().filter(|&&r| r).count());
+    }
+}

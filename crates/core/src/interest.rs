@@ -1,0 +1,432 @@
+//! Instructions-of-interest analysis.
+//!
+//! "For each heap access instruction S it checks if the target address is
+//! loaded from a field variable f (also located on the heap). If yes, it
+//! saves a tuple (S, f). ... The opt-compiler computes this mapping by
+//! walking the use-def edges upwards from heap access instructions."
+//! (Section 5.2)
+//!
+//! On our stack bytecode the use-def walk is an abstract interpretation
+//! that tracks, for every operand-stack slot and local variable, which
+//! reference field (if any) produced the value. A fixpoint over all
+//! control-flow paths merges conflicting origins to ⊤ (unknown).
+//!
+//! For the paper's running example `p.y.i` (Figure 1) the analysis maps
+//! the load of `i` to field `A::y`: a cache miss on `I3` is blamed on the
+//! reference `y`, so co-allocating `p.y` with `p` can remove it.
+
+use std::collections::BTreeMap;
+
+use hpmopt_bytecode::{FieldId, Instr, MethodId, Program};
+
+/// The origin of a value: `Some(f)` when it was produced by `GetField(f)`
+/// on a reference field, `None` otherwise (⊤).
+type Origin = Option<FieldId>;
+
+/// Result of the analysis for one method: bytecode index of each
+/// instruction of interest → the reference field its base object came
+/// from.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterestMap {
+    entries: BTreeMap<u32, FieldId>,
+}
+
+impl InterestMap {
+    /// Field blamed for misses at bytecode `bc`, if it is an instruction
+    /// of interest.
+    #[must_use]
+    pub fn field_for(&self, bc: u32) -> Option<FieldId> {
+        self.entries.get(&bc).copied()
+    }
+
+    /// Number of `(S, f)` tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the method has no instructions of interest.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(bytecode index, field)` tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, FieldId)> + '_ {
+        self.entries.iter().map(|(&bc, &f)| (bc, f))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AbsState {
+    stack: Vec<Origin>,
+    locals: Vec<Origin>,
+}
+
+fn merge(a: &mut AbsState, b: &AbsState) -> bool {
+    debug_assert_eq!(a.stack.len(), b.stack.len(), "verifier guarantees depth");
+    let mut changed = false;
+    for (x, y) in a.stack.iter_mut().zip(&b.stack).chain(a.locals.iter_mut().zip(&b.locals)) {
+        if *x != *y && x.is_some() {
+            *x = None;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Run the analysis for one method.
+///
+/// Conservative rules: only `GetField` of a reference field produces a
+/// tracked origin; locals propagate origins; any join of different
+/// origins, and every other producer (calls, statics, array loads,
+/// allocations), yields ⊤.
+#[must_use]
+pub fn analyze_method(program: &Program, method: MethodId) -> InterestMap {
+    let m = program.method(method);
+    let body = m.body();
+    let mut states: Vec<Option<AbsState>> = vec![None; body.len()];
+    let entry = AbsState {
+        stack: Vec::new(),
+        locals: vec![None; m.locals() as usize],
+    };
+    let mut worklist = vec![(0usize, entry)];
+
+    while let Some((pc, state)) = worklist.pop() {
+        if pc >= body.len() {
+            continue;
+        }
+        match &mut states[pc] {
+            slot @ None => *slot = Some(state.clone()),
+            Some(existing) => {
+                if !merge(existing, &state) {
+                    continue;
+                }
+            }
+        }
+        let mut s = states[pc].clone().expect("just set");
+        let i = body[pc];
+
+        // Transfer function.
+        match i {
+            Instr::Const(_) | Instr::ConstNull | Instr::New(_) | Instr::GetStatic(_) => {
+                s.stack.push(None);
+            }
+            Instr::Load(n) => {
+                let v = s.locals[n as usize];
+                s.stack.push(v);
+            }
+            Instr::Store(n) => {
+                let v = s.stack.pop().expect("verified");
+                s.locals[n as usize] = v;
+            }
+            Instr::Dup => {
+                let v = *s.stack.last().expect("verified");
+                s.stack.push(v);
+            }
+            Instr::Pop | Instr::PutStatic(_) | Instr::JumpIf(_) | Instr::JumpIfNot(_) => {
+                s.stack.pop();
+            }
+            Instr::Swap => {
+                let n = s.stack.len();
+                s.stack.swap(n - 1, n - 2);
+            }
+            Instr::Add
+            | Instr::Sub
+            | Instr::Mul
+            | Instr::Div
+            | Instr::Rem
+            | Instr::And
+            | Instr::Or
+            | Instr::Xor
+            | Instr::Shl
+            | Instr::Shr
+            | Instr::UShr
+            | Instr::Eq
+            | Instr::Ne
+            | Instr::Lt
+            | Instr::Le
+            | Instr::Gt
+            | Instr::Ge
+            | Instr::RefEq => {
+                s.stack.pop();
+                s.stack.pop();
+                s.stack.push(None);
+            }
+            Instr::Neg | Instr::IsNull | Instr::NewArray(_) | Instr::ArrayLen => {
+                s.stack.pop();
+                s.stack.push(None);
+            }
+            Instr::GetField(f) => {
+                s.stack.pop();
+                let origin = if program.field(f).ty.is_ref() {
+                    Some(f)
+                } else {
+                    None
+                };
+                s.stack.push(origin);
+            }
+            Instr::PutField(_) => {
+                s.stack.pop();
+                s.stack.pop();
+            }
+            Instr::ArrayGet(_) => {
+                s.stack.pop();
+                s.stack.pop();
+                s.stack.push(None);
+            }
+            Instr::ArraySet(_) => {
+                s.stack.pop();
+                s.stack.pop();
+                s.stack.pop();
+            }
+            Instr::Call(callee) => {
+                let c = program.method(callee);
+                for _ in 0..c.params() {
+                    s.stack.pop();
+                }
+                if c.returns_value() {
+                    s.stack.push(None);
+                }
+            }
+            Instr::Jump(_) | Instr::Return | Instr::ReturnVal => {}
+        }
+
+        // Successors.
+        match i {
+            Instr::Return | Instr::ReturnVal => {}
+            Instr::Jump(t) => worklist.push((t as usize, s)),
+            Instr::JumpIf(t) | Instr::JumpIfNot(t) => {
+                worklist.push((t as usize, s.clone()));
+                worklist.push((pc + 1, s));
+            }
+            _ => worklist.push((pc + 1, s)),
+        }
+    }
+
+    // Read the (S, f) tuples off the fixpoint states: only origins that
+    // survive *every* path into S count (a may-be-wrong attribution would
+    // co-allocate the wrong child).
+    let mut map = BTreeMap::new();
+    for (pc, state) in states.iter().enumerate() {
+        let Some(s) = state else { continue };
+        let base_depth = match body[pc] {
+            Instr::GetField(_) | Instr::ArrayLen => 0,
+            Instr::PutField(_) | Instr::ArrayGet(_) => 1,
+            Instr::ArraySet(_) => 2,
+            _ => continue,
+        };
+        let idx = s.stack.len() - 1 - base_depth;
+        if let Some(f) = s.stack[idx] {
+            map.insert(pc as u32, f);
+        }
+    }
+
+    InterestMap { entries: map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+    use hpmopt_bytecode::{ElemKind, FieldType, Program};
+
+    /// The paper's Figure 1: `class A { A y; int i; }` and expression
+    /// `p.y.i`.
+    fn figure1() -> (Program, FieldId) {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A", &[("y", FieldType::Ref), ("i", FieldType::Int)]);
+        let y = pb.field_id(a, "y").unwrap();
+        let i = pb.field_id(a, "i").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 1, false);
+        m.new_object(a); // 0
+        m.store(0); // 1: local p
+        m.load(0); // 2: I1 aload p
+        m.get_field(y); // 3: I2 getfield y
+        m.get_field(i); // 4: I3 getfield i
+        m.pop(); // 5
+        m.ret(); // 6
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        (pb.finish().unwrap(), y)
+    }
+
+    #[test]
+    fn figure1_maps_i3_to_field_y() {
+        let (p, y) = figure1();
+        let map = analyze_method(&p, p.entry());
+        assert_eq!(map.field_for(4), Some(y), "(I3, A::y) tuple");
+        assert_eq!(map.field_for(3), None, "I2's base is a local, not a field");
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn array_access_through_field_is_of_interest() {
+        // s.value[i] — the db benchmark's hot pattern.
+        let mut pb = ProgramBuilder::new();
+        let s = pb.add_class("String", &[("value", FieldType::Ref)]);
+        let value = pb.field_id(s, "value").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 1, false);
+        m.new_object(s); // 0
+        m.store(0); // 1
+        m.load(0); // 2
+        m.get_field(value); // 3
+        m.const_i(0); // 4
+        m.array_get(ElemKind::I16); // 5  <- of interest via `value`
+        m.pop();
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let map = analyze_method(&p, p.entry());
+        assert_eq!(map.field_for(5), Some(value));
+    }
+
+    #[test]
+    fn origin_survives_store_load_round_trip() {
+        let (pb, y) = {
+            let mut pb = ProgramBuilder::new();
+            let a = pb.add_class("A", &[("y", FieldType::Ref), ("i", FieldType::Int)]);
+            let y = pb.field_id(a, "y").unwrap();
+            let i = pb.field_id(a, "i").unwrap();
+            let mut m = MethodBuilder::new("main", 0, 2, false);
+            m.new_object(a);
+            m.store(0);
+            m.load(0);
+            m.get_field(y);
+            m.store(1); // stash p.y in a local
+            m.load(1); // reload it
+            m.get_field(i); // 6: still attributable to y
+            m.pop();
+            m.ret();
+            let id = pb.add_method(m);
+            pb.set_entry(id);
+            (pb.finish().unwrap(), y)
+        };
+        let map = analyze_method(&pb, pb.entry());
+        assert_eq!(map.field_for(6), Some(y));
+    }
+
+    #[test]
+    fn conflicting_origins_merge_to_unknown() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class(
+            "A",
+            &[
+                ("y", FieldType::Ref),
+                ("z", FieldType::Ref),
+                ("i", FieldType::Int),
+            ],
+        );
+        let y = pb.field_id(a, "y").unwrap();
+        let z = pb.field_id(a, "z").unwrap();
+        let i = pb.field_id(a, "i").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 2, false);
+        // local1 = cond ? p.y : p.z; then load local1.i
+        m.new_object(a); // 0
+        m.store(0); // 1
+        let else_ = m.label();
+        let join = m.label();
+        m.const_i(1); // 2
+        m.jump_if_not(else_); // 3
+        m.load(0); // 4
+        m.get_field(y); // 5
+        m.store(1); // 6
+        m.jump(join); // 7
+        m.bind(else_);
+        m.load(0); // 8
+        m.get_field(z); // 9
+        m.store(1); // 10
+        m.bind(join);
+        m.load(1); // 11
+        m.get_field(i); // 12 — ambiguous origin
+        m.pop();
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let map = analyze_method(&p, p.entry());
+        assert_eq!(map.field_for(12), None, "y vs z merges to unknown");
+    }
+
+    #[test]
+    fn int_fields_produce_no_origin() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A", &[("n", FieldType::Int)]);
+        let n = pb.field_id(a, "n").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 1, false);
+        m.new_object(a);
+        m.store(0);
+        m.load(0);
+        m.get_field(n);
+        m.pop();
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let map = analyze_method(&p, p.entry());
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn call_results_are_unknown() {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A", &[("y", FieldType::Ref), ("i", FieldType::Int)]);
+        let i = pb.field_id(a, "i").unwrap();
+        let mut mk = MethodBuilder::new("mk", 0, 0, true);
+        mk.new_object(a);
+        mk.ret_val();
+        let mk = pb.add_method(mk);
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.call(mk); // 0
+        m.get_field(i); // 1 — base from a call: not of interest
+        m.pop();
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let map = analyze_method(&p, p.entry());
+        assert!(map.is_empty());
+        let _ = i;
+    }
+
+    #[test]
+    fn loop_fixpoint_terminates_and_attributes() {
+        // while (p != null) { sum += p.next.i; p = p.next; }
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("Node", &[("next", FieldType::Ref), ("i", FieldType::Int)]);
+        let next = pb.field_id(a, "next").unwrap();
+        let i = pb.field_id(a, "i").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 2, false);
+        m.new_object(a); // 0
+        m.store(0); // 1
+        let top = m.label();
+        let out = m.label();
+        m.bind(top);
+        m.load(0); // 2
+        m.is_null(); // 3
+        m.jump_if(out); // 4
+        m.load(0); // 5
+        m.get_field(next); // 6
+        m.get_field(i); // 7 — of interest via `next`
+        m.pop(); // 8
+        m.load(0); // 9
+        m.get_field(next); // 10
+        m.store(0); // 11: p = p.next (origin flows into local 0!)
+        m.jump(top); // 12
+        m.bind(out);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let map = analyze_method(&p, p.entry());
+        assert_eq!(map.field_for(7), Some(next));
+        // After the back edge, local 0 merges {fresh object, p.next} → the
+        // second iteration's `p.i` style accesses would be unknown; but
+        // instruction 6 (p.next where p may originate from next) is
+        // attributed on iterations ≥ 2 — the analysis is a may-analysis
+        // over all paths and must stay conservative: 6's base merges
+        // None ⊓ Some(next) = None.
+        assert_eq!(map.field_for(6), None);
+    }
+}

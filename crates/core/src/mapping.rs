@@ -1,0 +1,177 @@
+//! Sample-to-bytecode resolution.
+//!
+//! "First the collector thread extracts the samples that are of
+//! importance for the VM. Addresses outside the VM address space ... are
+//! dropped immediately ... The next step is to find the Java method where
+//! the event happened ... Finally the system determines the exact
+//! bytecode instruction for each sample." (Section 4.2)
+//!
+//! The resolver keeps its own registry of compiled artifacts (the
+//! monitoring module's mirror of the compiler's data structures — the
+//! paper keeps the IR alive after compilation for the same purpose).
+
+use hpmopt_bytecode::MethodId;
+use hpmopt_vm::machine::{CompiledCode, Tier};
+
+/// Why a sample could not be attributed to a bytecode instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResolveFailure {
+    /// PC outside every registered code range (kernel, native libraries,
+    /// or stale pre-registration code).
+    ForeignPc,
+    /// PC inside a method whose map has no entry there (opt-compiled code
+    /// without the full-map extension).
+    Unmapped,
+}
+
+/// A successfully resolved sample location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedPc {
+    /// The containing method.
+    pub method: MethodId,
+    /// Tier of the artifact the PC belongs to.
+    pub tier: Tier,
+    /// Bytecode index within the method.
+    pub bytecode_index: u32,
+}
+
+/// PC → bytecode resolver over a registry of compiled artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct SampleResolver {
+    /// Artifacts sorted by code start (the paper's sorted method table).
+    artifacts: Vec<CompiledCode>,
+}
+
+impl SampleResolver {
+    /// Create an empty resolver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a (re)compiled artifact. Ranges never overlap; stale
+    /// artifacts of recompiled methods stay registered, exactly like the
+    /// immortal code space.
+    pub fn register(&mut self, code: CompiledCode) {
+        let pos = self
+            .artifacts
+            .partition_point(|c| c.code_start < code.code_start);
+        self.artifacts.insert(pos, code);
+    }
+
+    /// Resolve a sampled PC.
+    ///
+    /// # Errors
+    ///
+    /// [`ResolveFailure`] describing why the sample must be dropped.
+    pub fn resolve(&self, pc: u64) -> Result<ResolvedPc, ResolveFailure> {
+        let pos = self.artifacts.partition_point(|c| c.code_end() <= pc);
+        let artifact = self
+            .artifacts
+            .get(pos)
+            .filter(|c| c.code_start <= pc)
+            .ok_or(ResolveFailure::ForeignPc)?;
+        let bytecode_index = artifact.bytecode_at(pc).ok_or(ResolveFailure::Unmapped)?;
+        Ok(ResolvedPc {
+            method: artifact.method,
+            tier: artifact.tier,
+            bytecode_index,
+        })
+    }
+
+    /// Number of registered artifacts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    /// Whether no artifact is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.artifacts.is_empty()
+    }
+
+    /// Iterate over registered artifacts (address order).
+    pub fn artifacts(&self) -> impl Iterator<Item = &CompiledCode> {
+        self.artifacts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+    use hpmopt_bytecode::{FieldType, Program};
+    use hpmopt_vm::compiler::compile;
+
+    fn program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", &[("f", FieldType::Ref)]);
+        let f = pb.field_id(c, "f").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 1, false);
+        m.new_object(c);
+        m.store(0);
+        m.load(0);
+        m.get_field(f);
+        m.pop();
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn resolves_pc_to_bytecode() {
+        let p = program();
+        let id = p.entry();
+        let code = compile(&p, id, Tier::Opt, 0x4000_0000, true);
+        let get_field_pc = code.mem_pc(3);
+        let mut r = SampleResolver::new();
+        r.register(code);
+        let got = r.resolve(get_field_pc).unwrap();
+        assert_eq!(got.method, id);
+        assert_eq!(got.bytecode_index, 3);
+        assert_eq!(got.tier, Tier::Opt);
+    }
+
+    #[test]
+    fn foreign_pcs_are_dropped() {
+        let p = program();
+        let code = compile(&p, p.entry(), Tier::Baseline, 0x4000_0000, true);
+        let end = code.code_end();
+        let mut r = SampleResolver::new();
+        r.register(code);
+        assert_eq!(r.resolve(0x1000).unwrap_err(), ResolveFailure::ForeignPc);
+        assert_eq!(r.resolve(end).unwrap_err(), ResolveFailure::ForeignPc);
+    }
+
+    #[test]
+    fn gc_point_only_maps_fail_between_points() {
+        let p = program();
+        let code = compile(&p, p.entry(), Tier::Opt, 0x4000_0000, false);
+        let get_field_pc = code.mem_pc(3);
+        let mut r = SampleResolver::new();
+        r.register(code);
+        assert_eq!(
+            r.resolve(get_field_pc).unwrap_err(),
+            ResolveFailure::Unmapped
+        );
+    }
+
+    #[test]
+    fn multiple_artifacts_resolve_independently() {
+        let p = program();
+        let id = p.entry();
+        let base = compile(&p, id, Tier::Baseline, 0x4000_0000, true);
+        let opt_start = base.code_end();
+        let opt = compile(&p, id, Tier::Opt, opt_start, true);
+        let base_pc = base.mem_pc(3);
+        let opt_pc = opt.mem_pc(3);
+        let mut r = SampleResolver::new();
+        r.register(opt);
+        r.register(base);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.resolve(base_pc).unwrap().tier, Tier::Baseline);
+        assert_eq!(r.resolve(opt_pc).unwrap().tier, Tier::Opt);
+    }
+}

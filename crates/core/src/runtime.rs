@@ -1,0 +1,620 @@
+//! The composed runtime: VM + HPM + monitor + policy + feedback.
+//!
+//! [`HpmRuntime`] is the top of the stack: it executes a program on the
+//! `hpmopt-vm` engine while implementing the VM's
+//! [`RuntimeHooks`] with the full monitoring pipeline —
+//! PEBS sampling on every heap access, collector-thread polling on the
+//! simulated clock, batch attribution of samples to reference fields,
+//! miss-driven co-allocation decisions for the collector, and
+//! feedback-based reverting of decisions that hurt.
+
+use std::collections::BTreeMap;
+
+use hpmopt_bytecode::{ClassId, Program};
+use hpmopt_gc::policy::{CoallocDecision, CoallocPolicy, NoCoalloc};
+use hpmopt_gc::GcStats;
+use hpmopt_hpm::{HpmConfig, HpmStats, HpmSystem};
+use hpmopt_vm::machine::CompiledCode;
+use hpmopt_vm::{
+    AccessContext, CompilationPlan, NoHooks, RunSummary, RuntimeHooks, Vm, VmConfig, VmError,
+};
+
+use crate::feedback::{Assessor, FeedbackConfig, Verdict};
+use crate::monitor::{AttributionStats, MonitorConfig, OnlineMonitor, SeriesPoint};
+use crate::policy::{AdaptivePolicy, PolicyConfig, PolicyEvent};
+
+/// The Figure 8 experiment: pin a deliberately bad placement (padding
+/// between parent and child) at a given time and let the feedback loop
+/// discover and revert it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForcedBadPlacement {
+    /// Class whose decision is overridden.
+    pub class: String,
+    /// Reference field to (mis)co-allocate through.
+    pub field: String,
+    /// Padding between parent and child (one cache line in the paper).
+    pub gap_bytes: u64,
+    /// Cycle time at which the bad decision is installed.
+    pub at_cycles: u64,
+}
+
+/// Full configuration of a monitored run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// VM configuration (heap, collector, memory, AOS, plan, maps).
+    pub vm: VmConfig,
+    /// Monitoring configuration (event, sampling interval, buffers).
+    pub hpm: HpmConfig,
+    /// Monitor cost model and series recording.
+    pub monitor: MonitorConfig,
+    /// Whether miss-driven co-allocation is active.
+    pub coalloc: bool,
+    /// Decision thresholds.
+    pub policy: PolicyConfig,
+    /// Revert heuristic.
+    pub feedback: FeedbackConfig,
+    /// Also assess (and potentially revert) adaptive decisions, not just
+    /// pinned ones.
+    pub assess_adaptive: bool,
+    /// `(class, field)` pairs whose miss series to record (Figure 7).
+    pub watch_fields: Vec<(String, String)>,
+    /// Optional Figure 8 forced bad placement.
+    pub forced_bad: Option<ForcedBadPlacement>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            vm: VmConfig::default(),
+            hpm: HpmConfig::default(),
+            monitor: MonitorConfig::default(),
+            coalloc: true,
+            policy: PolicyConfig::default(),
+            feedback: FeedbackConfig::default(),
+            assess_adaptive: false,
+            watch_fields: Vec::new(),
+            forced_bad: None,
+        }
+    }
+}
+
+/// Everything a monitored run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// VM-level summary (cycles, memory stats, GC stats, code sizes).
+    pub vm: RunSummary,
+    /// Monitoring statistics (events, samples, overhead cycles).
+    pub hpm: HpmStats,
+    /// Where samples went during attribution.
+    pub attribution: AttributionStats,
+    /// Per-field sampled-miss totals, hottest first, with resolved names.
+    pub field_totals: Vec<(String, u64)>,
+    /// The policy's decision log.
+    pub policy_events: Vec<PolicyEvent>,
+    /// Final co-allocation decisions as `(class, field)` names.
+    pub decisions: Vec<(String, String)>,
+    /// Per-watched-field cumulative miss series.
+    pub series: Vec<(String, Vec<SeriesPoint>)>,
+    /// Per-poll `(cycles, cumulative selected events)` — the global miss
+    /// curve of Figure 7(b).
+    pub event_series: Vec<(u64, u64)>,
+    /// The sampling interval in force at the end (after auto adaptation).
+    pub final_interval: u64,
+}
+
+impl RunReport {
+    /// Collector statistics shortcut.
+    #[must_use]
+    pub fn gc(&self) -> &GcStats {
+        &self.vm.gc
+    }
+
+    /// Number of reverts the feedback loop performed.
+    #[must_use]
+    pub fn revert_count(&self) -> usize {
+        self.policy_events
+            .iter()
+            .filter(|e| matches!(e, PolicyEvent::Reverted { .. }))
+            .count()
+    }
+}
+
+/// The composed runtime.
+#[derive(Debug, Clone)]
+pub struct HpmRuntime {
+    config: RunConfig,
+}
+
+impl HpmRuntime {
+    /// Create a runtime with `config`.
+    #[must_use]
+    pub fn new(config: RunConfig) -> Self {
+        HpmRuntime { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Execute `program` under monitoring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] raised by the program.
+    pub fn run(&self, program: &Program) -> Result<RunReport, VmError> {
+        let mut monitor = OnlineMonitor::new(self.config.monitor);
+        let mut watched = Vec::new();
+        for (class_name, field_name) in &self.config.watch_fields {
+            if let Some(f) = program
+                .class_by_name(class_name)
+                .and_then(|c| program.field_by_name(c, field_name))
+            {
+                monitor.watch(f);
+                watched.push(f);
+            }
+        }
+        let forced = self.config.forced_bad.as_ref().and_then(|fb| {
+            let class = program.class_by_name(&fb.class)?;
+            let field = program.field_by_name(class, &fb.field)?;
+            Some(PendingPin {
+                class,
+                decision: CoallocDecision {
+                    field_offset: program.field(field).offset,
+                    gap_bytes: fb.gap_bytes,
+                },
+                at_cycles: fb.at_cycles,
+                applied: false,
+            })
+        });
+
+        let mut hooks = Hooks {
+            hpm: HpmSystem::new(self.config.hpm),
+            monitor,
+            policy: AdaptivePolicy::new(self.config.policy),
+            assessor: Assessor::new(self.config.feedback),
+            coalloc: self.config.coalloc,
+            assess_adaptive: self.config.assess_adaptive,
+            forced,
+            pinned: Vec::new(),
+            rate_history: BTreeMap::new(),
+            event_series: Vec::new(),
+            last_period_cycles: 0,
+        };
+
+        let mut vm = Vm::new(program, self.config.vm.clone());
+        let summary = vm.run(&mut hooks)?;
+
+        let field_totals = hooks
+            .monitor
+            .field_totals()
+            .into_iter()
+            .map(|(f, n)| (program.field_name(f), n))
+            .collect();
+        let decisions = hooks
+            .policy
+            .decisions()
+            .into_iter()
+            .map(|(c, f)| {
+                (
+                    program.class(c).name().to_string(),
+                    program.field_name(f),
+                )
+            })
+            .collect();
+        let series = watched
+            .iter()
+            .map(|&f| (program.field_name(f), hooks.monitor.series(f).to_vec()))
+            .collect();
+
+        Ok(RunReport {
+            cycles: summary.cycles,
+            hpm: hooks.hpm.stats(),
+            attribution: hooks.monitor.attribution(),
+            field_totals,
+            policy_events: hooks.policy.events().to_vec(),
+            decisions,
+            series,
+            event_series: hooks.event_series,
+            final_interval: hooks.hpm.current_interval(),
+            vm: summary,
+        })
+    }
+
+    /// Produce a pseudo-adaptive compilation plan by running the program
+    /// once with the timer-driven AOS and recording which methods it
+    /// opt-compiled (the paper's "pre-generated compilation plan").
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] from the profiling run.
+    pub fn generate_plan(program: &Program, mut vm: VmConfig) -> Result<CompilationPlan, VmError> {
+        vm.plan = None;
+        vm.aos.enabled = true;
+        let summary = Vm::new(program, vm).run(&mut NoHooks)?;
+        Ok(CompilationPlan::new(summary.opt_compiled))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingPin {
+    class: ClassId,
+    decision: CoallocDecision,
+    at_cycles: u64,
+    applied: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Hooks {
+    hpm: HpmSystem,
+    monitor: OnlineMonitor,
+    policy: AdaptivePolicy,
+    assessor: Assessor,
+    coalloc: bool,
+    assess_adaptive: bool,
+    forced: Option<PendingPin>,
+    /// Classes whose active decision is a pin (revert = unpin).
+    pinned: Vec<ClassId>,
+    /// Recent per-class miss rates (misses per megacycle per period).
+    rate_history: BTreeMap<ClassId, Vec<f64>>,
+    event_series: Vec<(u64, u64)>,
+    last_period_cycles: u64,
+}
+
+impl Hooks {
+    fn baseline_rate(&self, class: ClassId) -> f64 {
+        let h = self.rate_history.get(&class).map_or(&[][..], Vec::as_slice);
+        let tail = &h[h.len().saturating_sub(5)..];
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        }
+    }
+}
+
+impl RuntimeHooks for Hooks {
+    fn on_access(&mut self, ctx: &AccessContext) -> u64 {
+        self.hpm.on_event(ctx.pc, ctx.addr.0, &ctx.outcome, ctx.cycles)
+    }
+
+    fn on_compile(&mut self, program: &Program, code: &CompiledCode) {
+        self.monitor.register_artifact(program, code);
+    }
+
+    fn on_poll(&mut self, program: &Program, cycles: u64) -> u64 {
+        if !self.hpm.poll_due(cycles) {
+            return 0;
+        }
+        self.run_poll(program, cycles)
+    }
+
+    fn on_exit(&mut self, program: &Program, cycles: u64) -> u64 {
+        if !self.hpm.enabled() {
+            return 0;
+        }
+        self.run_poll(program, cycles)
+    }
+
+    fn coalloc_policy(&self) -> &dyn CoallocPolicy {
+        if self.coalloc || self.forced.as_ref().is_some_and(|p| p.applied) {
+            &self.policy
+        } else {
+            &NoCoalloc
+        }
+    }
+}
+
+impl Hooks {
+    fn run_poll(&mut self, program: &Program, cycles: u64) -> u64 {
+        let (samples, copy_cost) = self.hpm.poll(cycles);
+        let mut cost = copy_cost;
+        cost += self.monitor.process_batch(&samples, cycles);
+
+        // Period bookkeeping: per-class sampled misses and rates.
+        let window = self.monitor.take_window();
+        let dt = cycles.saturating_sub(self.last_period_cycles).max(1);
+        self.last_period_cycles = cycles;
+        let mut class_misses: BTreeMap<ClassId, u64> = BTreeMap::new();
+        for (f, n) in &window {
+            *class_misses.entry(program.field(*f).class).or_default() += n;
+        }
+        for (&class, &n) in &class_misses {
+            let rate = n as f64 * 1_000_000.0 / dt as f64;
+            let h = self.rate_history.entry(class).or_default();
+            h.push(rate);
+            if h.len() > 32 {
+                h.remove(0);
+            }
+        }
+
+        // Figure 8: install the forced bad placement when its time comes.
+        if let Some(pin) = &mut self.forced {
+            if !pin.applied && cycles >= pin.at_cycles {
+                pin.applied = true;
+                let class = pin.class;
+                let decision = pin.decision;
+                let baseline = self.baseline_rate(class);
+                self.policy.pin(class, decision, cycles);
+                self.assessor.start_tracking(class, baseline);
+                self.pinned.push(class);
+            }
+        }
+
+        // Assess tracked classes; revert sustained regressions.
+        for class in self.policy.active_classes() {
+            if !self.assessor.is_tracking(class) {
+                continue;
+            }
+            let n = class_misses.get(&class).copied().unwrap_or(0);
+            let rate = n as f64 * 1_000_000.0 / dt as f64;
+            if self.assessor.observe(class, n, rate) == Verdict::Revert {
+                if self.pinned.contains(&class) {
+                    self.policy.unpin(class, cycles);
+                    self.pinned.retain(|&c| c != class);
+                } else {
+                    self.policy.revert(class, cycles);
+                }
+            }
+        }
+
+        // Refresh adaptive decisions from the updated counters.
+        if self.coalloc {
+            let before: Vec<ClassId> = self.policy.active_classes();
+            self.policy.refresh(program, &self.monitor, cycles);
+            if self.assess_adaptive {
+                for class in self.policy.active_classes() {
+                    if !before.contains(&class) && !self.assessor.is_tracking(class) {
+                        let baseline = self.baseline_rate(class);
+                        self.assessor.start_tracking(class, baseline);
+                    }
+                }
+            }
+        }
+
+        self.event_series.push((cycles, self.hpm.stats().events));
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+    use hpmopt_bytecode::{ElemKind, FieldType};
+    use hpmopt_gc::{CollectorKind, HeapConfig};
+    use hpmopt_hpm::SamplingInterval;
+
+    /// A miniature `db`: many String-like parents, each holding a char[]
+    /// child, traversed by pointer chasing through the parent field —
+    /// enough resident data to overflow the L1 and produce misses on the
+    /// child dereference.
+    fn mini_db() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let string = pb.add_class("String", &[("value", FieldType::Ref)]);
+        let value = pb.field_id(string, "value").unwrap();
+        let table = pb.add_static("table", FieldType::Ref);
+        let sum = pb.add_static("sum", FieldType::Int);
+        let n = 2000i64; // 2000 pairs ≈ 96 KB resident, well over the 16 KB L1
+
+        let mut m = MethodBuilder::new("main", 0, 4, false);
+        // Rounds interleave building a fresh table (allocation → GC →
+        // promotion, where co-allocation acts) with pointer-chasing reads
+        // (where the misses accrue). Later rounds benefit from decisions
+        // made on earlier rounds' samples.
+        m.for_loop(
+            3,
+            |m| {
+                m.const_i(10);
+            },
+            |m| {
+                // table = new String[n]; fill with fresh pairs.
+                m.const_i(n);
+                m.new_array(ElemKind::Ref);
+                m.put_static(table);
+                m.for_loop(
+                    0,
+                    |m| {
+                        m.const_i(n);
+                    },
+                    |m| {
+                        m.new_object(string);
+                        m.store(1);
+                        m.load(1);
+                        m.const_i(4);
+                        m.new_array(ElemKind::I16);
+                        m.put_field(value);
+                        m.get_static(table);
+                        m.load(0);
+                        m.load(1);
+                        m.array_set(ElemKind::Ref);
+                    },
+                );
+                // Stride through the table reading s.value[0].
+                m.for_loop(
+                    2,
+                    |m| {
+                        m.const_i(15);
+                    },
+                    |m| {
+                        m.for_loop(
+                            0,
+                            |m| {
+                                m.const_i(n);
+                            },
+                            |m| {
+                                m.get_static(table);
+                                m.load(0);
+                                m.array_get(ElemKind::Ref);
+                                m.store(1);
+                                m.get_static(sum);
+                                m.load(1);
+                                m.get_field(value);
+                                m.const_i(0);
+                                m.array_get(ElemKind::I16);
+                                m.add();
+                                m.put_static(sum);
+                            },
+                        );
+                    },
+                );
+            },
+        );
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        pb.finish().unwrap()
+    }
+
+    fn config(coalloc: bool) -> RunConfig {
+        let mut vm = VmConfig::test();
+        vm.step_limit = None;
+        vm.heap = HeapConfig {
+            heap_bytes: 4 * 1024 * 1024,
+            nursery_bytes: 64 * 1024,
+            los_bytes: 8 * 1024 * 1024,
+            collector: CollectorKind::GenMs,
+            cost: Default::default(),
+        };
+        RunConfig {
+            vm,
+            hpm: HpmConfig {
+                interval: SamplingInterval::Fixed(512),
+                // A small kernel buffer makes the overflow interrupt (not
+                // the 10 ms timer) drive polling, so short test runs still
+                // see many decision periods.
+                buffer_capacity: 32,
+                ..HpmConfig::default()
+            },
+            coalloc,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_pipeline_attributes_and_coallocates() {
+        let p = mini_db();
+        // Pseudo-adaptive plan: opt-compile main so the interest analysis
+        // runs (monitoring ignores baseline code).
+        let plan = HpmRuntime::generate_plan(&p, config(true).vm).unwrap();
+        let mut cfg = config(true);
+        cfg.vm.plan = Some(CompilationPlan::new(vec![p.entry()]));
+        cfg.vm.aos.enabled = false;
+        let _ = plan;
+
+        let report = HpmRuntime::new(cfg).run(&p).unwrap();
+        assert!(report.hpm.events > 0, "L1 misses observed");
+        assert!(report.hpm.samples > 0, "some were sampled");
+        assert!(
+            report.attribution.attributed > 0,
+            "samples attributed to fields: {:?}",
+            report.attribution
+        );
+        assert!(
+            report
+                .field_totals
+                .first()
+                .is_some_and(|(name, _)| name == "String::value"),
+            "String::value must be the hottest field: {:?}",
+            report.field_totals
+        );
+        assert!(
+            !report.decisions.is_empty(),
+            "a co-allocation decision was made"
+        );
+        assert!(
+            report.vm.gc.objects_coallocated > 0,
+            "the collector applied it: {:?}",
+            report.vm.gc
+        );
+    }
+
+    #[test]
+    fn coallocation_reduces_l1_misses_on_mini_db() {
+        let p = mini_db();
+        let mut on = config(true);
+        on.vm.plan = Some(CompilationPlan::new(vec![p.entry()]));
+        on.vm.aos.enabled = false;
+        let mut off = config(false);
+        off.vm.plan = Some(CompilationPlan::new(vec![p.entry()]));
+        off.vm.aos.enabled = false;
+
+        let with = HpmRuntime::new(on).run(&p).unwrap();
+        let without = HpmRuntime::new(off).run(&p).unwrap();
+        assert!(
+            with.vm.mem.l1_misses < without.vm.mem.l1_misses,
+            "co-allocation must reduce L1 misses: {} vs {}",
+            with.vm.mem.l1_misses,
+            without.vm.mem.l1_misses
+        );
+        assert!(
+            with.cycles < without.cycles,
+            "and execution time: {} vs {}",
+            with.cycles,
+            without.cycles
+        );
+    }
+
+    #[test]
+    fn monitoring_off_costs_nothing() {
+        let p = mini_db();
+        let mut cfg = config(false);
+        cfg.hpm.interval = SamplingInterval::Off;
+        let report = HpmRuntime::new(cfg).run(&p).unwrap();
+        assert_eq!(report.hpm.samples, 0);
+        assert_eq!(report.vm.monitor_cycles, 0);
+        assert_eq!(report.attribution.total(), 0);
+    }
+
+    #[test]
+    fn watched_field_produces_series() {
+        let p = mini_db();
+        let mut cfg = config(true);
+        cfg.vm.plan = Some(CompilationPlan::new(vec![p.entry()]));
+        cfg.vm.aos.enabled = false;
+        cfg.watch_fields = vec![("String".into(), "value".into())];
+        let report = HpmRuntime::new(cfg).run(&p).unwrap();
+        let (name, series) = &report.series[0];
+        assert_eq!(name, "String::value");
+        assert!(!series.is_empty());
+        assert!(
+            series.windows(2).all(|w| w[0].total <= w[1].total),
+            "cumulative series is monotone"
+        );
+    }
+
+    #[test]
+    fn forced_bad_placement_is_reverted_by_feedback() {
+        let p = mini_db();
+        let mut cfg = config(true);
+        cfg.vm.plan = Some(CompilationPlan::new(vec![p.entry()]));
+        cfg.vm.aos.enabled = false;
+        // Dense sampling and fast polls so periods are plentiful.
+        cfg.hpm.interval = SamplingInterval::Fixed(256);
+        cfg.forced_bad = Some(ForcedBadPlacement {
+            class: "String".into(),
+            field: "value".into(),
+            gap_bytes: 128,
+            at_cycles: 8_000_000,
+        });
+        cfg.feedback = FeedbackConfig {
+            tolerance: 1.2,
+            revert_after_periods: 2,
+            min_period_misses: 2,
+        };
+        let report = HpmRuntime::new(cfg).run(&p).unwrap();
+        let pinned = report
+            .policy_events
+            .iter()
+            .any(|e| matches!(e, PolicyEvent::Pinned { .. }));
+        assert!(pinned, "bad decision was installed: {:?}", report.policy_events);
+        assert!(
+            report.revert_count() > 0,
+            "feedback must revert it: {:?}",
+            report.policy_events
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-class layout information snapshotted for the collector.
+//!
+//! The collector must trace objects without holding a borrow of the whole
+//! [`hpmopt_bytecode::Program`], so layout facts (instance size, which
+//! slots are references) are copied into a compact table when the heap is
+//! created.
+
+use hpmopt_bytecode::{ClassId, Program, OBJECT_HEADER_BYTES};
+
+/// Layout of one class as the collector sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassLayout {
+    /// Total instance size in bytes, header included.
+    pub size: u64,
+    /// Byte offsets (from object start) of the reference fields.
+    pub ref_offsets: Vec<u64>,
+    /// Class name (diagnostics only).
+    pub name: String,
+}
+
+/// Immutable layout table indexed by [`ClassId`].
+#[derive(Debug, Clone, Default)]
+pub struct ClassTable {
+    classes: Vec<ClassLayout>,
+}
+
+impl ClassTable {
+    /// Snapshot the layouts of every class in `program`.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        let classes = program
+            .classes()
+            .iter()
+            .map(|c| ClassLayout {
+                size: c.instance_size(),
+                ref_offsets: c
+                    .ref_field_indices()
+                    .map(|i| OBJECT_HEADER_BYTES + 8 * i as u64)
+                    .collect(),
+                name: c.name().to_string(),
+            })
+            .collect();
+        ClassTable { classes }
+    }
+
+    /// Layout of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is from a different program.
+    #[must_use]
+    pub fn layout(&self, class: ClassId) -> &ClassLayout {
+        &self.classes[class.0 as usize]
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the program declared no classes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+    use hpmopt_bytecode::FieldType;
+
+    #[test]
+    fn snapshots_sizes_and_ref_offsets() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class(
+            "Pair",
+            &[
+                ("a", FieldType::Ref),
+                ("n", FieldType::Int),
+                ("b", FieldType::Ref),
+            ],
+        );
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+
+        let t = ClassTable::new(&p);
+        assert_eq!(t.len(), 1);
+        let l = t.layout(c);
+        assert_eq!(l.size, 16 + 24);
+        assert_eq!(l.ref_offsets, vec![16, 32]);
+        assert_eq!(l.name, "Pair");
+    }
+}

@@ -1,0 +1,160 @@
+//! Large-object space.
+//!
+//! Objects larger than the free-list limit (4 KB) are "handled in a
+//! separate portion of the heap" (Section 5.1). This space uses first-fit
+//! allocation over a coalescing free-range list; large objects never
+//! move.
+
+use std::collections::HashMap;
+
+use crate::object::Address;
+
+/// First-fit, non-moving large-object space.
+#[derive(Debug, Clone)]
+pub struct LargeObjectSpace {
+    start: Address,
+    end: Address,
+    /// Sorted, coalesced free ranges as `(start, len)`.
+    free: Vec<(u64, u64)>,
+    /// Allocated objects: address → size.
+    allocated: HashMap<u64, u64>,
+    used_bytes: u64,
+}
+
+impl LargeObjectSpace {
+    /// Create an empty space over `[start, end)`.
+    #[must_use]
+    pub fn new(start: Address, end: Address) -> Self {
+        LargeObjectSpace {
+            start,
+            end,
+            free: vec![(start.0, end.0 - start.0)],
+            allocated: HashMap::new(),
+            used_bytes: 0,
+        }
+    }
+
+    /// Allocate `size` bytes (8-byte aligned) first-fit; `None` when no
+    /// free range is large enough.
+    pub fn alloc(&mut self, size: u64) -> Option<Address> {
+        debug_assert_eq!(size % 8, 0);
+        let pos = self.free.iter().position(|&(_, len)| len >= size)?;
+        let (rs, rl) = self.free[pos];
+        if rl == size {
+            self.free.remove(pos);
+        } else {
+            self.free[pos] = (rs + size, rl - size);
+        }
+        self.allocated.insert(rs, size);
+        self.used_bytes += size;
+        Some(Address(rs))
+    }
+
+    /// Free a previously allocated object, coalescing adjacent ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not an allocated large object.
+    pub fn free(&mut self, addr: Address) {
+        let size = self
+            .allocated
+            .remove(&addr.0)
+            .expect("freeing unknown large object");
+        self.used_bytes -= size;
+        let idx = self.free.partition_point(|&(s, _)| s < addr.0);
+        self.free.insert(idx, (addr.0, size));
+        // Coalesce with successor, then predecessor.
+        if idx + 1 < self.free.len() && self.free[idx].0 + self.free[idx].1 == self.free[idx + 1].0
+        {
+            self.free[idx].1 += self.free[idx + 1].1;
+            self.free.remove(idx + 1);
+        }
+        if idx > 0 && self.free[idx - 1].0 + self.free[idx - 1].1 == self.free[idx].0 {
+            self.free[idx - 1].1 += self.free[idx].1;
+            self.free.remove(idx);
+        }
+    }
+
+    /// Addresses of all allocated objects (order unspecified).
+    #[must_use]
+    pub fn allocated_objects(&self) -> Vec<Address> {
+        self.allocated.keys().map(|&a| Address(a)).collect()
+    }
+
+    /// Whether `addr` is inside the space.
+    #[must_use]
+    pub fn contains(&self, addr: Address) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Total capacity.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn los() -> LargeObjectSpace {
+        LargeObjectSpace::new(Address(0x10000), Address(0x10000 + 64 * 1024))
+    }
+
+    #[test]
+    fn first_fit_allocates_from_start() {
+        let mut s = los();
+        assert_eq!(s.alloc(8192), Some(Address(0x10000)));
+        assert_eq!(s.alloc(8192), Some(Address(0x12000)));
+        assert_eq!(s.used_bytes(), 16384);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut s = los();
+        assert!(s.alloc(64 * 1024).is_some());
+        assert!(s.alloc(8).is_none());
+    }
+
+    #[test]
+    fn free_coalesces_neighbours() {
+        let mut s = los();
+        let a = s.alloc(8192).unwrap();
+        let b = s.alloc(8192).unwrap();
+        let c = s.alloc(8192).unwrap();
+        s.free(a);
+        s.free(c);
+        s.free(b); // middle free must merge all three with the tail
+        assert_eq!(s.free.len(), 1);
+        assert_eq!(s.free[0], (0x10000, 64 * 1024));
+        assert_eq!(s.used_bytes(), 0);
+    }
+
+    #[test]
+    fn fragmented_space_rejects_large_requests() {
+        let mut s = los();
+        let chunks: Vec<_> = (0..8).map(|_| s.alloc(8192).unwrap()).collect();
+        // Free every other chunk: 32 KB free but max contiguous 8 KB.
+        for c in chunks.iter().step_by(2) {
+            s.free(*c);
+        }
+        assert!(s.alloc(16384).is_none());
+        assert!(s.alloc(8192).is_some());
+    }
+
+    #[test]
+    fn allocated_objects_tracks_live_set() {
+        let mut s = los();
+        let a = s.alloc(8192).unwrap();
+        let b = s.alloc(8192).unwrap();
+        s.free(a);
+        assert_eq!(s.allocated_objects(), vec![b]);
+    }
+}

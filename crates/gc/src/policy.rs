@@ -1,0 +1,121 @@
+//! Co-allocation policy interface.
+//!
+//! The collector asks the policy, per object it promotes, whether the
+//! object's class has a child reference field worth co-allocating. The
+//! real implementation lives in `hpmopt-core` (driven by per-field
+//! cache-miss counts from the monitoring infrastructure); this crate only
+//! defines the interface plus trivial implementations for tests and
+//! baselines.
+
+use std::collections::HashMap;
+
+use hpmopt_bytecode::ClassId;
+
+/// A decision to co-allocate the child referenced by one field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoallocDecision {
+    /// Byte offset (from the parent object start) of the reference field
+    /// whose target should be placed right after the parent.
+    pub field_offset: u64,
+    /// Padding inserted between parent and child.
+    ///
+    /// Normally 0; the Figure 8 experiment injects one cache line (128
+    /// bytes) of empty space to deliberately undo the locality benefit and
+    /// exercise the feedback loop.
+    pub gap_bytes: u64,
+}
+
+/// Consulted by the GenMS nursery trace for every promoted object.
+pub trait CoallocPolicy {
+    /// The child field to co-allocate for instances of `class`, or `None`
+    /// to promote normally.
+    fn coalloc_child(&self, class: ClassId) -> Option<CoallocDecision>;
+}
+
+/// Never co-allocates (the paper's baseline configuration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCoalloc;
+
+impl CoallocPolicy for NoCoalloc {
+    fn coalloc_child(&self, _class: ClassId) -> Option<CoallocDecision> {
+        None
+    }
+}
+
+/// A fixed table of decisions, for tests and hand-built experiments.
+#[derive(Debug, Clone, Default)]
+pub struct StaticPolicy {
+    decisions: HashMap<ClassId, CoallocDecision>,
+}
+
+impl StaticPolicy {
+    /// Create an empty policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Always co-allocate the child at `field_offset` for `class`.
+    pub fn set(&mut self, class: ClassId, field_offset: u64) -> &mut Self {
+        self.decisions.insert(
+            class,
+            CoallocDecision {
+                field_offset,
+                gap_bytes: 0,
+            },
+        );
+        self
+    }
+
+    /// Like [`StaticPolicy::set`] with explicit padding (Figure 8).
+    pub fn set_with_gap(&mut self, class: ClassId, field_offset: u64, gap_bytes: u64) -> &mut Self {
+        self.decisions.insert(
+            class,
+            CoallocDecision {
+                field_offset,
+                gap_bytes,
+            },
+        );
+        self
+    }
+
+    /// Remove the decision for `class`.
+    pub fn unset(&mut self, class: ClassId) -> &mut Self {
+        self.decisions.remove(&class);
+        self
+    }
+}
+
+impl CoallocPolicy for StaticPolicy {
+    fn coalloc_child(&self, class: ClassId) -> Option<CoallocDecision> {
+        self.decisions.get(&class).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_coalloc_always_declines() {
+        assert_eq!(NoCoalloc.coalloc_child(ClassId(3)), None);
+    }
+
+    #[test]
+    fn static_policy_round_trips() {
+        let mut p = StaticPolicy::new();
+        p.set(ClassId(1), 16);
+        p.set_with_gap(ClassId(2), 24, 128);
+        assert_eq!(
+            p.coalloc_child(ClassId(1)),
+            Some(CoallocDecision {
+                field_offset: 16,
+                gap_bytes: 0
+            })
+        );
+        assert_eq!(p.coalloc_child(ClassId(2)).unwrap().gap_bytes, 128);
+        assert_eq!(p.coalloc_child(ClassId(9)), None);
+        p.unset(ClassId(1));
+        assert_eq!(p.coalloc_child(ClassId(1)), None);
+    }
+}

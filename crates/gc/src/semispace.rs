@@ -1,0 +1,177 @@
+//! Semispace-copying mature space (the GenCopy configuration).
+//!
+//! Half the mature region is in use at any time; a major collection
+//! copies the live objects to the other half (Cheney scan, performed by
+//! the heap) and the halves swap roles. The halved usable capacity is the
+//! space-inefficiency the paper's GenMS+co-allocation configuration is
+//! designed to avoid while recovering the copying collector's locality.
+
+use crate::object::Address;
+
+/// Two semispaces with a bump allocator in the active one.
+#[derive(Debug, Clone)]
+pub struct CopySpace {
+    start: Address,
+    half: u64,
+    /// 0 or 1: which half is active.
+    active: u8,
+    cursor: u64,
+}
+
+impl CopySpace {
+    /// Create a copy space over `[start, end)`; each semispace gets half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is not 16-byte divisible into halves.
+    #[must_use]
+    pub fn new(start: Address, end: Address) -> Self {
+        let len = end.0 - start.0;
+        assert_eq!(len % 16, 0, "region must split into aligned halves");
+        CopySpace {
+            start,
+            half: len / 2,
+            active: 0,
+            cursor: 0,
+        }
+    }
+
+    fn active_base(&self) -> u64 {
+        self.start.0 + u64::from(self.active) * self.half
+    }
+
+    fn inactive_base(&self) -> u64 {
+        self.start.0 + u64::from(1 - self.active) * self.half
+    }
+
+    /// Bump-allocate in the active semispace.
+    pub fn alloc(&mut self, size: u64) -> Option<Address> {
+        debug_assert_eq!(size % 8, 0);
+        if self.cursor + size > self.half {
+            return None;
+        }
+        let a = Address(self.active_base() + self.cursor);
+        self.cursor += size;
+        Some(a)
+    }
+
+    /// Begin a major collection: returns a bump cursor for the inactive
+    /// (to-) space. Finish with [`CopySpace::finish_copy`].
+    #[must_use]
+    pub fn begin_copy(&self) -> ToSpaceCursor {
+        ToSpaceCursor {
+            base: self.inactive_base(),
+            offset: 0,
+            limit: self.half,
+        }
+    }
+
+    /// Complete a major collection: swap semispaces, adopting the bytes
+    /// `copied` into the new active space.
+    pub fn finish_copy(&mut self, copied: &ToSpaceCursor) {
+        self.active = 1 - self.active;
+        self.cursor = copied.offset;
+    }
+
+    /// Whether `addr` is in the active semispace.
+    #[must_use]
+    pub fn in_active(&self, addr: Address) -> bool {
+        let b = self.active_base();
+        addr.0 >= b && addr.0 < b + self.half
+    }
+
+    /// Whether `addr` is anywhere in the region.
+    #[must_use]
+    pub fn contains(&self, addr: Address) -> bool {
+        addr.0 >= self.start.0 && addr.0 < self.start.0 + 2 * self.half
+    }
+
+    /// Bytes used in the active semispace.
+    #[must_use]
+    pub fn used_bytes(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Bytes still free in the active semispace.
+    #[must_use]
+    pub fn free_bytes(&self) -> u64 {
+        self.half - self.cursor
+    }
+
+    /// Usable capacity (one semispace).
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.half
+    }
+}
+
+/// Bump cursor over the to-space during a major copy.
+#[derive(Debug, Clone)]
+pub struct ToSpaceCursor {
+    base: u64,
+    offset: u64,
+    limit: u64,
+}
+
+impl ToSpaceCursor {
+    /// Allocate `size` bytes in to-space.
+    pub fn alloc(&mut self, size: u64) -> Option<Address> {
+        if self.offset + size > self.limit {
+            return None;
+        }
+        let a = Address(self.base + self.offset);
+        self.offset += size;
+        Some(a)
+    }
+
+    /// Bytes copied so far.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_fills_active_half() {
+        let mut s = CopySpace::new(Address(0x1000), Address(0x1000 + 128));
+        assert_eq!(s.capacity(), 64);
+        let a = s.alloc(32).unwrap();
+        assert_eq!(a, Address(0x1000));
+        assert!(s.alloc(32).is_some());
+        assert!(s.alloc(8).is_none(), "semispace full");
+    }
+
+    #[test]
+    fn copy_swaps_halves() {
+        let mut s = CopySpace::new(Address(0x1000), Address(0x1000 + 128));
+        s.alloc(64).unwrap();
+        let mut to = s.begin_copy();
+        let survivor = to.alloc(16).unwrap();
+        assert_eq!(survivor, Address(0x1000 + 64), "to-space is the other half");
+        s.finish_copy(&to);
+        assert_eq!(s.used_bytes(), 16);
+        assert!(s.in_active(survivor));
+        let next = s.alloc(8).unwrap();
+        assert_eq!(next, Address(0x1000 + 64 + 16));
+    }
+
+    #[test]
+    fn to_space_respects_limit() {
+        let s = CopySpace::new(Address(0), Address(64));
+        let mut to = s.begin_copy();
+        assert!(to.alloc(32).is_some());
+        assert!(to.alloc(8).is_none());
+    }
+
+    #[test]
+    fn contains_covers_both_halves() {
+        let s = CopySpace::new(Address(0x1000), Address(0x1000 + 128));
+        assert!(s.contains(Address(0x1000)));
+        assert!(s.contains(Address(0x1000 + 127)));
+        assert!(!s.contains(Address(0x1000 + 128)));
+    }
+}

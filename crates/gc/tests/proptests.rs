@@ -1,0 +1,212 @@
+//! Property-based tests for the heap and collectors: random object
+//! graphs and mutation sequences must survive arbitrary collection
+//! schedules with their data intact.
+
+use proptest::prelude::*;
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType, Program};
+use hpmopt_gc::freelist::{size_class_for, size_class_table};
+use hpmopt_gc::policy::{NoCoalloc, StaticPolicy};
+use hpmopt_gc::{Address, CollectorKind, Heap, HeapConfig, LOS_THRESHOLD_BYTES};
+
+fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.add_class(
+        "Node",
+        &[
+            ("a", FieldType::Ref),
+            ("b", FieldType::Ref),
+            ("v", FieldType::Int),
+        ],
+    );
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    m.ret();
+    let id = pb.add_method(m);
+    pb.set_entry(id);
+    pb.finish().unwrap()
+}
+
+/// One mutation step against a growing object population.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a node and remember it at a root slot (mod population).
+    Alloc(u8),
+    /// Link `roots[x].a = roots[y]`.
+    LinkA(u8, u8),
+    /// Link `roots[x].b = roots[y]`.
+    LinkB(u8, u8),
+    /// Store a value into `roots[x].v`.
+    SetV(u8, i32),
+    /// Drop root x (object may become garbage).
+    Drop(u8),
+    /// Minor collection.
+    Minor,
+    /// Major collection.
+    Major,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<u8>().prop_map(Op::Alloc),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::LinkA(a, b)),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::LinkB(a, b)),
+        3 => (any::<u8>(), any::<i32>()).prop_map(|(a, v)| Op::SetV(a, v)),
+        2 => any::<u8>().prop_map(Op::Drop),
+        2 => Just(Op::Minor),
+        1 => Just(Op::Major),
+    ]
+}
+
+fn run_ops(collector: CollectorKind, ops: &[Op], coalloc: bool) -> Result<(), TestCaseError> {
+    let p = program();
+    let node = p.class_by_name("Node").unwrap();
+    let mut heap = Heap::new(&p, HeapConfig::small().with_collector(collector));
+    let mut policy = StaticPolicy::new();
+    if coalloc {
+        policy.set(node, 16); // co-allocate through field `a`
+    }
+    // Mirror of the heap state: per root, the expected `v` value and the
+    // indices its a/b fields point to.
+    let mut roots: Vec<Address> = Vec::new();
+    let mut expect: Vec<(i64, Option<usize>, Option<usize>)> = Vec::new();
+
+    let mut collect = |heap: &mut Heap, roots: &mut Vec<Address>, major: bool| {
+        let res = if major {
+            heap.collect_major(roots, &policy)
+        } else {
+            heap.collect_minor(roots, &policy)
+        };
+        prop_assert!(res.is_ok(), "collection failed: {res:?}");
+        Ok(())
+    };
+
+    for op in ops {
+        match *op {
+            Op::Alloc(_) if roots.len() >= 48 => {}
+            Op::Alloc(_) => {
+                let obj = match heap.alloc_object(node) {
+                    Ok(o) => o,
+                    Err(_) => {
+                        collect(&mut heap, &mut roots, false)?;
+                        match heap.alloc_object(node) {
+                            Ok(o) => o,
+                            Err(_) => {
+                                collect(&mut heap, &mut roots, true)?;
+                                heap.alloc_object(node).expect("heap large enough")
+                            }
+                        }
+                    }
+                };
+                heap.set_field(obj, 32, roots.len() as u64, false);
+                expect.push((roots.len() as i64, None, None));
+                roots.push(obj);
+            }
+            Op::LinkA(x, y) if !roots.is_empty() => {
+                let xi = x as usize % roots.len();
+                let yi = y as usize % roots.len();
+                heap.set_field(roots[xi], 16, roots[yi].0, true);
+                expect[xi].1 = Some(yi);
+            }
+            Op::LinkB(x, y) if !roots.is_empty() => {
+                let xi = x as usize % roots.len();
+                let yi = y as usize % roots.len();
+                heap.set_field(roots[xi], 24, roots[yi].0, true);
+                expect[xi].2 = Some(yi);
+            }
+            Op::SetV(x, v) if !roots.is_empty() => {
+                let xi = x as usize % roots.len();
+                heap.set_field(roots[xi], 32, v as i64 as u64, false);
+                expect[xi].0 = i64::from(v);
+            }
+            Op::Drop(x) if !roots.is_empty() => {
+                let xi = x as usize % roots.len();
+                roots.remove(xi);
+                let (..) = expect.remove(xi);
+                // Linked expectations now refer to shifted indices; fix up.
+                for e in &mut expect {
+                    for slot in [&mut e.1, &mut e.2] {
+                        *slot = match *slot {
+                            Some(i) if i == xi => None, // dangling mirror edge
+                            Some(i) if i > xi => Some(i - 1),
+                            other => other,
+                        };
+                    }
+                }
+            }
+            Op::Minor => collect(&mut heap, &mut roots, false)?,
+            Op::Major => collect(&mut heap, &mut roots, true)?,
+            _ => {}
+        }
+    }
+
+    // Everything reachable from roots must verify, and the mirrored data
+    // must match (where the mirror still knows the edge target).
+    heap.verify(&roots).map_err(|e| TestCaseError::fail(e))?;
+    for (i, &(v, a, b)) in expect.iter().enumerate() {
+        prop_assert_eq!(heap.get_field(roots[i], 32) as i64, v, "v of root {}", i);
+        if let Some(ai) = a {
+            prop_assert_eq!(Address(heap.get_field(roots[i], 16)), roots[ai]);
+        }
+        if let Some(bi) = b {
+            prop_assert_eq!(Address(heap.get_field(roots[i], 24)), roots[bi]);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn genms_preserves_random_graphs(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        run_ops(CollectorKind::GenMs, &ops, false)?;
+    }
+
+    #[test]
+    fn genms_with_coalloc_preserves_random_graphs(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        run_ops(CollectorKind::GenMs, &ops, true)?;
+    }
+
+    #[test]
+    fn gencopy_preserves_random_graphs(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        run_ops(CollectorKind::GenCopy, &ops, false)?;
+    }
+
+    /// Size classes: every size maps to the smallest class that fits.
+    #[test]
+    fn size_class_is_tight(bytes in 1u64..=4096) {
+        let table = size_class_table();
+        let class = size_class_for(bytes).expect("≤ 4096 has a class");
+        prop_assert!(table[class] >= bytes);
+        if class > 0 {
+            prop_assert!(table[class - 1] < bytes, "not the smallest fitting class");
+        }
+    }
+
+    /// Sizes beyond the LOS threshold have no class.
+    #[test]
+    fn oversize_has_no_class(bytes in LOS_THRESHOLD_BYTES + 1..1 << 20) {
+        prop_assert!(size_class_for(bytes).is_none());
+    }
+
+    /// Array round trip through the heap for every element kind.
+    #[test]
+    fn array_elements_round_trip(
+        len in 1u64..64,
+        values in proptest::collection::vec(any::<u64>(), 64),
+    ) {
+        let p = program();
+        let mut heap = Heap::new(&p, HeapConfig::small());
+        for kind in [ElemKind::I8, ElemKind::I16, ElemKind::I32, ElemKind::I64] {
+            let arr = heap.alloc_array(kind, len).unwrap();
+            let mask = if kind.width() == 8 { u64::MAX } else { (1u64 << (kind.width() * 8)) - 1 };
+            for i in 0..len {
+                heap.array_set(arr, kind, i, values[i as usize]);
+            }
+            for i in 0..len {
+                prop_assert_eq!(heap.array_get(arr, kind, i), values[i as usize] & mask);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The collector-thread polling model.
+//!
+//! The paper uses "a separate Java thread that polls the kernel device
+//! driver ... The polling interval is adaptively set between 10 ms and
+//! 1000 ms depending on the size of the sample buffer and the sampling
+//! rate" (Section 4.1, part 3). In the deterministic simulation the
+//! thread is a timer on the global cycle clock: the VM asks
+//! [`CollectorThread::due`] on its slow path and performs the poll
+//! synchronously, which preserves the thread's observable behaviour
+//! (batching, adaptive period, drain cost) without nondeterminism.
+
+/// Adaptive poll timer.
+#[derive(Debug, Clone)]
+pub struct CollectorThread {
+    cpu_hz: u64,
+    period_cycles: u64,
+    min_period: u64,
+    max_period: u64,
+    next_poll_at: u64,
+}
+
+impl CollectorThread {
+    /// Create the thread model for a CPU of `cpu_hz`; the initial period
+    /// is the 10 ms floor (a cold buffer quickly backs it off), adapted
+    /// within [10 ms, 1000 ms].
+    #[must_use]
+    pub fn new(cpu_hz: u64) -> Self {
+        let ms = cpu_hz / 1000;
+        CollectorThread {
+            cpu_hz,
+            period_cycles: 10 * ms,
+            min_period: 10 * ms,
+            max_period: 1000 * ms,
+            next_poll_at: 10 * ms,
+        }
+    }
+
+    /// Whether the timer expired at `cycles`.
+    #[must_use]
+    pub fn due(&self, cycles: u64) -> bool {
+        cycles >= self.next_poll_at
+    }
+
+    /// Update the adaptive period after a poll that found the kernel
+    /// buffer `fill_pct` percent full: a hot buffer halves the period, a
+    /// cold one backs off, so no samples are dropped while idle polling
+    /// stays cheap.
+    pub fn after_poll(&mut self, fill_pct: u8, cycles: u64) {
+        if fill_pct >= 50 {
+            self.period_cycles = (self.period_cycles / 2).max(self.min_period);
+        } else if fill_pct < 10 {
+            self.period_cycles = (self.period_cycles * 2).min(self.max_period);
+        }
+        self.next_poll_at = cycles + self.period_cycles;
+    }
+
+    /// Current polling period in cycles.
+    #[must_use]
+    pub fn period_cycles(&self) -> u64 {
+        self.period_cycles
+    }
+
+    /// Current polling period in milliseconds.
+    #[must_use]
+    pub fn period_ms(&self) -> u64 {
+        self.period_cycles * 1000 / self.cpu_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HZ: u64 = 3_000_000_000;
+
+    #[test]
+    fn initial_period_is_the_10ms_floor() {
+        let t = CollectorThread::new(HZ);
+        assert_eq!(t.period_ms(), 10);
+        assert!(!t.due(0));
+        assert!(t.due(HZ / 100));
+    }
+
+    #[test]
+    fn hot_buffer_shortens_period_to_floor() {
+        let mut t = CollectorThread::new(HZ);
+        for _ in 0..10 {
+            t.after_poll(90, 0);
+        }
+        assert_eq!(t.period_ms(), 10, "clamped at the 10 ms floor");
+    }
+
+    #[test]
+    fn cold_buffer_backs_off_to_ceiling() {
+        let mut t = CollectorThread::new(HZ);
+        for _ in 0..10 {
+            t.after_poll(0, 0);
+        }
+        assert_eq!(t.period_ms(), 1000, "clamped at the 1000 ms ceiling");
+    }
+
+    #[test]
+    fn moderate_fill_keeps_period() {
+        let mut t = CollectorThread::new(HZ);
+        let before = t.period_cycles();
+        t.after_poll(30, 0);
+        assert_eq!(t.period_cycles(), before);
+    }
+
+    #[test]
+    fn next_poll_scheduled_after_current_time() {
+        let mut t = CollectorThread::new(HZ);
+        t.after_poll(30, 1_000_000);
+        assert!(!t.due(1_000_000));
+        assert!(t.due(1_000_000 + t.period_cycles()));
+    }
+}

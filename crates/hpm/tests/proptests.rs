@@ -1,0 +1,99 @@
+//! Property-based tests for the sampling stack.
+
+use proptest::prelude::*;
+
+use hpmopt_hpm::{HpmConfig, HpmSystem, PebsUnit, SamplingInterval};
+use hpmopt_memsim::{AccessOutcome, EventKind};
+
+fn miss() -> AccessOutcome {
+    AccessOutcome {
+        cycles: 20,
+        l1_miss: true,
+        l2_miss: false,
+        dtlb_miss: false,
+    }
+}
+
+proptest! {
+    /// The sample count is always within a factor of the expected
+    /// events/interval ratio (randomized low bits bound the deviation).
+    #[test]
+    fn sample_rate_tracks_interval(
+        interval in 512u64..16384,
+        events in 20_000u64..100_000,
+        seed in any::<u64>(),
+    ) {
+        let mut unit = PebsUnit::new(interval, seed, 1 << 20);
+        let mut samples = 0u64;
+        for i in 0..events {
+            if unit.observe(i, 0, EventKind::L1DMiss, i) {
+                samples += 1;
+            }
+        }
+        let expected = events as f64 / interval as f64;
+        prop_assert!(
+            (samples as f64) < expected * 2.0 + 16.0,
+            "too many samples: {samples} vs expected {expected}"
+        );
+        prop_assert!(
+            (samples as f64) > expected / 2.0 - 16.0,
+            "too few samples: {samples} vs expected {expected}"
+        );
+    }
+
+    /// Nothing is ever lost silently: samples + drops = capture events.
+    #[test]
+    fn drops_are_accounted(capacity in 1usize..64, events in 1u64..5000) {
+        let mut unit = PebsUnit::new(1, 7, capacity);
+        let mut captured = 0u64;
+        for i in 0..events {
+            if unit.observe(i, 0, EventKind::L1DMiss, i) {
+                captured += 1;
+            }
+        }
+        prop_assert_eq!(captured, events, "interval 1 samples everything");
+        prop_assert_eq!(unit.buffered() as u64 + unit.dropped(), events);
+    }
+
+    /// The composed system charges monitoring cycles if and only if it is
+    /// enabled and samples were taken.
+    #[test]
+    fn overhead_iff_samples(n in 1u64..2000, fixed in prop_oneof![Just(0u64), Just(64), Just(1024)]) {
+        let interval = if fixed == 0 {
+            SamplingInterval::Off
+        } else {
+            SamplingInterval::Fixed(fixed)
+        };
+        let mut hpm = HpmSystem::new(HpmConfig { interval, ..HpmConfig::default() });
+        let mut overhead = 0u64;
+        for i in 0..n {
+            overhead += hpm.on_event(0x4000_0000 + i, i, &miss(), i);
+        }
+        let s = hpm.stats();
+        prop_assert_eq!(overhead > 0, s.samples > 0);
+        if matches!(interval, SamplingInterval::Off) {
+            prop_assert_eq!(s.events, 0);
+        } else {
+            prop_assert_eq!(s.events, n);
+        }
+    }
+
+    /// Poll always empties the kernel buffer and never fabricates
+    /// samples.
+    #[test]
+    fn poll_conserves_samples(n in 0u64..3000) {
+        let mut hpm = HpmSystem::new(HpmConfig {
+            interval: SamplingInterval::Fixed(16),
+            buffer_capacity: 4096,
+            ..HpmConfig::default()
+        });
+        for i in 0..n {
+            hpm.on_event(i, i, &miss(), i);
+        }
+        let taken = hpm.stats().samples;
+        let (batch, _) = hpm.poll(1_000_000);
+        prop_assert_eq!(batch.len() as u64 + hpm.stats().dropped, taken);
+        let (empty, _) = hpm.poll(2_000_000);
+        prop_assert!(empty.is_empty());
+    }
+}

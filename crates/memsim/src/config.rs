@@ -1,0 +1,124 @@
+//! Hierarchy geometry and latency configuration.
+
+use crate::cache::CacheGeometry;
+
+/// Latency, in CPU cycles, of each level of the hierarchy.
+///
+/// The defaults approximate the paper's 3 GHz Pentium 4 (L1 ~2 cycles,
+/// L2 ~18 cycles, main memory ~200 cycles, a hardware page walk ~30
+/// cycles). Only the *relative* magnitudes matter for reproducing the
+/// evaluation's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Cycles for an L1 hit.
+    pub l1_hit: u64,
+    /// Additional cycles for an L2 hit (on top of `l1_hit`).
+    pub l2_hit: u64,
+    /// Additional cycles for a main-memory access.
+    pub memory: u64,
+    /// Additional cycles for a DTLB miss (page-walk cost).
+    pub tlb_miss: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            l1_hit: 2,
+            l2_hit: 18,
+            memory: 200,
+            tlb_miss: 30,
+        }
+    }
+}
+
+/// Complete configuration of a [`crate::MemoryHierarchy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 data-cache geometry.
+    pub l1: CacheGeometry,
+    /// Unified L2 geometry.
+    pub l2: CacheGeometry,
+    /// Number of DTLB entries (fully associative).
+    pub tlb_entries: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Latencies per level.
+    pub latency: LatencyModel,
+    /// Whether the hardware stream prefetcher is enabled.
+    pub prefetch: bool,
+    /// How many successive lines the prefetcher pulls once a stream is
+    /// detected.
+    pub prefetch_depth: u64,
+}
+
+impl MemConfig {
+    /// The evaluation platform of the paper: 16 KB L1D, 1 MB L2, 128-byte
+    /// lines, 64-entry DTLB, 4 KB pages, stream prefetching enabled.
+    #[must_use]
+    pub fn pentium4() -> Self {
+        MemConfig {
+            l1: CacheGeometry::new(16 * 1024, 128, 8),
+            l2: CacheGeometry::new(1024 * 1024, 128, 8),
+            tlb_entries: 64,
+            page_bytes: 4096,
+            latency: LatencyModel::default(),
+            prefetch: true,
+            prefetch_depth: 2,
+        }
+    }
+
+    /// A miniature hierarchy for fast unit tests (256-byte L1, 1 KB L2,
+    /// 4 TLB entries).
+    #[must_use]
+    pub fn tiny() -> Self {
+        MemConfig {
+            l1: CacheGeometry::new(256, 64, 2),
+            l2: CacheGeometry::new(1024, 64, 2),
+            tlb_entries: 4,
+            page_bytes: 4096,
+            latency: LatencyModel::default(),
+            prefetch: false,
+            prefetch_depth: 0,
+        }
+    }
+
+    /// Disable the prefetcher (ablation configuration).
+    #[must_use]
+    pub fn without_prefetch(mut self) -> Self {
+        self.prefetch = false;
+        self
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::pentium4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pentium4_geometry_matches_paper() {
+        let c = MemConfig::pentium4();
+        assert_eq!(c.l1.size_bytes(), 16 * 1024);
+        assert_eq!(c.l1.line_bytes(), 128);
+        assert_eq!(c.l2.size_bytes(), 1024 * 1024);
+        assert_eq!(c.page_bytes, 4096);
+        assert!(c.prefetch);
+    }
+
+    #[test]
+    fn latency_ordering_is_sane() {
+        let l = LatencyModel::default();
+        assert!(l.l1_hit < l.l2_hit);
+        assert!(l.l2_hit < l.memory);
+    }
+
+    #[test]
+    fn without_prefetch_clears_flag() {
+        assert!(!MemConfig::pentium4().without_prefetch().prefetch);
+    }
+}

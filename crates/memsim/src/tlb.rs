@@ -1,0 +1,112 @@
+//! Fully associative data TLB with LRU replacement.
+
+/// A fully associative translation lookaside buffer.
+///
+/// Tracks which virtual pages have cached translations; a miss costs a
+/// page-walk penalty (see [`crate::LatencyModel::tlb_miss`]).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: usize,
+    page_shift: u32,
+    /// Resident page numbers, most recently used first.
+    pages: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Create an empty TLB with `entries` slots for pages of `page_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a power of two or `entries` is zero.
+    #[must_use]
+    pub fn new(entries: usize, page_bytes: u64) -> Self {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(entries > 0, "TLB must have at least one entry");
+        Tlb {
+            entries,
+            page_shift: page_bytes.trailing_zeros(),
+            pages: Vec::with_capacity(entries),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translate the page containing `addr`; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let page = addr >> self.page_shift;
+        if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+            let p = self.pages.remove(pos);
+            self.pages.insert(0, p);
+            self.hits += 1;
+            true
+        } else {
+            if self.pages.len() == self.entries {
+                self.pages.pop();
+            }
+            self.pages.insert(0, page);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Drop all translations (context-switch / GC pollution model).
+    pub fn flush(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(2, 4096);
+        assert!(!t.access(0x0000));
+        assert!(t.access(0x0fff));
+        assert!(!t.access(0x1000), "next page misses");
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0x0000);
+        t.access(0x1000);
+        t.access(0x0000); // page 0 MRU
+        t.access(0x2000); // evicts page 1
+        assert!(t.access(0x0000));
+        assert!(!t.access(0x1000));
+    }
+
+    #[test]
+    fn flush_forgets_everything() {
+        let mut t = Tlb::new(4, 4096);
+        t.access(0x0000);
+        t.flush();
+        assert!(!t.access(0x0000));
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut t = Tlb::new(4, 4096);
+        t.access(0);
+        t.access(0);
+        t.access(4096);
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the memory-hierarchy simulator.
+
+use proptest::prelude::*;
+
+use hpmopt_memsim::{AccessKind, Cache, CacheGeometry, MemConfig, MemoryHierarchy, Tlb};
+
+proptest! {
+    /// Immediately re-accessing any address hits L1 regardless of history.
+    #[test]
+    fn repeat_access_always_hits(addrs in proptest::collection::vec(0u64..1 << 30, 1..200)) {
+        let mut mem = MemoryHierarchy::new(MemConfig::pentium4());
+        for a in addrs {
+            let aligned = a & !7;
+            mem.access(aligned, 8, AccessKind::Read);
+            let again = mem.access(aligned, 8, AccessKind::Read);
+            prop_assert!(!again.l1_miss);
+            prop_assert!(!again.dtlb_miss);
+        }
+    }
+
+    /// Cache hits + misses always equals demand accesses, and an L2 miss
+    /// implies an L1 miss.
+    #[test]
+    fn stats_are_consistent(addrs in proptest::collection::vec(0u64..1 << 26, 1..500)) {
+        let mut mem = MemoryHierarchy::new(MemConfig::pentium4());
+        for a in &addrs {
+            let out = mem.access(a & !7, 8, AccessKind::Write);
+            prop_assert!(!(out.l2_miss && !out.l1_miss), "L2 miss without L1 miss");
+        }
+        let s = mem.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.l2_misses <= s.l1_misses);
+        prop_assert!(s.l1_misses <= s.accesses);
+    }
+
+    /// A cache never holds more lines than its capacity, for arbitrary
+    /// (power-of-two) geometry.
+    #[test]
+    fn residency_never_exceeds_capacity(
+        size_log in 8u32..16,
+        line_log in 5u32..8,
+        assoc_log in 0u32..4,
+        addrs in proptest::collection::vec(0u64..1 << 22, 1..400),
+    ) {
+        let size = 1u64 << size_log;
+        let line = 1u64 << line_log;
+        let assoc = 1usize << assoc_log;
+        prop_assume!(size >= line * assoc as u64);
+        let g = CacheGeometry::new(size, line, assoc);
+        let mut c = Cache::new(g);
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.resident_lines() as u64 <= size / line);
+        }
+    }
+
+    /// LRU inside a set: after touching `assoc` distinct lines of one
+    /// set, the first-touched line is the one evicted by a new line.
+    #[test]
+    fn lru_evicts_least_recent(set_index in 0u64..16) {
+        let g = CacheGeometry::new(16 * 1024, 128, 8);
+        let mut c = Cache::new(g);
+        let stride = 128 * 16; // same set every 16 lines
+        let base = set_index * 128;
+        for way in 0..8u64 {
+            c.access(base + way * stride);
+        }
+        // Touch ways 1..8 again so way 0 is LRU.
+        for way in 1..8u64 {
+            c.access(base + way * stride);
+        }
+        c.access(base + 8 * stride); // evicts way 0
+        prop_assert!(!c.contains(base));
+        for way in 1..=8u64 {
+            prop_assert!(c.contains(base + way * stride));
+        }
+    }
+
+    /// The TLB is deterministic: the same trace gives the same hit count.
+    #[test]
+    fn tlb_deterministic(addrs in proptest::collection::vec(0u64..1 << 30, 1..300)) {
+        let run = |addrs: &[u64]| {
+            let mut t = Tlb::new(64, 4096);
+            for &a in addrs {
+                t.access(a);
+            }
+            (t.hits(), t.misses())
+        };
+        prop_assert_eq!(run(&addrs), run(&addrs));
+    }
+
+    /// Latency is bounded by the sum of worst-case penalties.
+    #[test]
+    fn latency_is_bounded(addrs in proptest::collection::vec(0u64..1 << 30, 1..200)) {
+        let cfg = MemConfig::pentium4();
+        let worst = cfg.latency.l1_hit + cfg.latency.l2_hit + cfg.latency.memory + cfg.latency.tlb_miss;
+        let mut mem = MemoryHierarchy::new(cfg);
+        for a in addrs {
+            let out = mem.access(a & !7, 8, AccessKind::Read);
+            prop_assert!(out.cycles >= 2);
+            prop_assert!(out.cycles <= worst);
+        }
+    }
+}

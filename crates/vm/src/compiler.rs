@@ -1,0 +1,181 @@
+//! The baseline and optimizing "compilers".
+//!
+//! The simulation does not generate executable x86; what the rest of the
+//! system needs from a compiler is exactly what these functions produce:
+//!
+//! 1. a concrete code-address range per method (so samples carry PCs),
+//! 2. a per-bytecode machine-instruction count (the cycle cost model —
+//!    opt code executes fewer machine instructions per bytecode),
+//! 3. machine-code maps and GC maps with realistic relative sizes
+//!    (Table 2 measures their space overhead).
+//!
+//! The per-opcode instruction counts are loosely calibrated against what
+//! Jikes RVM's tiers emit for JVM bytecode on IA-32: baseline code keeps
+//! the operand stack in memory (several instructions per bytecode), while
+//! opt code holds temporaries in registers.
+
+use hpmopt_bytecode::{Instr, MethodId, Program};
+
+use crate::machine::{CompiledCode, McMap, Tier};
+
+/// Machine instructions the given tier emits for one bytecode.
+#[must_use]
+pub fn mach_instr_count(i: Instr, tier: Tier) -> u32 {
+    let (baseline, opt) = match i {
+        Instr::Const(_) | Instr::ConstNull => (2, 1),
+        Instr::Load(_) | Instr::Store(_) => (2, 1),
+        Instr::Dup | Instr::Pop | Instr::Swap => (2, 1),
+        Instr::Add
+        | Instr::Sub
+        | Instr::And
+        | Instr::Or
+        | Instr::Xor
+        | Instr::Shl
+        | Instr::Shr
+        | Instr::UShr
+        | Instr::Neg => (3, 1),
+        Instr::Mul => (3, 2),
+        Instr::Div | Instr::Rem => (5, 3),
+        Instr::Eq | Instr::Ne | Instr::Lt | Instr::Le | Instr::Gt | Instr::Ge => (3, 1),
+        Instr::Jump(_) => (1, 1),
+        Instr::JumpIf(_) | Instr::JumpIfNot(_) => (3, 2),
+        Instr::New(_) => (8, 5),
+        Instr::NewArray(_) => (9, 6),
+        Instr::GetField(_) => (4, 2),
+        Instr::PutField(_) => (5, 3),
+        Instr::GetStatic(_) | Instr::PutStatic(_) => (3, 2),
+        Instr::ArrayGet(_) => (5, 3),
+        Instr::ArraySet(_) => (6, 4),
+        Instr::ArrayLen => (3, 2),
+        Instr::IsNull | Instr::RefEq => (3, 1),
+        Instr::Call(_) => (6, 4),
+        Instr::Return | Instr::ReturnVal => (3, 2),
+    };
+    match tier {
+        Tier::Baseline => baseline,
+        Tier::Opt => opt,
+    }
+}
+
+/// Compile `method` at `tier`, placing the code at `code_start`.
+///
+/// `full_maps` controls opt-tier mapping: `true` applies the paper's
+/// extension (a bytecode-index entry for *every* machine instruction);
+/// `false` keeps the stock GC-point-only map. Baseline code always gets
+/// full maps, as in Jikes (Section 4.2).
+#[must_use]
+pub fn compile(
+    program: &Program,
+    method: MethodId,
+    tier: Tier,
+    code_start: u64,
+    full_maps: bool,
+) -> CompiledCode {
+    let body = program.method(method).body();
+    let mut counts = Vec::with_capacity(body.len());
+    let mut full: Vec<u32> = Vec::new();
+    let mut gc_entries: Vec<(u32, u32)> = Vec::new();
+    let mut gc_points: Vec<u32> = Vec::new();
+    let mut mach = 0u32;
+
+    for (bc, &i) in body.iter().enumerate() {
+        let n = mach_instr_count(i, tier);
+        counts.push(n);
+        for _ in 0..n {
+            full.push(bc as u32);
+        }
+        if i.is_gc_point() {
+            // The GC point is the last machine instruction of the bytecode
+            // (the allocation / call itself).
+            let at = mach + n - 1;
+            gc_points.push(at);
+            gc_entries.push((at, bc as u32));
+        }
+        mach += n;
+    }
+
+    let mc_map = if tier == Tier::Baseline || full_maps {
+        McMap::Full(full)
+    } else {
+        McMap::GcPointsOnly(gc_entries)
+    };
+    CompiledCode::new(method, tier, code_start, &counts, mc_map, gc_points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+    use hpmopt_bytecode::FieldType;
+
+    fn program() -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", &[("f", FieldType::Ref)]);
+        let f = pb.field_id(c, "f").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 1, false);
+        m.new_object(c); // GC point
+        m.store(0);
+        m.load(0);
+        m.get_field(f); // heap access
+        m.pop();
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        (pb.finish().unwrap(), id)
+    }
+
+    #[test]
+    fn opt_code_is_denser_than_baseline() {
+        let (p, id) = program();
+        let base = compile(&p, id, Tier::Baseline, 0x4000_0000, true);
+        let opt = compile(&p, id, Tier::Opt, 0x5000_0000, true);
+        assert!(opt.machine_len() < base.machine_len());
+        assert_eq!(base.tier, Tier::Baseline);
+        assert_eq!(opt.tier, Tier::Opt);
+    }
+
+    #[test]
+    fn baseline_always_has_full_maps() {
+        let (p, id) = program();
+        let base = compile(&p, id, Tier::Baseline, 0x4000_0000, false);
+        assert!(matches!(base.mc_map, McMap::Full(_)));
+    }
+
+    #[test]
+    fn opt_without_extension_maps_only_gc_points() {
+        let (p, id) = program();
+        let opt = compile(&p, id, Tier::Opt, 0x4000_0000, false);
+        let McMap::GcPointsOnly(entries) = &opt.mc_map else {
+            panic!("expected GC-point map");
+        };
+        assert_eq!(entries.len(), 1, "exactly the New instruction");
+        // The heap access at bytecode 3 is unmapped → sample unattributable.
+        let get_field_pc = opt.mem_pc(3);
+        assert_eq!(opt.bytecode_at(get_field_pc), None);
+    }
+
+    #[test]
+    fn opt_with_extension_maps_every_instruction() {
+        let (p, id) = program();
+        let opt = compile(&p, id, Tier::Opt, 0x4000_0000, true);
+        let get_field_pc = opt.mem_pc(3);
+        assert_eq!(opt.bytecode_at(get_field_pc), Some(3));
+    }
+
+    #[test]
+    fn mc_maps_are_several_times_gc_maps() {
+        // Table 2's headline: full MC maps are ~4-5× the GC maps.
+        let (p, id) = program();
+        let base = compile(&p, id, Tier::Baseline, 0x4000_0000, true);
+        assert!(base.mc_map.size_bytes() > 2 * base.gc_map_bytes());
+    }
+
+    #[test]
+    fn every_bytecode_lowered_to_at_least_one_instruction() {
+        let (p, id) = program();
+        let c = compile(&p, id, Tier::Opt, 0, true);
+        for bc in 0..p.method(id).len() {
+            assert!(c.mach_count(bc) >= 1);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! VM configuration.
+
+use hpmopt_gc::HeapConfig;
+use hpmopt_memsim::MemConfig;
+
+use crate::aos::{AosConfig, CompilationPlan};
+
+/// Complete configuration of a [`crate::Vm`].
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Heap sizing and collector choice.
+    pub heap: HeapConfig,
+    /// Memory-hierarchy geometry and latencies.
+    pub mem: MemConfig,
+    /// Adaptive-optimization settings.
+    pub aos: AosConfig,
+    /// Pseudo-adaptive compilation plan; when set, the listed methods are
+    /// opt-compiled at first invocation and timer recompilation is
+    /// disabled (the paper's reproducibility device).
+    pub plan: Option<CompilationPlan>,
+    /// Apply the paper's compiler extension: opt-tier machine-code maps
+    /// cover every instruction (not just GC points).
+    pub full_mcmaps: bool,
+    /// Abort after this many bytecodes (guard for tests); `None` = run to
+    /// completion.
+    pub step_limit: Option<u64>,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// Cycles charged per method call for frame setup (added to the
+    /// callee's machine instructions).
+    pub call_overhead_cycles: u64,
+    /// Machine instructions retired per cycle for non-memory work. The
+    /// P4 "can issue several instructions in parallel" (Section 6.1);
+    /// memory latency is charged on top, so a higher width makes programs
+    /// more memory-bound, as on the real machine.
+    pub issue_width: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            heap: HeapConfig::standard(),
+            mem: MemConfig::pentium4(),
+            aos: AosConfig::default(),
+            plan: None,
+            full_mcmaps: true,
+            step_limit: None,
+            max_call_depth: 2048,
+            call_overhead_cycles: 10,
+            issue_width: 3,
+        }
+    }
+}
+
+impl VmConfig {
+    /// A small configuration for unit tests: tiny heap, AOS enabled with a
+    /// short timer so tier transitions are observable quickly.
+    #[must_use]
+    pub fn test() -> Self {
+        VmConfig {
+            heap: HeapConfig::small(),
+            mem: MemConfig::pentium4(),
+            aos: AosConfig {
+                enabled: true,
+                sample_period_cycles: 50_000,
+                opt_threshold: 2,
+            },
+            plan: None,
+            full_mcmaps: true,
+            step_limit: Some(50_000_000),
+            max_call_depth: 512,
+            call_overhead_cycles: 10,
+            issue_width: 3,
+        }
+    }
+
+    /// Replace the heap configuration.
+    #[must_use]
+    pub fn with_heap(mut self, heap: HeapConfig) -> Self {
+        self.heap = heap;
+        self
+    }
+
+    /// Install a pseudo-adaptive compilation plan.
+    #[must_use]
+    pub fn with_plan(mut self, plan: CompilationPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+}

@@ -1,0 +1,1160 @@
+//! The execution engine.
+//!
+//! Executes bytecode while accounting cycles as the *compiled* code
+//! would: each bytecode costs its tier's machine-instruction count, heap
+//! accesses additionally pay real (simulated) memory latency, and every
+//! heap access is reported to the [`RuntimeHooks`] with the machine PC of
+//! its memory instruction — the raw feed a PEBS-style sampling unit sees.
+
+use hpmopt_bytecode::{ElemKind, Instr, MethodId, Program};
+use hpmopt_gc::{Address, GcNeeded, GcStats, Heap};
+use hpmopt_memsim::{AccessKind, MemStats, MemoryHierarchy};
+
+use crate::aos::Aos;
+use crate::compiler::compile;
+use crate::config::VmConfig;
+use crate::hooks::{AccessContext, RuntimeHooks};
+use crate::machine::{CompiledCode, Tier};
+use crate::methodtable::{CodeRange, MethodTable};
+use crate::value::{Value, VmError};
+use crate::{CODE_BASE, STATICS_BASE};
+
+/// Per-method code-size report (Table 2 rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodCodeSizes {
+    /// The method.
+    pub method: MethodId,
+    /// Current tier.
+    pub tier: Tier,
+    /// Machine-code bytes.
+    pub machine_code_bytes: u64,
+    /// GC-map bytes.
+    pub gc_map_bytes: u64,
+    /// Machine-code-map bytes.
+    pub mc_map_bytes: u64,
+}
+
+/// Results of one program execution.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Total simulated cycles (application + GC + monitoring overhead).
+    pub cycles: u64,
+    /// Bytecode instructions executed.
+    pub bytecodes_executed: u64,
+    /// Cycles charged by the hooks (monitoring overhead).
+    pub monitor_cycles: u64,
+    /// Cycles charged for collections.
+    pub gc_cycles: u64,
+    /// Memory-hierarchy statistics.
+    pub mem: MemStats,
+    /// Collector statistics.
+    pub gc: GcStats,
+    /// Per-method code and map sizes.
+    pub code_sizes: Vec<MethodCodeSizes>,
+    /// Methods opt-compiled during the run (input for a pseudo-adaptive
+    /// compilation plan).
+    pub opt_compiled: Vec<MethodId>,
+}
+
+impl RunSummary {
+    /// Total machine-code bytes across methods.
+    #[must_use]
+    pub fn total_machine_code_bytes(&self) -> u64 {
+        self.code_sizes.iter().map(|c| c.machine_code_bytes).sum()
+    }
+
+    /// Total GC-map bytes across methods.
+    #[must_use]
+    pub fn total_gc_map_bytes(&self) -> u64 {
+        self.code_sizes.iter().map(|c| c.gc_map_bytes).sum()
+    }
+
+    /// Total machine-code-map bytes across methods.
+    #[must_use]
+    pub fn total_mc_map_bytes(&self) -> u64 {
+        self.code_sizes.iter().map(|c| c.mc_map_bytes).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    method: MethodId,
+    pc: usize,
+    locals_base: usize,
+    stack_base: usize,
+}
+
+/// The virtual machine.
+///
+/// See the [crate-level documentation](crate) for an example.
+pub struct Vm<'p> {
+    program: &'p Program,
+    config: VmConfig,
+    heap: Heap,
+    mem: MemoryHierarchy,
+    compiled: Vec<Option<CompiledCode>>,
+    method_table: MethodTable,
+    aos: Aos,
+    code_cursor: u64,
+    cycles: u64,
+    monitor_cycles: u64,
+    gc_cycles_seen: u64,
+    bytecodes: u64,
+    statics: Vec<Value>,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+    frames: Vec<Frame>,
+}
+
+/// How often (in bytecodes) the hooks' poll callback runs.
+const POLL_EVERY_BYTECODES: u64 = 4096;
+
+impl<'p> Vm<'p> {
+    /// Create a VM for `program`.
+    #[must_use]
+    pub fn new(program: &'p Program, config: VmConfig) -> Self {
+        let statics = program
+            .statics()
+            .iter()
+            .map(|s| {
+                if s.ty().is_ref() {
+                    Value::null()
+                } else {
+                    Value::Int(0)
+                }
+            })
+            .collect();
+        Vm {
+            heap: Heap::new(program, config.heap.clone()),
+            mem: MemoryHierarchy::new(config.mem.clone()),
+            compiled: vec![None; program.methods().len()],
+            method_table: MethodTable::new(),
+            aos: Aos::new(config.aos.clone()),
+            code_cursor: CODE_BASE,
+            cycles: 0,
+            monitor_cycles: 0,
+            gc_cycles_seen: 0,
+            bytecodes: 0,
+            statics,
+            locals: Vec::new(),
+            stack: Vec::new(),
+            frames: Vec::new(),
+            program,
+            config,
+        }
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The method table (sampled-PC resolution).
+    #[must_use]
+    pub fn method_table(&self) -> &MethodTable {
+        &self.method_table
+    }
+
+    /// The compiled artifact of `m`, if compiled.
+    #[must_use]
+    pub fn compiled(&self, m: MethodId) -> Option<&CompiledCode> {
+        self.compiled[m.0 as usize].as_ref()
+    }
+
+    /// Current simulated cycle count.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The value of static variable `index` (program results live in
+    /// statics; embedders read them after a run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the program's statics.
+    #[must_use]
+    pub fn static_value(&self, index: usize) -> Value {
+        self.statics[index]
+    }
+
+    /// The current call stack as `(method, bytecode pc)` frames, outermost
+    /// first. Useful for diagnosing hangs and step-limit aborts.
+    #[must_use]
+    pub fn backtrace(&self) -> Vec<(MethodId, usize)> {
+        self.frames.iter().map(|f| (f.method, f.pc)).collect()
+    }
+
+    /// Walk the heap from the current roots checking object-graph sanity
+    /// (valid headers, in-bounds references); returns the live object
+    /// count. A debugging aid for embedders.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first corruption found.
+    pub fn verify_heap(&self) -> Result<u64, String> {
+        self.heap.verify(&self.gather_roots())
+    }
+
+    /// Run the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`VmError`] raised (null dereference, division by
+    /// zero, index error, out of memory, step limit, ...).
+    pub fn run<H: RuntimeHooks>(&mut self, hooks: &mut H) -> Result<RunSummary, VmError> {
+        let entry = self.program.entry();
+        self.ensure_compiled(entry, hooks);
+        self.push_frame(entry, 0)?;
+        let mut next_poll = POLL_EVERY_BYTECODES;
+        while !self.frames.is_empty() {
+            self.step(hooks)?;
+            self.bytecodes += 1;
+            if let Some(limit) = self.config.step_limit {
+                if self.bytecodes > limit {
+                    return Err(VmError::StepLimit);
+                }
+            }
+            if self.aos.should_sample(self.cycles) {
+                let current = self.frames.last().map(|f| f.method);
+                if let Some(m) = current {
+                    if let Some(hot) = self.aos.sample(m, self.cycles) {
+                        self.recompile(hot, hooks);
+                    }
+                }
+            }
+            if self.bytecodes >= next_poll {
+                next_poll = self.bytecodes + POLL_EVERY_BYTECODES;
+                let overhead = hooks.on_poll(self.program, self.cycles);
+                self.cycles += overhead;
+                self.monitor_cycles += overhead;
+            }
+        }
+        // Final drain so buffered samples are processed before reporting.
+        let overhead = hooks.on_exit(self.program, self.cycles);
+        self.cycles += overhead;
+        self.monitor_cycles += overhead;
+        Ok(self.summary())
+    }
+
+    /// Build the summary for the current state (used by `run`, callable
+    /// after an error for partial results).
+    #[must_use]
+    pub fn summary(&self) -> RunSummary {
+        let code_sizes = self
+            .compiled
+            .iter()
+            .flatten()
+            .map(|c| MethodCodeSizes {
+                method: c.method,
+                tier: c.tier,
+                machine_code_bytes: c.machine_code_bytes(),
+                gc_map_bytes: c.gc_map_bytes(),
+                mc_map_bytes: c.mc_map.size_bytes(),
+            })
+            .collect();
+        RunSummary {
+            cycles: self.cycles,
+            bytecodes_executed: self.bytecodes,
+            monitor_cycles: self.monitor_cycles,
+            gc_cycles: self.heap.stats().gc_cycles,
+            mem: self.mem.stats(),
+            gc: self.heap.stats(),
+            code_sizes,
+            opt_compiled: self
+                .compiled
+                .iter()
+                .flatten()
+                .filter(|c| c.tier == Tier::Opt)
+                .map(|c| c.method)
+                .collect(),
+        }
+    }
+
+    // ----- compilation ---------------------------------------------------
+
+    fn ensure_compiled<H: RuntimeHooks>(&mut self, m: MethodId, hooks: &mut H) {
+        if self.compiled[m.0 as usize].is_some() {
+            return;
+        }
+        let tier = match &self.config.plan {
+            Some(plan) if plan.contains(m) => Tier::Opt,
+            _ => Tier::Baseline,
+        };
+        self.install(m, tier, hooks);
+    }
+
+    fn recompile<H: RuntimeHooks>(&mut self, m: MethodId, hooks: &mut H) {
+        self.install(m, Tier::Opt, hooks);
+    }
+
+    fn install<H: RuntimeHooks>(&mut self, m: MethodId, tier: Tier, hooks: &mut H) {
+        let code = compile(self.program, m, tier, self.code_cursor, self.config.full_mcmaps);
+        self.code_cursor = code.code_end();
+        self.method_table.insert(CodeRange {
+            start: code.code_start,
+            end: code.code_end(),
+            method: m,
+            tier,
+        });
+        hooks.on_compile(self.program, &code);
+        self.compiled[m.0 as usize] = Some(code);
+    }
+
+    // ----- frames ----------------------------------------------------------
+
+    fn push_frame(&mut self, m: MethodId, argc: usize) -> Result<(), VmError> {
+        if self.frames.len() >= self.config.max_call_depth {
+            return Err(VmError::StackOverflow);
+        }
+        let locals_base = self.locals.len();
+        let total_locals = self.program.method(m).locals() as usize;
+        self.locals
+            .resize(locals_base + total_locals, Value::Int(0));
+        // Arguments were pushed left-to-right; pop them into locals.
+        for i in (0..argc).rev() {
+            self.locals[locals_base + i] = self.stack.pop().expect("verified arg count");
+        }
+        self.frames.push(Frame {
+            method: m,
+            pc: 0,
+            locals_base,
+            stack_base: self.stack.len(),
+        });
+        self.cycles += self.config.call_overhead_cycles;
+        Ok(())
+    }
+
+    fn pop_frame(&mut self, ret: Option<Value>) {
+        let f = self.frames.pop().expect("frame to pop");
+        self.locals.truncate(f.locals_base);
+        self.stack.truncate(f.stack_base);
+        if let Some(v) = ret {
+            self.stack.push(v);
+        }
+    }
+
+    // ----- garbage collection ---------------------------------------------
+
+    fn gather_roots(&self) -> Vec<Address> {
+        let mut roots = Vec::with_capacity(16);
+        for v in self.statics.iter().chain(&self.locals).chain(&self.stack) {
+            if let Value::Ref(a) = v {
+                roots.push(*a);
+            }
+        }
+        roots
+    }
+
+    fn scatter_roots(&mut self, roots: &[Address]) {
+        let mut it = roots.iter();
+        for v in self
+            .statics
+            .iter_mut()
+            .chain(self.locals.iter_mut())
+            .chain(self.stack.iter_mut())
+        {
+            if let Value::Ref(a) = v {
+                *a = *it.next().expect("root count unchanged");
+            }
+        }
+    }
+
+    fn do_gc<H: RuntimeHooks>(&mut self, major: bool, hooks: &mut H) -> Result<(), VmError> {
+        let mut roots = self.gather_roots();
+        {
+            let policy = hooks.coalloc_policy();
+            if major {
+                self.heap.collect_major(&mut roots, policy)?;
+            } else {
+                self.heap.collect_minor(&mut roots, policy)?;
+            }
+        }
+        self.scatter_roots(&roots);
+        // A collection walks the whole live heap: model its cache and TLB
+        // pollution by flushing the hierarchy.
+        self.mem.flush();
+        let stats = self.heap.stats();
+        let delta = stats.gc_cycles - self.gc_cycles_seen;
+        self.gc_cycles_seen = stats.gc_cycles;
+        self.cycles += delta;
+        hooks.on_gc(&stats, self.cycles);
+        Ok(())
+    }
+
+    fn alloc_object_gc<H: RuntimeHooks>(
+        &mut self,
+        class: hpmopt_bytecode::ClassId,
+        hooks: &mut H,
+    ) -> Result<Address, VmError> {
+        for _ in 0..3 {
+            match self.heap.alloc_object(class) {
+                Ok(a) => return Ok(a),
+                Err(GcNeeded::Minor) => {
+                    let major = !self.heap.minor_is_safe();
+                    self.do_gc(major, hooks)?;
+                }
+                Err(GcNeeded::Major) => self.do_gc(true, hooks)?,
+            }
+        }
+        Err(VmError::OutOfMemory)
+    }
+
+    fn alloc_array_gc<H: RuntimeHooks>(
+        &mut self,
+        kind: ElemKind,
+        len: u64,
+        hooks: &mut H,
+    ) -> Result<Address, VmError> {
+        for _ in 0..3 {
+            match self.heap.alloc_array(kind, len) {
+                Ok(a) => return Ok(a),
+                Err(GcNeeded::Minor) => {
+                    let major = !self.heap.minor_is_safe();
+                    self.do_gc(major, hooks)?;
+                }
+                Err(GcNeeded::Major) => self.do_gc(true, hooks)?,
+            }
+        }
+        Err(VmError::OutOfMemory)
+    }
+
+    // ----- data access helper ----------------------------------------------
+
+    /// Play a data access through the memory hierarchy and report it to
+    /// the hooks; returns the latency-plus-overhead cycles.
+    #[allow(clippy::too_many_arguments)]
+    fn data_access<H: RuntimeHooks>(
+        &mut self,
+        addr: Address,
+        size: u64,
+        kind: AccessKind,
+        mem_pc: u64,
+        method: MethodId,
+        bc: u32,
+        hooks: &mut H,
+    ) -> u64 {
+        let outcome = self.mem.access(addr.0, size, kind);
+        let ctx = AccessContext {
+            pc: mem_pc,
+            addr,
+            outcome,
+            cycles: self.cycles + outcome.cycles,
+            method,
+            bytecode_index: bc,
+        };
+        let overhead = hooks.on_access(&ctx);
+        self.monitor_cycles += overhead;
+        outcome.cycles + overhead
+    }
+
+    // ----- the interpreter step ---------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn step<H: RuntimeHooks>(&mut self, hooks: &mut H) -> Result<(), VmError> {
+        let frame = *self.frames.last().expect("running frame");
+        let method = frame.method;
+        let pc = frame.pc;
+        let instr = self.program.method(method).body()[pc];
+        let (mach_count, mem_pc, tier) = {
+            let code = self.compiled[method.0 as usize]
+                .as_ref()
+                .expect("executing method is compiled");
+            (u64::from(code.mach_count(pc)), code.mem_pc(pc), code.tier)
+        };
+        // Optimized code is register-allocated and retires `issue_width`
+        // machine instructions per cycle (the P4 is superscalar); baseline
+        // code's operand-stack traffic serializes to ~1 IPC. The memory
+        // instruction (last of the bytecode) adds its hierarchy latency
+        // below on top.
+        let mut cycles = match tier {
+            Tier::Baseline => mach_count,
+            Tier::Opt => mach_count.div_ceil(self.config.issue_width),
+        };
+        let mut next_pc = pc + 1;
+        let bc = pc as u32;
+
+        macro_rules! binop_int {
+            ($f:expr) => {{
+                let b = self.pop()?.as_int()?;
+                let a = self.pop()?.as_int()?;
+                #[allow(clippy::redundant_closure_call)]
+                self.stack.push(Value::Int($f(a, b)));
+            }};
+        }
+
+        match instr {
+            Instr::Const(v) => self.stack.push(Value::Int(v)),
+            Instr::ConstNull => self.stack.push(Value::null()),
+            Instr::Load(n) => {
+                let v = self.locals[frame.locals_base + n as usize];
+                self.stack.push(v);
+            }
+            Instr::Store(n) => {
+                let v = self.pop()?;
+                self.locals[frame.locals_base + n as usize] = v;
+            }
+            Instr::Dup => {
+                let v = *self.stack.last().ok_or(VmError::TypeMismatch)?;
+                self.stack.push(v);
+            }
+            Instr::Pop => {
+                self.pop()?;
+            }
+            Instr::Swap => {
+                let len = self.stack.len();
+                self.stack.swap(len - 1, len - 2);
+            }
+
+            Instr::Add => binop_int!(|a: i64, b: i64| a.wrapping_add(b)),
+            Instr::Sub => binop_int!(|a: i64, b: i64| a.wrapping_sub(b)),
+            Instr::Mul => binop_int!(|a: i64, b: i64| a.wrapping_mul(b)),
+            Instr::Div => {
+                let b = self.pop()?.as_int()?;
+                let a = self.pop()?.as_int()?;
+                if b == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+                self.stack.push(Value::Int(a.wrapping_div(b)));
+            }
+            Instr::Rem => {
+                let b = self.pop()?.as_int()?;
+                let a = self.pop()?.as_int()?;
+                if b == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+                self.stack.push(Value::Int(a.wrapping_rem(b)));
+            }
+            Instr::And => binop_int!(|a: i64, b: i64| a & b),
+            Instr::Or => binop_int!(|a: i64, b: i64| a | b),
+            Instr::Xor => binop_int!(|a: i64, b: i64| a ^ b),
+            Instr::Shl => binop_int!(|a: i64, b: i64| a.wrapping_shl(b as u32 & 63)),
+            Instr::Shr => binop_int!(|a: i64, b: i64| a.wrapping_shr(b as u32 & 63)),
+            Instr::UShr => {
+                binop_int!(|a: i64, b: i64| ((a as u64) >> (b as u32 & 63)) as i64)
+            }
+            Instr::Neg => {
+                let a = self.pop()?.as_int()?;
+                self.stack.push(Value::Int(a.wrapping_neg()));
+            }
+
+            Instr::Eq => binop_int!(|a, b| i64::from(a == b)),
+            Instr::Ne => binop_int!(|a, b| i64::from(a != b)),
+            Instr::Lt => binop_int!(|a, b| i64::from(a < b)),
+            Instr::Le => binop_int!(|a, b| i64::from(a <= b)),
+            Instr::Gt => binop_int!(|a, b| i64::from(a > b)),
+            Instr::Ge => binop_int!(|a, b| i64::from(a >= b)),
+
+            Instr::Jump(t) => next_pc = t as usize,
+            Instr::JumpIf(t) => {
+                if self.pop()?.as_int()? != 0 {
+                    next_pc = t as usize;
+                }
+            }
+            Instr::JumpIfNot(t) => {
+                if self.pop()?.as_int()? == 0 {
+                    next_pc = t as usize;
+                }
+            }
+
+            Instr::New(class) => {
+                let obj = self.alloc_object_gc(class, hooks)?;
+                // Initializing the header touches the object's first line.
+                cycles +=
+                    self.data_access(obj, 8, AccessKind::Write, mem_pc, method, bc, hooks);
+                self.stack.push(Value::Ref(obj));
+            }
+            Instr::NewArray(kind) => {
+                let len = self.pop()?.as_int()?;
+                if len < 0 {
+                    return Err(VmError::IndexOutOfBounds);
+                }
+                let obj = self.alloc_array_gc(kind, len as u64, hooks)?;
+                cycles +=
+                    self.data_access(obj, 8, AccessKind::Write, mem_pc, method, bc, hooks);
+                self.stack.push(Value::Ref(obj));
+            }
+            Instr::GetField(f) => {
+                let obj = self.pop()?.as_ref_addr()?;
+                if obj.is_null() {
+                    return Err(VmError::NullPointer);
+                }
+                let info = self.program.field(f);
+                let addr = self.heap.field_addr(obj, info.offset);
+                cycles +=
+                    self.data_access(addr, 8, AccessKind::Read, mem_pc, method, bc, hooks);
+                let raw = self.heap.get_field(obj, info.offset);
+                self.stack.push(if info.ty.is_ref() {
+                    Value::Ref(Address(raw))
+                } else {
+                    Value::Int(raw as i64)
+                });
+            }
+            Instr::PutField(f) => {
+                let v = self.pop()?;
+                let obj = self.pop()?.as_ref_addr()?;
+                if obj.is_null() {
+                    return Err(VmError::NullPointer);
+                }
+                let info = self.program.field(f);
+                let addr = self.heap.field_addr(obj, info.offset);
+                cycles +=
+                    self.data_access(addr, 8, AccessKind::Write, mem_pc, method, bc, hooks);
+                let (raw, is_ref) = match v {
+                    Value::Ref(a) => (a.0, true),
+                    Value::Int(i) => (i as u64, false),
+                };
+                if is_ref != info.ty.is_ref() {
+                    return Err(VmError::TypeMismatch);
+                }
+                self.heap.set_field(obj, info.offset, raw, is_ref);
+            }
+            Instr::GetStatic(s) => {
+                let addr = Address(STATICS_BASE + 8 * u64::from(s.0));
+                cycles +=
+                    self.data_access(addr, 8, AccessKind::Read, mem_pc, method, bc, hooks);
+                self.stack.push(self.statics[s.0 as usize]);
+            }
+            Instr::PutStatic(s) => {
+                let v = self.pop()?;
+                let addr = Address(STATICS_BASE + 8 * u64::from(s.0));
+                cycles +=
+                    self.data_access(addr, 8, AccessKind::Write, mem_pc, method, bc, hooks);
+                self.statics[s.0 as usize] = v;
+            }
+            Instr::ArrayGet(kind) => {
+                let idx = self.pop()?.as_int()?;
+                let arr = self.pop()?.as_ref_addr()?;
+                if arr.is_null() {
+                    return Err(VmError::NullPointer);
+                }
+                let len = self.heap.array_len(arr);
+                if idx < 0 || idx as u64 >= len {
+                    return Err(VmError::IndexOutOfBounds);
+                }
+                let addr = self.heap.elem_addr(arr, kind, idx as u64);
+                cycles += self.data_access(
+                    addr,
+                    kind.width(),
+                    AccessKind::Read,
+                    mem_pc,
+                    method,
+                    bc,
+                    hooks,
+                );
+                let raw = self.heap.array_get(arr, kind, idx as u64);
+                self.stack.push(if kind.is_ref() {
+                    Value::Ref(Address(raw))
+                } else {
+                    Value::Int(raw as i64)
+                });
+            }
+            Instr::ArraySet(kind) => {
+                let v = self.pop()?;
+                let idx = self.pop()?.as_int()?;
+                let arr = self.pop()?.as_ref_addr()?;
+                if arr.is_null() {
+                    return Err(VmError::NullPointer);
+                }
+                let len = self.heap.array_len(arr);
+                if idx < 0 || idx as u64 >= len {
+                    return Err(VmError::IndexOutOfBounds);
+                }
+                let raw = match (kind.is_ref(), v) {
+                    (true, Value::Ref(a)) => a.0,
+                    (false, Value::Int(i)) => i as u64,
+                    _ => return Err(VmError::TypeMismatch),
+                };
+                let addr = self.heap.elem_addr(arr, kind, idx as u64);
+                cycles += self.data_access(
+                    addr,
+                    kind.width(),
+                    AccessKind::Write,
+                    mem_pc,
+                    method,
+                    bc,
+                    hooks,
+                );
+                self.heap.array_set(arr, kind, idx as u64, raw);
+            }
+            Instr::ArrayLen => {
+                let arr = self.pop()?.as_ref_addr()?;
+                if arr.is_null() {
+                    return Err(VmError::NullPointer);
+                }
+                // The length lives in the header line.
+                cycles +=
+                    self.data_access(arr, 8, AccessKind::Read, mem_pc, method, bc, hooks);
+                self.stack.push(Value::Int(self.heap.array_len(arr) as i64));
+            }
+            Instr::IsNull => {
+                let a = self.pop()?.as_ref_addr()?;
+                self.stack.push(Value::Int(i64::from(a.is_null())));
+            }
+            Instr::RefEq => {
+                let b = self.pop()?.as_ref_addr()?;
+                let a = self.pop()?.as_ref_addr()?;
+                self.stack.push(Value::Int(i64::from(a == b)));
+            }
+
+            Instr::Call(callee) => {
+                self.ensure_compiled(callee, hooks);
+                let argc = self.program.method(callee).params() as usize;
+                // Advance the caller's pc *before* pushing the new frame.
+                self.frames.last_mut().expect("caller frame").pc = next_pc;
+                self.cycles += cycles;
+                self.push_frame(callee, argc)?;
+                return Ok(());
+            }
+            Instr::Return => {
+                self.cycles += cycles;
+                self.pop_frame(None);
+                return Ok(());
+            }
+            Instr::ReturnVal => {
+                let v = self.pop()?;
+                self.cycles += cycles;
+                self.pop_frame(Some(v));
+                return Ok(());
+            }
+        }
+
+        self.cycles += cycles;
+        self.frames.last_mut().expect("current frame").pc = next_pc;
+        Ok(())
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Result<Value, VmError> {
+        self.stack.pop().ok_or(VmError::TypeMismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHooks;
+    use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+    use hpmopt_bytecode::FieldType;
+
+    fn run_program(program: &Program) -> RunSummary {
+        let mut vm = Vm::new(program, VmConfig::test());
+        vm.run(&mut NoHooks).expect("program runs")
+    }
+
+    fn run_expect_err(program: &Program) -> VmError {
+        let mut vm = Vm::new(program, VmConfig::test());
+        vm.run(&mut NoHooks).expect_err("program must fail")
+    }
+
+    /// Program that stores `expr_result` into static 0 and returns.
+    fn expr_program(build: impl FnOnce(&mut MethodBuilder)) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.add_static("result", FieldType::Int);
+        let mut m = MethodBuilder::new("main", 0, 4, false);
+        build(&mut m);
+        m.put_static(g);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        pb.finish().unwrap()
+    }
+
+    fn eval(build: impl FnOnce(&mut MethodBuilder)) -> i64 {
+        let p = expr_program(build);
+        let mut vm = Vm::new(&p, VmConfig::test());
+        vm.run(&mut NoHooks).unwrap();
+        vm.statics[0].as_int().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        assert_eq!(
+            eval(|m| {
+                m.const_i(6);
+                m.const_i(7);
+                m.mul();
+            }),
+            42
+        );
+        assert_eq!(
+            eval(|m| {
+                m.const_i(7);
+                m.const_i(2);
+                m.rem();
+            }),
+            1
+        );
+        assert_eq!(
+            eval(|m| {
+                m.const_i(-8);
+                m.const_i(1);
+                m.ushr();
+            }),
+            ((-8i64) as u64 >> 1) as i64
+        );
+    }
+
+    #[test]
+    fn comparison_and_branching() {
+        // result = sum of 0..10
+        assert_eq!(
+            eval(|m| {
+                m.const_i(0);
+                m.store(0);
+                m.for_loop(
+                    1,
+                    |m| {
+                        m.const_i(10);
+                    },
+                    |m| {
+                        m.load(0);
+                        m.load(1);
+                        m.add();
+                        m.store(0);
+                    },
+                );
+                m.load(0);
+            }),
+            45
+        );
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let p = expr_program(|m| {
+            m.const_i(1);
+            m.const_i(0);
+            m.div();
+        });
+        assert_eq!(run_expect_err(&p), VmError::DivisionByZero);
+    }
+
+    #[test]
+    fn field_round_trip_through_heap() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("Box", &[("v", FieldType::Int)]);
+        let f = pb.field_id(c, "v").unwrap();
+        let g = pb.add_static("result", FieldType::Int);
+        let mut m = MethodBuilder::new("main", 0, 1, false);
+        m.new_object(c);
+        m.store(0);
+        m.load(0);
+        m.const_i(31);
+        m.put_field(f);
+        m.load(0);
+        m.get_field(f);
+        m.put_static(g);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p, VmConfig::test());
+        vm.run(&mut NoHooks).unwrap();
+        assert_eq!(vm.statics[0], Value::Int(31));
+    }
+
+    #[test]
+    fn null_dereference_traps() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("Box", &[("v", FieldType::Int)]);
+        let f = pb.field_id(c, "v").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.const_null();
+        m.get_field(f);
+        m.pop();
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        assert_eq!(run_expect_err(&p), VmError::NullPointer);
+    }
+
+    #[test]
+    fn array_bounds_checked() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = MethodBuilder::new("main", 0, 1, false);
+        m.const_i(4);
+        m.new_array(ElemKind::I32);
+        m.store(0);
+        m.load(0);
+        m.const_i(4);
+        m.array_get(ElemKind::I32);
+        m.pop();
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        assert_eq!(run_expect_err(&p), VmError::IndexOutOfBounds);
+    }
+
+    #[test]
+    fn array_elements_round_trip() {
+        assert_eq!(
+            eval(|m| {
+                m.const_i(8);
+                m.new_array(ElemKind::I16);
+                m.store(0);
+                m.load(0);
+                m.const_i(3);
+                m.const_i(77);
+                m.array_set(ElemKind::I16);
+                m.load(0);
+                m.const_i(3);
+                m.array_get(ElemKind::I16);
+            }),
+            77
+        );
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return_values() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.add_static("result", FieldType::Int);
+        let mut add3 = MethodBuilder::new("add3", 3, 0, true);
+        add3.load(0);
+        add3.load(1);
+        add3.add();
+        add3.load(2);
+        add3.add();
+        add3.ret_val();
+        let add3 = pb.add_method(add3);
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.const_i(1);
+        m.const_i(2);
+        m.const_i(3);
+        m.call(add3);
+        m.put_static(g);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p, VmConfig::test());
+        vm.run(&mut NoHooks).unwrap();
+        assert_eq!(vm.statics[0], Value::Int(6));
+    }
+
+    #[test]
+    fn recursion_works() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.add_static("result", FieldType::Int);
+        let fib = pb.declare_method("fib", 1, true);
+        let mut m = MethodBuilder::new("fib", 1, 0, true);
+        let base = m.label();
+        m.load(0);
+        m.const_i(2);
+        m.lt();
+        m.jump_if(base);
+        m.load(0);
+        m.const_i(1);
+        m.sub();
+        m.call(fib);
+        m.load(0);
+        m.const_i(2);
+        m.sub();
+        m.call(fib);
+        m.add();
+        m.ret_val();
+        m.bind(base);
+        m.load(0);
+        m.ret_val();
+        pb.define_method(fib, m);
+        let mut main = MethodBuilder::new("main", 0, 0, false);
+        main.const_i(12);
+        main.call(fib);
+        main.put_static(g);
+        main.ret();
+        let id = pb.add_method(main);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let mut vm = Vm::new(&p, VmConfig::test());
+        vm.run(&mut NoHooks).unwrap();
+        assert_eq!(vm.statics[0], Value::Int(144));
+    }
+
+    #[test]
+    fn gc_triggered_by_allocation_preserves_live_data() {
+        // Allocate a linked list bigger than the nursery, keeping the head
+        // in a static; verify the list afterwards.
+        let mut pb = ProgramBuilder::new();
+        let node = pb.add_class("Node", &[("next", FieldType::Ref), ("v", FieldType::Int)]);
+        let next = pb.field_id(node, "next").unwrap();
+        let val = pb.field_id(node, "v").unwrap();
+        let head = pb.add_static("head", FieldType::Ref);
+        let g = pb.add_static("result", FieldType::Int);
+
+        let mut m = MethodBuilder::new("main", 0, 3, false);
+        // Build 5000 nodes (~200 KB > 64 KB nursery), each prepended.
+        m.const_null();
+        m.put_static(head);
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(5000);
+            },
+            |m| {
+                m.new_object(node); // fresh node
+                m.store(1);
+                m.load(1);
+                m.get_static(head);
+                m.put_field(next);
+                m.load(1);
+                m.load(0);
+                m.put_field(val);
+                m.load(1);
+                m.put_static(head);
+            },
+        );
+        // Sum the list.
+        m.const_i(0);
+        m.store(2);
+        m.get_static(head);
+        m.store(1);
+        let loop_top = m.label();
+        let done = m.label();
+        m.bind(loop_top);
+        m.load(1);
+        m.is_null();
+        m.jump_if(done);
+        m.load(2);
+        m.load(1);
+        m.get_field(val);
+        m.add();
+        m.store(2);
+        m.load(1);
+        m.get_field(next);
+        m.store(1);
+        m.jump(loop_top);
+        m.bind(done);
+        m.load(2);
+        m.put_static(g);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+
+        let mut vm = Vm::new(&p, VmConfig::test());
+        let summary = vm.run(&mut NoHooks).unwrap();
+        assert_eq!(vm.statics[1], Value::Int((0..5000).sum::<i64>()));
+        assert!(summary.gc.minor_collections > 0, "nursery overflowed");
+        // Everything allocated before the last collection was live (the
+        // list is fully reachable), so most nodes were promoted; the tail
+        // allocated after the final collection stays in the nursery.
+        assert!(summary.gc.objects_promoted >= 1000);
+    }
+
+    #[test]
+    fn aos_recompiles_hot_method() {
+        // A long-running loop gets its method opt-compiled by the timer.
+        let p = expr_program(|m| {
+            m.const_i(0);
+            m.store(0);
+            m.for_loop(
+                1,
+                |m| {
+                    m.const_i(200_000);
+                },
+                |m| {
+                    m.load(0);
+                    m.const_i(1);
+                    m.add();
+                    m.store(0);
+                },
+            );
+            m.load(0);
+        });
+        let summary = run_program(&p);
+        assert!(
+            !summary.opt_compiled.is_empty(),
+            "main should become hot and be recompiled"
+        );
+        // Two artifacts for main: baseline + opt.
+        assert_eq!(summary.code_sizes.len(), 1, "summary reports current tier");
+        assert_eq!(summary.code_sizes[0].tier, Tier::Opt);
+    }
+
+    #[test]
+    fn pseudo_adaptive_plan_pins_opt_methods() {
+        let p = expr_program(|m| {
+            m.const_i(1);
+        });
+        let entry = p.entry();
+        let mut cfg = VmConfig::test();
+        cfg.plan = Some(crate::aos::CompilationPlan::new(vec![entry]));
+        cfg.aos.enabled = false;
+        let mut vm = Vm::new(&p, cfg);
+        let summary = vm.run(&mut NoHooks).unwrap();
+        assert_eq!(summary.opt_compiled, vec![entry]);
+    }
+
+    #[test]
+    fn opt_code_runs_faster_than_baseline() {
+        let body = |m: &mut MethodBuilder| {
+            m.const_i(0);
+            m.store(0);
+            m.for_loop(
+                1,
+                |m| {
+                    m.const_i(50_000);
+                },
+                |m| {
+                    m.load(0);
+                    m.const_i(3);
+                    m.add();
+                    m.store(0);
+                },
+            );
+            m.load(0);
+        };
+        let p = expr_program(body);
+        let entry = p.entry();
+
+        let mut base_cfg = VmConfig::test();
+        base_cfg.aos.enabled = false;
+        let base = Vm::new(&p, base_cfg).run(&mut NoHooks).unwrap();
+
+        let mut opt_cfg = VmConfig::test();
+        opt_cfg.aos.enabled = false;
+        opt_cfg.plan = Some(crate::aos::CompilationPlan::new(vec![entry]));
+        let opt = Vm::new(&p, opt_cfg).run(&mut NoHooks).unwrap();
+
+        assert!(
+            opt.cycles < base.cycles,
+            "opt {} vs baseline {}",
+            opt.cycles,
+            base.cycles
+        );
+        assert_eq!(opt.bytecodes_executed, base.bytecodes_executed);
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        let top = m.label();
+        m.bind(top);
+        m.jump(top);
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let mut cfg = VmConfig::test();
+        cfg.step_limit = Some(10_000);
+        let mut vm = Vm::new(&p, cfg);
+        assert_eq!(vm.run(&mut NoHooks).unwrap_err(), VmError::StepLimit);
+    }
+
+    #[test]
+    fn run_summary_accounts_memory_and_code() {
+        let p = expr_program(|m| {
+            m.const_i(16);
+            m.new_array(ElemKind::I64);
+            m.array_len();
+        });
+        let s = run_program(&p);
+        assert!(s.mem.accesses > 0);
+        assert!(s.total_machine_code_bytes() > 0);
+        assert!(s.total_mc_map_bytes() > s.total_gc_map_bytes());
+        assert_eq!(s.gc.objects_allocated, 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Sorted table of compiled-code address ranges.
+//!
+//! "For this lookup we keep a sorted table of all methods with their start
+//! and end address. Whenever a method is compiled the first time or
+//! recompiled ... we update its entry accordingly." (Section 4.2). Old
+//! artifacts stay registered — compiled code lives in the immortal space
+//! and is never collected — but only the newest artifact per method is
+//! executed.
+
+use hpmopt_bytecode::MethodId;
+
+use crate::machine::Tier;
+
+/// One code range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeRange {
+    /// First code address.
+    pub start: u64,
+    /// One past the last code address.
+    pub end: u64,
+    /// The method occupying the range.
+    pub method: MethodId,
+    /// Tier of the artifact.
+    pub tier: Tier,
+}
+
+/// Sorted, non-overlapping code ranges with binary-search PC lookup.
+#[derive(Debug, Clone, Default)]
+pub struct MethodTable {
+    ranges: Vec<CodeRange>,
+}
+
+impl MethodTable {
+    /// Create an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a freshly compiled artifact's range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing one (the code-space
+    /// allocator hands out disjoint ranges).
+    pub fn insert(&mut self, range: CodeRange) {
+        let pos = self.ranges.partition_point(|r| r.start < range.start);
+        if let Some(prev) = pos.checked_sub(1).and_then(|i| self.ranges.get(i)) {
+            assert!(prev.end <= range.start, "overlapping code ranges");
+        }
+        if let Some(next) = self.ranges.get(pos) {
+            assert!(range.end <= next.start, "overlapping code ranges");
+        }
+        self.ranges.insert(pos, range);
+    }
+
+    /// The range containing `pc`, if any.
+    #[must_use]
+    pub fn lookup(&self, pc: u64) -> Option<CodeRange> {
+        let pos = self.ranges.partition_point(|r| r.end <= pc);
+        self.ranges
+            .get(pos)
+            .filter(|r| r.start <= pc)
+            .copied()
+    }
+
+    /// Number of registered ranges (recompilation adds a second range for
+    /// the same method — stale artifacts are retained).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether no code has been compiled yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// All ranges in address order.
+    #[must_use]
+    pub fn ranges(&self) -> &[CodeRange] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(start: u64, end: u64, m: u32) -> CodeRange {
+        CodeRange {
+            start,
+            end,
+            method: MethodId(m),
+            tier: Tier::Baseline,
+        }
+    }
+
+    #[test]
+    fn lookup_finds_containing_range() {
+        let mut t = MethodTable::new();
+        t.insert(range(100, 200, 0));
+        t.insert(range(300, 350, 1));
+        assert_eq!(t.lookup(100).unwrap().method, MethodId(0));
+        assert_eq!(t.lookup(199).unwrap().method, MethodId(0));
+        assert_eq!(t.lookup(200), None, "end is exclusive");
+        assert_eq!(t.lookup(320).unwrap().method, MethodId(1));
+        assert_eq!(t.lookup(50), None);
+        assert_eq!(t.lookup(250), None);
+        assert_eq!(t.lookup(400), None);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_regardless_of_order() {
+        let mut t = MethodTable::new();
+        t.insert(range(300, 350, 1));
+        t.insert(range(100, 200, 0));
+        t.insert(range(500, 600, 2));
+        let starts: Vec<u64> = t.ranges().iter().map(|r| r.start).collect();
+        assert_eq!(starts, vec![100, 300, 500]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_rejected() {
+        let mut t = MethodTable::new();
+        t.insert(range(100, 200, 0));
+        t.insert(range(150, 250, 1));
+    }
+
+    #[test]
+    fn recompiled_method_appears_twice() {
+        let mut t = MethodTable::new();
+        t.insert(range(100, 200, 0));
+        t.insert(CodeRange {
+            start: 200,
+            end: 260,
+            method: MethodId(0),
+            tier: Tier::Opt,
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(100).unwrap().tier, Tier::Baseline);
+        assert_eq!(t.lookup(210).unwrap().tier, Tier::Opt);
+    }
+}

@@ -1,0 +1,138 @@
+//! Differential testing: random expression programs are executed by the
+//! VM and by a direct Rust evaluator; results must agree exactly.
+
+use proptest::prelude::*;
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{FieldType, Program};
+use hpmopt_vm::{NoHooks, Value, Vm, VmConfig};
+
+/// A random arithmetic expression tree.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Shl(Box<Expr>, Box<Expr>),
+    Lt(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = any::<i64>().prop_map(Expr::Const);
+    leaf.prop_recursive(6, 64, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Shl(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Lt(a.into(), b.into())),
+            inner.prop_map(|a| Expr::Neg(a.into())),
+        ]
+    })
+}
+
+/// The reference semantics.
+fn eval(e: &Expr) -> i64 {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::Add(a, b) => eval(a).wrapping_add(eval(b)),
+        Expr::Sub(a, b) => eval(a).wrapping_sub(eval(b)),
+        Expr::Mul(a, b) => eval(a).wrapping_mul(eval(b)),
+        Expr::Xor(a, b) => eval(a) ^ eval(b),
+        Expr::Shl(a, b) => eval(a).wrapping_shl(eval(b) as u32 & 63),
+        Expr::Lt(a, b) => i64::from(eval(a) < eval(b)),
+        Expr::Neg(a) => eval(a).wrapping_neg(),
+    }
+}
+
+/// Compile the expression to stack code (operands left-to-right).
+fn emit(m: &mut MethodBuilder, e: &Expr) {
+    match e {
+        Expr::Const(v) => {
+            m.const_i(*v);
+        }
+        Expr::Add(a, b) => {
+            emit(m, a);
+            emit(m, b);
+            m.add();
+        }
+        Expr::Sub(a, b) => {
+            emit(m, a);
+            emit(m, b);
+            m.sub();
+        }
+        Expr::Mul(a, b) => {
+            emit(m, a);
+            emit(m, b);
+            m.mul();
+        }
+        Expr::Xor(a, b) => {
+            emit(m, a);
+            emit(m, b);
+            m.xor();
+        }
+        Expr::Shl(a, b) => {
+            emit(m, a);
+            emit(m, b);
+            m.shl();
+        }
+        Expr::Lt(a, b) => {
+            emit(m, a);
+            emit(m, b);
+            m.lt();
+        }
+        Expr::Neg(a) => {
+            emit(m, a);
+            m.neg();
+        }
+    }
+}
+
+fn program_for(e: &Expr) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let g = pb.add_static("result", FieldType::Int);
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    emit(&mut m, e);
+    m.put_static(g);
+    m.ret();
+    let id = pb.add_method(m);
+    pb.set_entry(id);
+    pb.finish().expect("expression programs verify")
+}
+
+fn run_vm(p: &Program) -> i64 {
+    let mut vm = Vm::new(p, VmConfig::test());
+    vm.run(&mut NoHooks).expect("expression programs run");
+    match vm.static_value(0) {
+        Value::Int(v) => v,
+        Value::Ref(_) => panic!("expression result must be an integer"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The interpreter agrees with direct evaluation on every expression.
+    #[test]
+    fn vm_matches_reference_semantics(e in expr_strategy()) {
+        let p = program_for(&e);
+        prop_assert_eq!(run_vm(&p), eval(&e));
+    }
+
+    /// Cycle accounting is deterministic and positive.
+    #[test]
+    fn execution_is_deterministic(e in expr_strategy()) {
+        let p = program_for(&e);
+        let run = || {
+            let mut vm = Vm::new(&p, VmConfig::test());
+            vm.run(&mut NoHooks).unwrap().cycles
+        };
+        let a = run();
+        prop_assert!(a > 0);
+        prop_assert_eq!(a, run());
+    }
+}

@@ -1,0 +1,157 @@
+//! `antlr` (DaCapo) — parser-generator grammar analysis.
+//!
+//! antlr walks grammar graphs whose nodes reference alternative lists.
+//! Its co-allocation counts in the paper are moderate and
+//! interval-sensitive (Figure 3): the graph is rebuilt only a few times,
+//! so a coarse sampling interval sees fewer of the relevant misses.
+//!
+//! The model: a grammar of `Rule { alts, link }` nodes, where `alts` is a
+//! small ref-array of `Alt { symbols }` leaves; analysis passes chase
+//! `Rule::alts` and `Alt::symbols`.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const RULES: i64 = 1200;
+const ALTS: i64 = 3;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let alt = pb.add_class("Alt", &[("symbols", FieldType::Ref)]);
+    let symbols = pb.field_id(alt, "symbols").unwrap();
+    let rule = pb.add_class("Rule", &[("alts", FieldType::Ref), ("link", FieldType::Ref)]);
+    let alts = pb.field_id(rule, "alts").unwrap();
+    let link = pb.field_id(rule, "link").unwrap();
+    let grammar = pb.add_static("grammar", FieldType::Ref);
+    let metric = pb.add_static("metric", FieldType::Int);
+
+    // build_grammar(): fresh linked grammar.
+    let build_g = pb.declare_method("build_grammar", 0, false);
+    {
+        let mut m = MethodBuilder::new("build_grammar", 0, 4, false);
+        let r = 1;
+        let a = 2;
+        m.const_null();
+        m.put_static(grammar);
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(RULES);
+            },
+            |m| {
+                m.new_object(rule);
+                m.store(r);
+                m.load(r);
+                m.const_i(ALTS);
+                m.new_array(ElemKind::Ref);
+                m.put_field(alts);
+                m.for_loop(
+                    3,
+                    |m| {
+                        m.const_i(ALTS);
+                    },
+                    |m| {
+                        m.new_object(alt);
+                        m.store(a);
+                        m.load(a);
+                        m.const_i(4);
+                        m.new_array(ElemKind::I32);
+                        m.put_field(symbols);
+                        m.load(r);
+                        m.get_field(alts);
+                        m.load(3);
+                        m.load(a);
+                        m.array_set(ElemKind::Ref);
+                    },
+                );
+                m.load(r);
+                m.get_static(grammar);
+                m.put_field(link);
+                m.load(r);
+                m.put_static(grammar);
+            },
+        );
+        m.ret();
+        pb.define_method(build_g, m);
+    }
+
+    // analyze(): walk rules, first alternative, first symbol.
+    let analyze = pb.declare_method("analyze", 0, false);
+    {
+        let mut m = MethodBuilder::new("analyze", 0, 2, false);
+        let cur = 0;
+        m.get_static(grammar);
+        m.store(cur);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.load(cur);
+        m.is_null();
+        m.jump_if(done);
+        m.get_static(metric);
+        m.load(cur);
+        m.get_field(alts);
+        m.const_i(0);
+        m.array_get(ElemKind::Ref);
+        m.get_field(symbols);
+        m.const_i(0);
+        m.array_get(ElemKind::I32);
+        m.add();
+        m.put_static(metric);
+        m.load(cur);
+        m.get_field(link);
+        m.store(cur);
+        m.jump(top);
+        m.bind(done);
+        m.ret();
+        pb.define_method(analyze, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 1, false);
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(2 + f);
+        },
+        |m| {
+            m.call(build_g);
+            let p = m.new_local();
+            m.for_loop(
+                p,
+                |m| {
+                    m.const_i(8);
+                },
+                |m| {
+                    m.call(analyze);
+                },
+            );
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "antlr",
+        suite: Suite::DaCapo,
+        description: "grammar analysis: Rule→Alt[]→Alt::symbols chains rebuilt a few times",
+        program: pb.finish().expect("antlr verifies"),
+        min_heap_bytes: 768 * 1024,
+        hot_field: Some(("Rule", "alts")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn antlr_builds() {
+        assert_eq!(build(Size::Tiny).suite, Suite::DaCapo);
+    }
+}

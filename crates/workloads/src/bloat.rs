@@ -1,0 +1,159 @@
+//! `bloat` (DaCapo) — a bytecode optimizer optimizing itself.
+//!
+//! bloat is one of the three programs the paper reports a real speedup
+//! for ("three programs (db, pseudojbb, bloat) show a speedup"): it
+//! rewrites long instruction lists where each `Insn` holds a small
+//! `Operand` record that is touched on every rewriting pass — a
+//! line-sharing-friendly parent/child pair.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const INSNS: i64 = 3500;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let operand = pb.add_class("Operand", &[("bits", FieldType::Ref)]);
+    let bits = pb.field_id(operand, "bits").unwrap();
+    let insn = pb.add_class(
+        "Insn",
+        &[("op", FieldType::Ref), ("next", FieldType::Ref), ("opcode", FieldType::Int)],
+    );
+    let op = pb.field_id(insn, "op").unwrap();
+    let next = pb.field_id(insn, "next").unwrap();
+    let opcode = pb.field_id(insn, "opcode").unwrap();
+    let method_list = pb.add_static("method", FieldType::Ref);
+    let rewrites = pb.add_static("rewrites", FieldType::Int);
+
+    // emit_method(): build a fresh instruction list.
+    let emit = pb.declare_method("emit_method", 0, false);
+    {
+        let mut m = MethodBuilder::new("emit_method", 0, 3, false);
+        let i = 1;
+        let o = 2;
+        m.const_null();
+        m.put_static(method_list);
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(INSNS);
+            },
+            |m| {
+                m.new_object(operand);
+                m.store(o);
+                m.load(o);
+                m.const_i(2);
+                m.new_array(ElemKind::I32);
+                m.put_field(bits);
+                m.new_object(insn);
+                m.store(i);
+                m.load(i);
+                m.load(o);
+                m.put_field(op);
+                m.load(i);
+                m.load(0);
+                m.const_i(201);
+                m.rem();
+                m.put_field(opcode);
+                m.load(i);
+                m.get_static(method_list);
+                m.put_field(next);
+                m.load(i);
+                m.put_static(method_list);
+            },
+        );
+        m.ret();
+        pb.define_method(emit, m);
+    }
+
+    // peephole(): one rewriting pass touching insn.op.bits.
+    let pass = pb.declare_method("peephole", 0, false);
+    {
+        let mut m = MethodBuilder::new("peephole", 0, 2, false);
+        let cur = 0;
+        m.get_static(method_list);
+        m.store(cur);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.load(cur);
+        m.is_null();
+        m.jump_if(done);
+        // op.bits[0] = op.bits[0] ^ opcode; rewrites += opcode & 1
+        m.load(cur);
+        m.get_field(op);
+        m.get_field(bits);
+        m.const_i(0);
+        m.load(cur);
+        m.get_field(op);
+        m.get_field(bits);
+        m.const_i(0);
+        m.array_get(ElemKind::I32);
+        m.load(cur);
+        m.get_field(opcode);
+        m.xor();
+        m.array_set(ElemKind::I32);
+        m.get_static(rewrites);
+        m.load(cur);
+        m.get_field(opcode);
+        m.const_i(1);
+        m.and();
+        m.add();
+        m.put_static(rewrites);
+        m.load(cur);
+        m.get_field(next);
+        m.store(cur);
+        m.jump(top);
+        m.bind(done);
+        m.ret();
+        pb.define_method(pass, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 1, false);
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(2 + f);
+        },
+        |m| {
+            m.call(emit);
+            let p = m.new_local();
+            m.for_loop(
+                p,
+                |m| {
+                    m.const_i(7);
+                },
+                |m| {
+                    m.call(pass);
+                },
+            );
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "bloat",
+        suite: Suite::DaCapo,
+        description: "bytecode optimizer: peephole passes over Insn→Operand pairs (one of the paper's three speedup cases)",
+        program: pb.finish().expect("bloat verifies"),
+        min_heap_bytes: 1024 * 1024,
+        hot_field: Some(("Insn", "op")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bloat_builds() {
+        assert_eq!(build(Size::Tiny).hot_field, Some(("Insn", "op")));
+    }
+}

@@ -1,0 +1,146 @@
+//! `_201_compress` — LZW-style compression over large buffers.
+//!
+//! The paper: "There are 2 programs (compress and mpegaudio) where no
+//! objects are co-allocated. They allocate mostly large objects which are
+//! placed in the separate large-object space ... Therefore, they have no
+//! candidate objects for co-allocation" (Figure 3 discussion).
+//!
+//! The model: a handful of 64 KB byte buffers (all above the 4 KB LOS
+//! threshold) processed by repeated sequential compression passes with a
+//! small dictionary that also lives in a large array. The working set is
+//! streaming, so the stream prefetcher absorbs much of the miss cost.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const BUF_BYTES: i64 = 64 * 1024;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let input = pb.add_static("input", FieldType::Ref);
+    let output = pb.add_static("output", FieldType::Ref);
+    let dict = pb.add_static("dict", FieldType::Ref);
+    let checksum = pb.add_static("checksum", FieldType::Int);
+
+    // compress_pass(): one sequential pass input → output with a
+    // dictionary lookup per byte.
+    let pass = pb.declare_method("compress_pass", 0, false);
+    {
+        let mut m = MethodBuilder::new("compress_pass", 0, 3, false);
+        let code = 1;
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(BUF_BYTES);
+            },
+            |m| {
+                // code = dict[(input[i] + i) & 0xfff]
+                m.get_static(dict);
+                m.get_static(input);
+                m.load(0);
+                m.array_get(ElemKind::I8);
+                m.load(0);
+                m.add();
+                m.const_i(0xfff);
+                m.and();
+                m.array_get(ElemKind::I32);
+                m.store(code);
+                // output[i] = code ^ input[i]
+                m.get_static(output);
+                m.load(0);
+                m.load(code);
+                m.get_static(input);
+                m.load(0);
+                m.array_get(ElemKind::I8);
+                m.xor();
+                m.array_set(ElemKind::I8);
+            },
+        );
+        m.ret();
+        pb.define_method(pass, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 2, false);
+    // Allocate the large buffers (LOS) and the dictionary.
+    m.const_i(BUF_BYTES);
+    m.new_array(ElemKind::I8);
+    m.put_static(input);
+    m.const_i(BUF_BYTES);
+    m.new_array(ElemKind::I8);
+    m.put_static(output);
+    m.const_i(4096);
+    m.new_array(ElemKind::I32);
+    m.put_static(dict);
+    // Seed input and dictionary.
+    m.for_loop(
+        0,
+        |m| {
+            m.const_i(BUF_BYTES);
+        },
+        |m| {
+            m.get_static(input);
+            m.load(0);
+            m.load(0);
+            m.const_i(251);
+            m.rem();
+            m.array_set(ElemKind::I8);
+        },
+    );
+    m.for_loop(
+        0,
+        |m| {
+            m.const_i(4096);
+        },
+        |m| {
+            m.get_static(dict);
+            m.load(0);
+            m.load(0);
+            m.const_i(2654435761);
+            m.mul();
+            m.array_set(ElemKind::I32);
+        },
+    );
+    // Repeated passes (the SPEC harness runs the input 3 times).
+    m.for_loop(
+        1,
+        move |m| {
+            m.const_i(2 * f);
+        },
+        |m| {
+            m.call(pass);
+        },
+    );
+    m.get_static(output);
+    m.const_i(0);
+    m.array_get(ElemKind::I8);
+    m.put_static(checksum);
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "compress",
+        suite: Suite::SpecJvm98,
+        description: "LZW-style compression: streaming passes over 64 KB LOS buffers, no co-allocation candidates",
+        program: pb.finish().expect("compress verifies"),
+        min_heap_bytes: 384 * 1024,
+        hot_field: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compress_has_no_hot_field() {
+        let w = build(Size::Tiny);
+        assert_eq!(w.hot_field, None);
+        assert_eq!(w.suite, Suite::SpecJvm98);
+    }
+}

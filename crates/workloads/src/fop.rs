@@ -1,0 +1,115 @@
+//! `fop` (DaCapo) — XSL-FO to PDF formatting.
+//!
+//! fop is the smallest program in the paper's Table 2 (8 KB of machine
+//! code, 16 KB of maps) with a short run and a small heap: it formats one
+//! document and exits. Co-allocation finds few candidates.
+//!
+//! The model: build a small formatting-object tree once, lay it out a few
+//! times, and exit.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::FieldType;
+
+use crate::framework::{Size, Suite, Workload};
+
+const BLOCKS: i64 = 600;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let block = pb.add_class(
+        "FoBlock",
+        &[("child", FieldType::Ref), ("width", FieldType::Int), ("height", FieldType::Int)],
+    );
+    let child = pb.field_id(block, "child").unwrap();
+    let width = pb.field_id(block, "width").unwrap();
+    let height = pb.field_id(block, "height").unwrap();
+    let doc = pb.add_static("doc", FieldType::Ref);
+    let laid_out = pb.add_static("laid_out", FieldType::Int);
+
+    let mut m = MethodBuilder::new("main", 0, 2, false);
+    let b = 1;
+    // Build the chain of blocks once.
+    m.const_null();
+    m.put_static(doc);
+    m.for_loop(
+        0,
+        |m| {
+            m.const_i(BLOCKS);
+        },
+        |m| {
+            m.new_object(block);
+            m.store(b);
+            m.load(b);
+            m.get_static(doc);
+            m.put_field(child);
+            m.load(b);
+            m.load(0);
+            m.const_i(595);
+            m.rem();
+            m.put_field(width);
+            m.load(b);
+            m.put_static(doc);
+        },
+    );
+    // Layout passes: propagate heights down the chain.
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(4 * f);
+        },
+        |m| {
+            let cur = m.new_local();
+            m.get_static(doc);
+            m.store(cur);
+            let top = m.label();
+            let done = m.label();
+            m.bind(top);
+            m.load(cur);
+            m.is_null();
+            m.jump_if(done);
+            m.load(cur);
+            m.load(cur);
+            m.get_field(width);
+            m.const_i(3);
+            m.mul();
+            m.const_i(2);
+            m.div();
+            m.put_field(height);
+            m.get_static(laid_out);
+            m.const_i(1);
+            m.add();
+            m.put_static(laid_out);
+            m.load(cur);
+            m.get_field(child);
+            m.store(cur);
+            m.jump(top);
+            m.bind(done);
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "fop",
+        suite: Suite::DaCapo,
+        description: "document formatter: one small FoBlock tree, a few layout passes, smallest footprint",
+        program: pb.finish().expect("fop verifies"),
+        min_heap_bytes: 256 * 1024,
+        hot_field: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fop_is_small() {
+        let w = build(Size::Tiny);
+        assert!(w.min_heap_bytes <= 512 * 1024);
+    }
+}

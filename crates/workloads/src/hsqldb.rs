@@ -1,0 +1,188 @@
+//! `hsqldb` (DaCapo) — an in-memory SQL database under a banking
+//! workload.
+//!
+//! hsqldb appears in the paper among the programs with the largest
+//! co-allocation counts (Figure 3) and shows one of the larger sampling
+//! overheads at fine intervals (Figure 2: ~3 % at 25 K) — it is
+//! miss-heavy and allocation-heavy at once.
+//!
+//! The model: a table of `Row { values, next }` records; transactions
+//! update random rows (allocating replacement rows — churn) and scans
+//! aggregate `Row::values`.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const ROWS: i64 = 3000;
+const COLS: i64 = 6;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let row = pb.add_class("Row", &[("values", FieldType::Ref), ("key", FieldType::Int)]);
+    let values = pb.field_id(row, "values").unwrap();
+    let key = pb.field_id(row, "key").unwrap();
+    let table = pb.add_static("table", FieldType::Ref);
+    let balance = pb.add_static("balance", FieldType::Int);
+
+    // make_row(k) -> Row
+    let make_row = pb.declare_method("make_row", 1, true);
+    {
+        let mut m = MethodBuilder::new("make_row", 1, 2, true);
+        let r = 1;
+        m.new_object(row);
+        m.store(r);
+        m.load(r);
+        m.const_i(COLS);
+        m.new_array(ElemKind::I64);
+        m.put_field(values);
+        m.load(r);
+        m.load(0);
+        m.put_field(key);
+        m.for_loop(
+            2,
+            |m| {
+                m.const_i(COLS);
+            },
+            |m| {
+                m.load(r);
+                m.get_field(values);
+                m.load(2);
+                m.load(0);
+                m.load(2);
+                m.add();
+                m.array_set(ElemKind::I64);
+            },
+        );
+        m.load(r);
+        m.ret_val();
+        pb.define_method(make_row, m);
+    }
+
+    // transaction(i): replace row i, then read COLS values through
+    // Row::values.
+    let tx = pb.declare_method("transaction", 1, false);
+    {
+        let mut m = MethodBuilder::new("transaction", 1, 3, false);
+        let r = 1;
+        m.get_static(table);
+        m.load(0);
+        m.load(0);
+        m.call(make_row);
+        m.array_set(ElemKind::Ref);
+        m.get_static(table);
+        m.load(0);
+        m.array_get(ElemKind::Ref);
+        m.store(r);
+        m.for_loop(
+            2,
+            |m| {
+                m.const_i(COLS);
+            },
+            |m| {
+                m.get_static(balance);
+                m.load(r);
+                m.get_field(values);
+                m.load(2);
+                m.array_get(ElemKind::I64);
+                m.add();
+                m.put_static(balance);
+            },
+        );
+        m.ret();
+        pb.define_method(tx, m);
+    }
+
+    // scan(): full-table aggregation.
+    let scan = pb.declare_method("scan", 0, false);
+    {
+        let mut m = MethodBuilder::new("scan", 0, 2, false);
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(ROWS);
+            },
+            |m| {
+                m.get_static(balance);
+                m.get_static(table);
+                m.load(0);
+                m.array_get(ElemKind::Ref);
+                m.get_field(values);
+                m.const_i(0);
+                m.array_get(ElemKind::I64);
+                m.add();
+                m.put_static(balance);
+            },
+        );
+        m.ret();
+        pb.define_method(scan, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 2, false);
+    let rng = 1;
+    m.const_i(0x5eed_d00d);
+    m.store(rng);
+    m.const_i(ROWS);
+    m.new_array(ElemKind::Ref);
+    m.put_static(table);
+    m.for_loop(
+        0,
+        |m| {
+            m.const_i(ROWS);
+        },
+        |m| {
+            m.get_static(table);
+            m.load(0);
+            m.load(0);
+            m.call(make_row);
+            m.array_set(ElemKind::Ref);
+        },
+    );
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(5000 * f);
+        },
+        |m| {
+            m.rng_next(rng);
+            m.const_i(ROWS);
+            m.rem();
+            m.call(tx);
+        },
+    );
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(4 * f);
+        },
+        |m| {
+            m.call(scan);
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "hsqldb",
+        suite: Suite::DaCapo,
+        description: "in-memory SQL: transactions replace Row→long[] records, scans aggregate through Row::values",
+        program: pb.finish().expect("hsqldb verifies"),
+        min_heap_bytes: 768 * 1024,
+        hot_field: Some(("Row", "values")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsqldb_builds() {
+        assert_eq!(build(Size::Tiny).name, "hsqldb");
+    }
+}

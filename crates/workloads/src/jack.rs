@@ -1,0 +1,182 @@
+//! `_228_jack` — a parser generator (early JavaCC).
+//!
+//! jack tokenizes its own grammar over and over, building short token
+//! lists and small string buffers. Mature-space traffic is modest; the
+//! paper's co-allocation counts for jack are small ("in the order of
+//! thousands") with correspondingly small effects.
+//!
+//! The model: repeated lexing passes over a character buffer producing
+//! `Token { text, next }` chains that survive one pass each.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const SOURCE_CHARS: i64 = 8192;
+const TOKEN_LEN: i64 = 6;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let token = pb.add_class(
+        "Token",
+        &[("text", FieldType::Ref), ("next", FieldType::Ref), ("kind", FieldType::Int)],
+    );
+    let text = pb.field_id(token, "text").unwrap();
+    let next = pb.field_id(token, "next").unwrap();
+    let kind = pb.field_id(token, "kind").unwrap();
+    let source = pb.add_static("source", FieldType::Ref);
+    let stream = pb.add_static("stream", FieldType::Ref);
+    let parsed = pb.add_static("parsed", FieldType::Int);
+
+    // lex_pass(): tokenize the source into a fresh token chain.
+    let lex = pb.declare_method("lex_pass", 0, false);
+    {
+        let mut m = MethodBuilder::new("lex_pass", 0, 3, false);
+        let t = 1;
+        m.const_null();
+        m.put_static(stream);
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(SOURCE_CHARS / TOKEN_LEN);
+            },
+            |m| {
+                m.new_object(token);
+                m.store(t);
+                m.load(t);
+                m.const_i(TOKEN_LEN);
+                m.new_array(ElemKind::I16);
+                m.put_field(text);
+                // copy characters
+                m.for_loop(
+                    2,
+                    |m| {
+                        m.const_i(TOKEN_LEN);
+                    },
+                    |m| {
+                        m.load(t);
+                        m.get_field(text);
+                        m.load(2);
+                        m.get_static(source);
+                        m.load(0);
+                        m.const_i(TOKEN_LEN);
+                        m.mul();
+                        m.load(2);
+                        m.add();
+                        m.array_get(ElemKind::I8);
+                        m.array_set(ElemKind::I16);
+                    },
+                );
+                m.load(t);
+                m.load(0);
+                m.const_i(11);
+                m.rem();
+                m.put_field(kind);
+                m.load(t);
+                m.get_static(stream);
+                m.put_field(next);
+                m.load(t);
+                m.put_static(stream);
+            },
+        );
+        m.ret();
+        pb.define_method(lex, m);
+    }
+
+    // parse_pass(): walk the token chain reading text through Token::text.
+    let parse = pb.declare_method("parse_pass", 0, false);
+    {
+        let mut m = MethodBuilder::new("parse_pass", 0, 2, false);
+        let cur = 0;
+        m.get_static(stream);
+        m.store(cur);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.load(cur);
+        m.is_null();
+        m.jump_if(done);
+        m.get_static(parsed);
+        m.load(cur);
+        m.get_field(text);
+        m.const_i(0);
+        m.array_get(ElemKind::I16);
+        m.load(cur);
+        m.get_field(kind);
+        m.add();
+        m.add();
+        m.put_static(parsed);
+        m.load(cur);
+        m.get_field(next);
+        m.store(cur);
+        m.jump(top);
+        m.bind(done);
+        m.ret();
+        pb.define_method(parse, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 1, false);
+    m.const_i(SOURCE_CHARS);
+    m.new_array(ElemKind::I8);
+    m.put_static(source);
+    m.for_loop(
+        0,
+        |m| {
+            m.const_i(SOURCE_CHARS);
+        },
+        |m| {
+            m.get_static(source);
+            m.load(0);
+            m.load(0);
+            m.const_i(127);
+            m.and();
+            m.array_set(ElemKind::I8);
+        },
+    );
+    // The SPEC harness parses the same input 16 times; scale by size.
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(6 * f);
+        },
+        |m| {
+            m.call(lex);
+            let p = m.new_local();
+            m.for_loop(
+                p,
+                |m| {
+                    m.const_i(4);
+                },
+                |m| {
+                    m.call(parse);
+                },
+            );
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "jack",
+        suite: Suite::SpecJvm98,
+        description: "parser generator: repeated lexing into Token::text chains that live one pass",
+        program: pb.finish().expect("jack verifies"),
+        min_heap_bytes: 384 * 1024,
+        hot_field: Some(("Token", "text")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jack_builds() {
+        assert_eq!(build(Size::Tiny).name, "jack");
+    }
+}

@@ -1,0 +1,206 @@
+//! `_213_javac` — the JDK 1.0.2 Java compiler.
+//!
+//! javac builds and walks abstract syntax trees with many distinct node
+//! classes. In the paper it shows the *worst case* for co-allocation at
+//! large heaps (−2.1 %, "similar to the sampling overhead"): misses are
+//! spread over many classes and access paths, so few decisions pay off.
+//!
+//! The model: repeatedly parse (build) binary expression trees from four
+//! node classes with interleaved lifetimes, then type-check (walk) them.
+//! The varied classes dilute per-field miss counts.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::FieldType;
+
+use crate::framework::{Size, Suite, Workload};
+
+const TREE_DEPTH: i64 = 12; // 2^12 ≈ 4K leaves per tree
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    // Four node classes with the same shape but distinct identities, so
+    // misses are spread across classes (as in a real compiler front end).
+    let classes: Vec<_> = ["Plus", "Times", "Ident", "Lit"]
+        .iter()
+        .map(|n| {
+            pb.add_class(
+                n,
+                &[
+                    ("left", FieldType::Ref),
+                    ("right", FieldType::Ref),
+                    ("kind", FieldType::Int),
+                ],
+            )
+        })
+        .collect();
+    let left = pb.field_id(classes[0], "left").unwrap();
+    let right = pb.field_id(classes[0], "right").unwrap();
+    let kind = pb.field_id(classes[0], "kind").unwrap();
+    // Field offsets are identical across the four classes, so the same
+    // field ids work for all of them at runtime; the *per-class* miss
+    // accounting still sees four different classes. Use per-class ids for
+    // stores so the policy sees accurate classes.
+    let roots = pb.add_static("roots", FieldType::Ref);
+    let checked = pb.add_static("checked", FieldType::Int);
+
+    // build_tree(depth, salt) -> node
+    let build_tree = pb.declare_method("build_tree", 2, true);
+    {
+        let mut m = MethodBuilder::new("build_tree", 2, 1, true);
+        let n = 2;
+        let leaf = m.label();
+        m.load(0);
+        m.const_i(0);
+        m.le();
+        m.jump_if(leaf);
+        // pick class by (depth + salt) % 4
+        let mk_end = m.label();
+        let mut arms = Vec::new();
+        for _ in 0..3 {
+            arms.push(m.label());
+        }
+        m.load(0);
+        m.load(1);
+        m.add();
+        m.const_i(4);
+        m.rem();
+        m.dup();
+        m.const_i(1);
+        m.eq();
+        m.jump_if(arms[0]);
+        m.dup();
+        m.const_i(2);
+        m.eq();
+        m.jump_if(arms[1]);
+        m.dup();
+        m.const_i(3);
+        m.eq();
+        m.jump_if(arms[2]);
+        m.pop();
+        m.new_object(classes[0]);
+        m.jump(mk_end);
+        for (i, arm) in arms.iter().enumerate() {
+            m.bind(*arm);
+            m.pop();
+            m.new_object(classes[i + 1]);
+            m.jump(mk_end);
+        }
+        m.bind(mk_end);
+        m.store(n);
+        m.load(n);
+        m.load(0);
+        m.const_i(1);
+        m.sub();
+        m.load(1);
+        m.call(build_tree);
+        m.put_field(left);
+        m.load(n);
+        m.load(0);
+        m.const_i(1);
+        m.sub();
+        m.load(1);
+        m.const_i(7);
+        m.add();
+        m.call(build_tree);
+        m.put_field(right);
+        m.load(n);
+        m.load(0);
+        m.put_field(kind);
+        m.load(n);
+        m.ret_val();
+        m.bind(leaf);
+        m.new_object(classes[3]);
+        m.store(n);
+        m.load(n);
+        m.load(1);
+        m.put_field(kind);
+        m.load(n);
+        m.ret_val();
+        pb.define_method(build_tree, m);
+    }
+
+    // check(node) -> int: recursive walk.
+    let check = pb.declare_method("check", 1, true);
+    {
+        let mut m = MethodBuilder::new("check", 1, 1, true);
+        let leaf = m.label();
+        m.load(0);
+        m.get_field(left);
+        m.is_null();
+        m.jump_if(leaf);
+        m.load(0);
+        m.get_field(left);
+        m.call(check);
+        m.load(0);
+        m.get_field(right);
+        m.call(check);
+        m.add();
+        m.load(0);
+        m.get_field(kind);
+        m.add();
+        m.ret_val();
+        m.bind(leaf);
+        m.load(0);
+        m.get_field(kind);
+        m.ret_val();
+        pb.define_method(check, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 2, false);
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(3 + f);
+        },
+        |m| {
+            m.load(0);
+            m.const_i(TREE_DEPTH);
+            m.swap();
+            m.call(build_tree);
+            m.store(1);
+            let passes = m.new_local();
+            m.for_loop(
+                passes,
+                |m| {
+                    m.const_i(3);
+                },
+                |m| {
+                    m.get_static(checked);
+                    m.load(1);
+                    m.call(check);
+                    m.add();
+                    m.put_static(checked);
+                },
+            );
+            // Keep the latest tree reachable, drop the previous one.
+            m.load(1);
+            m.put_static(roots);
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "javac",
+        suite: Suite::SpecJvm98,
+        description: "compiler front end: builds and type-checks ASTs of four node classes with diluted per-field misses",
+        program: pb.finish().expect("javac verifies"),
+        min_heap_bytes: 2 * 1024 * 1024,
+        hot_field: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn javac_builds_with_four_classes() {
+        let w = build(Size::Tiny);
+        assert_eq!(w.program.classes().len(), 4);
+    }
+}

@@ -1,0 +1,163 @@
+//! `_202_jess` — an expert-system shell.
+//!
+//! Jess repeatedly matches facts against a rule network of small linked
+//! nodes. The paper shows a visible L1-miss reduction for jess with
+//! co-allocation (Figure 4) but only a small execution-time effect: the
+//! network nodes are small and the working set only moderately exceeds
+//! the L1.
+//!
+//! The model: a network of `RuleNode { next, fact }` chains over `Fact {
+//! slots }` payloads; activation sweeps chase `RuleNode::fact` (the hot
+//! edge), and each round asserts fresh facts (churn → promotion →
+//! co-allocation opportunities).
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const NODES: i64 = 2500;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let fact = pb.add_class("Fact", &[("slots", FieldType::Ref), ("id", FieldType::Int)]);
+    let slots = pb.field_id(fact, "slots").unwrap();
+    let fact_id = pb.field_id(fact, "id").unwrap();
+    let node = pb.add_class(
+        "RuleNode",
+        &[("next", FieldType::Ref), ("fact", FieldType::Ref)],
+    );
+    let next = pb.field_id(node, "next").unwrap();
+    let node_fact = pb.field_id(node, "fact").unwrap();
+    let head = pb.add_static("network", FieldType::Ref);
+    let fired = pb.add_static("fired", FieldType::Int);
+
+    // assert_facts(): rebuild the network with fresh facts.
+    let assert_facts = pb.declare_method("assert_facts", 0, false);
+    {
+        let mut m = MethodBuilder::new("assert_facts", 0, 3, false);
+        let n = 1;
+        let ft = 2;
+        m.const_null();
+        m.put_static(head);
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(NODES);
+            },
+            |m| {
+                m.new_object(fact);
+                m.store(ft);
+                m.load(ft);
+                m.const_i(4);
+                m.new_array(ElemKind::I32);
+                m.put_field(slots);
+                m.load(ft);
+                m.load(0);
+                m.put_field(fact_id);
+                m.new_object(node);
+                m.store(n);
+                m.load(n);
+                m.get_static(head);
+                m.put_field(next);
+                m.load(n);
+                m.load(ft);
+                m.put_field(node_fact);
+                m.load(n);
+                m.put_static(head);
+            },
+        );
+        m.ret();
+        pb.define_method(assert_facts, m);
+    }
+
+    // match_pass(): walk the network, touching each node's fact slots.
+    let match_pass = pb.declare_method("match_pass", 0, false);
+    {
+        let mut m = MethodBuilder::new("match_pass", 0, 2, false);
+        let cur = 0;
+        let acc = 1;
+        m.const_i(0);
+        m.store(acc);
+        m.get_static(head);
+        m.store(cur);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.load(cur);
+        m.is_null();
+        m.jump_if(done);
+        // acc += node.fact.slots[0] + node.fact.id
+        m.load(acc);
+        m.load(cur);
+        m.get_field(node_fact);
+        m.get_field(slots);
+        m.const_i(0);
+        m.array_get(ElemKind::I32);
+        m.add();
+        m.load(cur);
+        m.get_field(node_fact);
+        m.get_field(fact_id);
+        m.add();
+        m.store(acc);
+        m.load(cur);
+        m.get_field(next);
+        m.store(cur);
+        m.jump(top);
+        m.bind(done);
+        m.get_static(fired);
+        m.load(acc);
+        m.add();
+        m.put_static(fired);
+        m.ret();
+        pb.define_method(match_pass, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 1, false);
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(3 + 2 * f);
+        },
+        |m| {
+            m.call(assert_facts);
+            let passes = m.new_local();
+            m.for_loop(
+                passes,
+                |m| {
+                    m.const_i(6);
+                },
+                |m| {
+                    m.call(match_pass);
+                },
+            );
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "jess",
+        suite: Suite::SpecJvm98,
+        description: "expert-system shell: rule-network sweeps chasing RuleNode::fact into Fact slots",
+        program: pb.finish().expect("jess verifies"),
+        min_heap_bytes: 640 * 1024,
+        hot_field: Some(("RuleNode", "fact")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jess_builds() {
+        let w = build(Size::Tiny);
+        assert_eq!(w.name, "jess");
+        assert!(w.hot_field.is_some());
+    }
+}

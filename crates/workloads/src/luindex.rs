@@ -1,0 +1,194 @@
+//! `luindex` (DaCapo) — Lucene indexing the works of Shakespeare.
+//!
+//! An index build: documents are tokenized into posting objects chained
+//! per term. luindex is among the programs with large co-allocation
+//! counts in Figure 3 — postings (`Posting { positions, next }`) churn
+//! constantly and are re-read when the in-memory segment is flushed.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const TERMS: i64 = 1024;
+const DOCS_PER_SEGMENT: i64 = 400;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let posting = pb.add_class(
+        "Posting",
+        &[("positions", FieldType::Ref), ("next", FieldType::Ref), ("doc", FieldType::Int)],
+    );
+    let positions = pb.field_id(posting, "positions").unwrap();
+    let next = pb.field_id(posting, "next").unwrap();
+    let doc = pb.field_id(posting, "doc").unwrap();
+    let index = pb.add_static("index", FieldType::Ref); // Posting[TERMS]
+    let indexed = pb.add_static("indexed", FieldType::Int);
+
+    // add_doc(d): add postings for a pseudo-random subset of terms.
+    let add_doc = pb.declare_method("add_doc", 1, false);
+    {
+        let mut m = MethodBuilder::new("add_doc", 1, 4, false);
+        let p = 1;
+        let t = 2;
+        m.for_loop(
+            3,
+            |m| {
+                m.const_i(24); // terms per document
+            },
+            |m| {
+                // t = (d * 31 + j * 131) % TERMS
+                m.load(0);
+                m.const_i(31);
+                m.mul();
+                m.load(3);
+                m.const_i(131);
+                m.mul();
+                m.add();
+                m.const_i(TERMS);
+                m.rem();
+                m.store(t);
+                m.new_object(posting);
+                m.store(p);
+                m.load(p);
+                m.const_i(3);
+                m.new_array(ElemKind::I32);
+                m.put_field(positions);
+                m.load(p);
+                m.load(0);
+                m.put_field(doc);
+                m.load(p);
+                m.get_static(index);
+                m.load(t);
+                m.array_get(ElemKind::Ref);
+                m.put_field(next);
+                m.get_static(index);
+                m.load(t);
+                m.load(p);
+                m.array_set(ElemKind::Ref);
+            },
+        );
+        m.ret();
+        pb.define_method(add_doc, m);
+    }
+
+    // flush_segment(): walk every term's posting chain reading positions,
+    // then clear the index.
+    let flush = pb.declare_method("flush_segment", 0, false);
+    {
+        let mut m = MethodBuilder::new("flush_segment", 0, 3, false);
+        let cur = 1;
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(TERMS);
+            },
+            |m| {
+                m.get_static(index);
+                m.load(0);
+                m.array_get(ElemKind::Ref);
+                m.store(cur);
+                let top = m.label();
+                let done = m.label();
+                m.bind(top);
+                m.load(cur);
+                m.is_null();
+                m.jump_if(done);
+                m.get_static(indexed);
+                m.load(cur);
+                m.get_field(positions);
+                m.const_i(0);
+                m.array_get(ElemKind::I32);
+                m.load(cur);
+                m.get_field(doc);
+                m.add();
+                m.add();
+                m.put_static(indexed);
+                m.load(cur);
+                m.get_field(next);
+                m.store(cur);
+                m.jump(top);
+                m.bind(done);
+                m.get_static(index);
+                m.load(0);
+                m.const_null();
+                m.array_set(ElemKind::Ref);
+            },
+        );
+        m.ret();
+        pb.define_method(flush, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 1, false);
+    m.const_i(TERMS);
+    m.new_array(ElemKind::Ref);
+    m.put_static(index);
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(2 + f);
+        },
+        |m| {
+            let d = m.new_local();
+            m.for_loop(
+                d,
+                |m| {
+                    m.const_i(DOCS_PER_SEGMENT);
+                },
+                |m| {
+                    m.load(d);
+                    m.call(add_doc);
+                },
+            );
+            // Re-read the segment a few times before flushing (the reader
+            // warms the postings; co-located positions pay off here).
+            let p = m.new_local();
+            m.for_loop(
+                p,
+                |m| {
+                    m.const_i(2);
+                },
+                |m| {
+                    m.call(flush);
+                    let d2 = m.new_local();
+                    m.for_loop(
+                        d2,
+                        |m| {
+                            m.const_i(DOCS_PER_SEGMENT);
+                        },
+                        |m| {
+                            m.load(d2);
+                            m.call(add_doc);
+                        },
+                    );
+                },
+            );
+            m.call(flush);
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "luindex",
+        suite: Suite::DaCapo,
+        description: "index build: Posting→positions chains per term, segment build/flush churn",
+        program: pb.finish().expect("luindex verifies"),
+        min_heap_bytes: 2 * 1024 * 1024,
+        hot_field: Some(("Posting", "positions")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luindex_builds() {
+        assert_eq!(build(Size::Tiny).name, "luindex");
+    }
+}

@@ -1,0 +1,163 @@
+//! `lusearch` (DaCapo) — Lucene querying a prebuilt index.
+//!
+//! The read-heavy twin of `luindex`: the index is built once, then many
+//! queries walk posting chains. Co-allocation helps the chains built
+//! *after* decisions exist; periodic segment merges provide that churn.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const TERMS: i64 = 512;
+const POSTINGS_PER_TERM: i64 = 24;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let posting = pb.add_class(
+        "Posting",
+        &[("payload", FieldType::Ref), ("next", FieldType::Ref), ("doc", FieldType::Int)],
+    );
+    let payload = pb.field_id(posting, "payload").unwrap();
+    let next = pb.field_id(posting, "next").unwrap();
+    let doc = pb.field_id(posting, "doc").unwrap();
+    let index = pb.add_static("index", FieldType::Ref);
+    let hits = pb.add_static("hits", FieldType::Int);
+
+    // build_index(): fresh posting chains for every term.
+    let build_ix = pb.declare_method("build_index", 0, false);
+    {
+        let mut m = MethodBuilder::new("build_index", 0, 4, false);
+        let p = 1;
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(TERMS);
+            },
+            |m| {
+                m.get_static(index);
+                m.load(0);
+                m.const_null();
+                m.array_set(ElemKind::Ref);
+                m.for_loop(
+                    2,
+                    |m| {
+                        m.const_i(POSTINGS_PER_TERM);
+                    },
+                    |m| {
+                        m.new_object(posting);
+                        m.store(p);
+                        m.load(p);
+                        m.const_i(2);
+                        m.new_array(ElemKind::I32);
+                        m.put_field(payload);
+                        m.load(p);
+                        m.load(2);
+                        m.put_field(doc);
+                        m.load(p);
+                        m.get_static(index);
+                        m.load(0);
+                        m.array_get(ElemKind::Ref);
+                        m.put_field(next);
+                        m.get_static(index);
+                        m.load(0);
+                        m.load(p);
+                        m.array_set(ElemKind::Ref);
+                    },
+                );
+            },
+        );
+        m.ret();
+        pb.define_method(build_ix, m);
+    }
+
+    // query(t): walk term t's chain scoring each posting.
+    let query = pb.declare_method("query", 1, false);
+    {
+        let mut m = MethodBuilder::new("query", 1, 2, false);
+        let cur = 1;
+        m.get_static(index);
+        m.load(0);
+        m.array_get(ElemKind::Ref);
+        m.store(cur);
+        let top = m.label();
+        let done = m.label();
+        m.bind(top);
+        m.load(cur);
+        m.is_null();
+        m.jump_if(done);
+        m.get_static(hits);
+        m.load(cur);
+        m.get_field(payload);
+        m.const_i(0);
+        m.array_get(ElemKind::I32);
+        m.load(cur);
+        m.get_field(doc);
+        m.add();
+        m.add();
+        m.put_static(hits);
+        m.load(cur);
+        m.get_field(next);
+        m.store(cur);
+        m.jump(top);
+        m.bind(done);
+        m.ret();
+        pb.define_method(query, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 2, false);
+    let rng = 1;
+    m.const_i(0x1_0c3a_1ea5);
+    m.store(rng);
+    m.const_i(TERMS);
+    m.new_array(ElemKind::Ref);
+    m.put_static(index);
+    // Merge rounds: rebuild the index, then fire a batch of queries.
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(2 + f);
+        },
+        |m| {
+            m.call(build_ix);
+            let q = m.new_local();
+            m.for_loop(
+                q,
+                move |m| {
+                    m.const_i(2500 * f);
+                },
+                |m| {
+                    m.rng_next(rng);
+                    m.const_i(TERMS);
+                    m.rem();
+                    m.call(query);
+                },
+            );
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "lusearch",
+        suite: Suite::DaCapo,
+        description: "index search: shuffled queries walking Posting::payload chains between segment merges",
+        program: pb.finish().expect("lusearch verifies"),
+        min_heap_bytes: 2560 * 1024,
+        hot_field: Some(("Posting", "payload")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lusearch_builds() {
+        assert_eq!(build(Size::Tiny).name, "lusearch");
+    }
+}

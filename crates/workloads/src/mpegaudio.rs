@@ -1,0 +1,164 @@
+//! `_222_mpegaudio` — MP3 decoding as streaming DSP.
+//!
+//! Like `compress`, mpegaudio has "no candidate objects for
+//! co-allocation" (Figure 3): it decodes frames by filter passes over
+//! large sample arrays, allocating almost nothing after startup. The
+//! paper notes its execution-time numbers vary ±5 % purely from event
+//! monitoring, not co-allocation.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const SAMPLES: i64 = 16 * 1024;
+const COEFFS: i64 = 32;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let pcm = pb.add_static("pcm", FieldType::Ref);
+    let filt = pb.add_static("filter", FieldType::Ref);
+    let out = pb.add_static("out", FieldType::Ref);
+    let checksum = pb.add_static("checksum", FieldType::Int);
+
+    // synth_frame(base): a 32-tap filter over one frame of samples.
+    let synth = pb.declare_method("synth_frame", 1, false);
+    {
+        let mut m = MethodBuilder::new("synth_frame", 1, 3, false);
+        let acc = 1;
+        m.for_loop(
+            2,
+            |m| {
+                m.const_i(576);
+            },
+            |m| {
+                m.const_i(0);
+                m.store(acc);
+                m.for_loop(
+                    0,
+                    |m| {
+                        m.const_i(COEFFS);
+                    },
+                    |m| {
+                        // acc += pcm[(base + i + t) % SAMPLES] * filter[t]
+                        m.load(acc);
+                        m.get_static(pcm);
+                        m.load(1); // base
+                        m.load(2); // i
+                        m.add();
+                        m.load(0); // t
+                        m.add();
+                        m.const_i(SAMPLES);
+                        m.rem();
+                        m.array_get(ElemKind::I32);
+                        m.get_static(filt);
+                        m.load(0);
+                        m.array_get(ElemKind::I32);
+                        m.mul();
+                        m.add();
+                        m.store(acc);
+                    },
+                );
+                m.get_static(out);
+                m.load(1);
+                m.load(2);
+                m.add();
+                m.const_i(SAMPLES);
+                m.rem();
+                m.load(acc);
+                m.const_i(11);
+                m.shr();
+                m.array_set(ElemKind::I32);
+            },
+        );
+        m.ret();
+        pb.define_method(synth, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 2, false);
+    m.const_i(SAMPLES);
+    m.new_array(ElemKind::I32);
+    m.put_static(pcm);
+    m.const_i(SAMPLES);
+    m.new_array(ElemKind::I32);
+    m.put_static(out);
+    m.const_i(COEFFS);
+    m.new_array(ElemKind::I32);
+    m.put_static(filt);
+    m.for_loop(
+        0,
+        |m| {
+            m.const_i(SAMPLES);
+        },
+        |m| {
+            m.get_static(pcm);
+            m.load(0);
+            m.load(0);
+            m.const_i(17);
+            m.mul();
+            m.const_i(0xffff);
+            m.and();
+            m.array_set(ElemKind::I32);
+        },
+    );
+    m.for_loop(
+        0,
+        |m| {
+            m.const_i(COEFFS);
+        },
+        |m| {
+            m.get_static(filt);
+            m.load(0);
+            m.load(0);
+            m.const_i(3);
+            m.add();
+            m.array_set(ElemKind::I32);
+        },
+    );
+    // Decode frames.
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(12 * f);
+        },
+        |m| {
+            m.load(0);
+            m.const_i(576);
+            m.mul();
+            m.const_i(SAMPLES);
+            m.rem();
+            m.call(synth);
+        },
+    );
+    m.get_static(out);
+    m.const_i(1);
+    m.array_get(ElemKind::I32);
+    m.put_static(checksum);
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "mpegaudio",
+        suite: Suite::SpecJvm98,
+        description: "MP3-style synthesis filter over large sample arrays; allocation-free steady state",
+        program: pb.finish().expect("mpegaudio verifies"),
+        min_heap_bytes: 384 * 1024,
+        hot_field: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpegaudio_builds() {
+        let w = build(Size::Tiny);
+        assert_eq!(w.name, "mpegaudio");
+        assert_eq!(w.hot_field, None);
+    }
+}

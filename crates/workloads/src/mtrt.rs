@@ -1,0 +1,155 @@
+//! `_227_mtrt` — a multithreaded ray tracer (modelled single-threaded,
+//! as the deterministic simulation requires).
+//!
+//! mtrt allocates enormous numbers of *short-lived* vector objects that
+//! die in the nursery; its mature working set is small. The paper's
+//! numbers show essentially no co-allocation benefit for it: nursery
+//! objects never reach the free-list space where co-allocation acts.
+//!
+//! The model: per-ray `Vec3` triples allocated, combined, and dropped,
+//! against a small immortal scene of spheres.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const SPHERES: i64 = 64;
+const RAYS_PER_ROUND: i64 = 6000;
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let vec3 = pb.add_class(
+        "Vec3",
+        &[("x", FieldType::Int), ("y", FieldType::Int), ("z", FieldType::Int)],
+    );
+    let fx = pb.field_id(vec3, "x").unwrap();
+    let fy = pb.field_id(vec3, "y").unwrap();
+    let fz = pb.field_id(vec3, "z").unwrap();
+    let scene = pb.add_static("scene", FieldType::Ref); // i32[4*SPHERES]
+    let image = pb.add_static("image", FieldType::Int);
+
+    // trace(seed) -> int: allocate direction/origin vectors, test against
+    // every sphere, return a shade.
+    let trace = pb.declare_method("trace", 1, true);
+    {
+        let mut m = MethodBuilder::new("trace", 1, 4, true);
+        let dir = 1;
+        let acc = 2;
+        m.new_object(vec3);
+        m.store(dir);
+        m.load(dir);
+        m.load(0);
+        m.const_i(0xff);
+        m.and();
+        m.put_field(fx);
+        m.load(dir);
+        m.load(0);
+        m.const_i(8);
+        m.shr();
+        m.const_i(0xff);
+        m.and();
+        m.put_field(fy);
+        m.load(dir);
+        m.const_i(255);
+        m.put_field(fz);
+        m.const_i(0);
+        m.store(acc);
+        m.for_loop(
+            3,
+            |m| {
+                m.const_i(SPHERES);
+            },
+            |m| {
+                // acc += dir.x*scene[4s] + dir.y*scene[4s+1] + dir.z*scene[4s+2]
+                m.load(acc);
+                m.load(dir);
+                m.get_field(fx);
+                m.get_static(scene);
+                m.load(3);
+                m.const_i(4);
+                m.mul();
+                m.array_get(ElemKind::I32);
+                m.mul();
+                m.add();
+                m.load(dir);
+                m.get_field(fy);
+                m.get_static(scene);
+                m.load(3);
+                m.const_i(4);
+                m.mul();
+                m.const_i(1);
+                m.add();
+                m.array_get(ElemKind::I32);
+                m.mul();
+                m.add();
+                m.store(acc);
+            },
+        );
+        m.load(acc);
+        m.ret_val();
+        pb.define_method(trace, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 2, false);
+    let rng = 1;
+    m.const_i(0x7ace_7ace);
+    m.store(rng);
+    m.const_i(SPHERES * 4);
+    m.new_array(ElemKind::I32);
+    m.put_static(scene);
+    m.for_loop(
+        0,
+        |m| {
+            m.const_i(SPHERES * 4);
+        },
+        |m| {
+            m.get_static(scene);
+            m.load(0);
+            m.load(0);
+            m.const_i(37);
+            m.mul();
+            m.const_i(1023);
+            m.and();
+            m.array_set(ElemKind::I32);
+        },
+    );
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(RAYS_PER_ROUND * f);
+        },
+        |m| {
+            m.get_static(image);
+            m.rng_next(rng);
+            m.call(trace);
+            m.add();
+            m.put_static(image);
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "mtrt",
+        suite: Suite::SpecJvm98,
+        description: "ray tracer: short-lived Vec3 objects that die young; tiny mature working set",
+        program: pb.finish().expect("mtrt verifies"),
+        min_heap_bytes: 384 * 1024,
+        hot_field: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtrt_builds() {
+        assert_eq!(build(Size::Tiny).name, "mtrt");
+    }
+}

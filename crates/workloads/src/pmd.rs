@@ -1,0 +1,194 @@
+//! `pmd` (DaCapo) — static analysis of Java source.
+//!
+//! pmd walks ASTs applying rule visitors; it is one of the programs with
+//! both a large co-allocation count and a visible L1-miss reduction in
+//! the paper (Figures 3 and 4).
+//!
+//! The model: files become `AstNode { children, attrs, kind }` trees
+//! (children are small ref-arrays); rule passes visit every node reading
+//! `AstNode::attrs`, and files are re-parsed steadily (churn).
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const FILES: i64 = 24;
+const NODE_FANOUT: i64 = 4;
+const TREE_DEPTH: i64 = 5; // 4^5 ≈ 1365 nodes per file
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let node = pb.add_class(
+        "AstNode",
+        &[("children", FieldType::Ref), ("attrs", FieldType::Ref), ("kind", FieldType::Int)],
+    );
+    let children = pb.field_id(node, "children").unwrap();
+    let attrs = pb.field_id(node, "attrs").unwrap();
+    let kind = pb.field_id(node, "kind").unwrap();
+    let files = pb.add_static("files", FieldType::Ref);
+    let violations = pb.add_static("violations", FieldType::Int);
+
+    // parse(depth) -> AstNode
+    let parse = pb.declare_method("parse", 1, true);
+    {
+        let mut m = MethodBuilder::new("parse", 1, 2, true);
+        let n = 1;
+        m.new_object(node);
+        m.store(n);
+        m.load(n);
+        m.const_i(2);
+        m.new_array(ElemKind::I32);
+        m.put_field(attrs);
+        m.load(n);
+        m.load(0);
+        m.put_field(kind);
+        let leaf = m.label();
+        m.load(0);
+        m.const_i(0);
+        m.le();
+        m.jump_if(leaf);
+        m.load(n);
+        m.const_i(NODE_FANOUT);
+        m.new_array(ElemKind::Ref);
+        m.put_field(children);
+        m.for_loop(
+            2,
+            |m| {
+                m.const_i(NODE_FANOUT);
+            },
+            |m| {
+                m.load(n);
+                m.get_field(children);
+                m.load(2);
+                m.load(0);
+                m.const_i(1);
+                m.sub();
+                m.call(parse);
+                m.array_set(ElemKind::Ref);
+            },
+        );
+        m.bind(leaf);
+        m.load(n);
+        m.ret_val();
+        pb.define_method(parse, m);
+    }
+
+    // visit(node) -> int: recursive rule pass reading attrs.
+    let visit = pb.declare_method("visit", 1, true);
+    {
+        let mut m = MethodBuilder::new("visit", 1, 2, true);
+        let acc = 1;
+        m.load(0);
+        m.get_field(attrs);
+        m.const_i(0);
+        m.array_get(ElemKind::I32);
+        m.load(0);
+        m.get_field(kind);
+        m.add();
+        m.store(acc);
+        let leaf = m.label();
+        m.load(0);
+        m.get_field(children);
+        m.is_null();
+        m.jump_if(leaf);
+        m.for_loop(
+            2,
+            |m| {
+                m.const_i(NODE_FANOUT);
+            },
+            |m| {
+                m.load(acc);
+                m.load(0);
+                m.get_field(children);
+                m.load(2);
+                m.array_get(ElemKind::Ref);
+                m.call(visit);
+                m.add();
+                m.store(acc);
+            },
+        );
+        m.bind(leaf);
+        m.load(acc);
+        m.ret_val();
+        pb.define_method(visit, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 1, false);
+    m.const_i(FILES);
+    m.new_array(ElemKind::Ref);
+    m.put_static(files);
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(2 + f);
+        },
+        |m| {
+            // Re-parse every file, then run 3 rule passes over all files.
+            let i = m.new_local();
+            m.for_loop(
+                i,
+                |m| {
+                    m.const_i(FILES);
+                },
+                |m| {
+                    m.get_static(files);
+                    m.load(i);
+                    m.const_i(TREE_DEPTH);
+                    m.call(parse);
+                    m.array_set(ElemKind::Ref);
+                },
+            );
+            let p = m.new_local();
+            m.for_loop(
+                p,
+                |m| {
+                    m.const_i(3);
+                },
+                |m| {
+                    let j = m.new_local();
+                    m.for_loop(
+                        j,
+                        |m| {
+                            m.const_i(FILES);
+                        },
+                        |m| {
+                            m.get_static(violations);
+                            m.get_static(files);
+                            m.load(j);
+                            m.array_get(ElemKind::Ref);
+                            m.call(visit);
+                            m.add();
+                            m.put_static(violations);
+                        },
+                    );
+                },
+            );
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "pmd",
+        suite: Suite::DaCapo,
+        description: "source analyzer: rule visitors over AstNode→attrs trees, re-parsed each round",
+        program: pb.finish().expect("pmd verifies"),
+        min_heap_bytes: 8 * 1024 * 1024,
+        hot_field: Some(("AstNode", "attrs")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmd_builds() {
+        assert_eq!(build(Size::Tiny).name, "pmd");
+    }
+}

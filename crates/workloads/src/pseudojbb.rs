@@ -1,0 +1,167 @@
+//! `pseudojbb` — SPEC JBB2000 with a fixed transaction count.
+//!
+//! The paper's analysis of jbb is specific: "there are many frequently
+//! missed objects (2.4 million objects were co-allocated) and ... the
+//! majority of those objects are relatively large (long[] arrays with a
+//! size of >128 bytes). As a consequence, optimizing for reduced cache
+//! misses at the cache-line level does not yield a significant benefit"
+//! — many co-allocations, little payoff, because parent and child cannot
+//! share a 128-byte line when the child alone exceeds it.
+//!
+//! The model: warehouses process orders; each `Order` holds a `long[20]`
+//! (176 bytes > one cache line). Orders churn constantly (high promotion
+//! rate → the large co-allocation counts of Figure 3).
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType};
+
+use crate::framework::{Size, Suite, Workload};
+
+const WAREHOUSE_ORDERS: i64 = 1500;
+const ITEMS: i64 = 20; // long[20] = 176 bytes with header: > 128-byte line
+
+/// Build the workload.
+#[must_use]
+pub fn build(size: Size) -> Workload {
+    let f = size.factor();
+    let mut pb = ProgramBuilder::new();
+    let order = pb.add_class(
+        "Order",
+        &[("items", FieldType::Ref), ("id", FieldType::Int)],
+    );
+    let items = pb.field_id(order, "items").unwrap();
+    let id = pb.field_id(order, "id").unwrap();
+    let warehouse = pb.add_static("warehouse", FieldType::Ref);
+    let total = pb.add_static("total", FieldType::Int);
+
+    // new_order(i) -> Order
+    let new_order = pb.declare_method("new_order", 1, true);
+    {
+        let mut m = MethodBuilder::new("new_order", 1, 2, true);
+        let o = 1;
+        m.new_object(order);
+        m.store(o);
+        m.load(o);
+        m.const_i(ITEMS);
+        m.new_array(ElemKind::I64);
+        m.put_field(items);
+        m.load(o);
+        m.load(0);
+        m.put_field(id);
+        m.for_loop(
+            2,
+            |m| {
+                m.const_i(ITEMS);
+            },
+            |m| {
+                m.load(o);
+                m.get_field(items);
+                m.load(2);
+                m.load(0);
+                m.load(2);
+                m.mul();
+                m.array_set(ElemKind::I64);
+            },
+        );
+        m.load(o);
+        m.ret_val();
+        pb.define_method(new_order, m);
+    }
+
+    // process(idx): replace the order at idx and tally its items — the
+    // Order::items dereference is the hot (but unprofitable) edge.
+    let process = pb.declare_method("process", 1, false);
+    {
+        let mut m = MethodBuilder::new("process", 1, 3, false);
+        let o = 1;
+        m.get_static(warehouse);
+        m.load(0);
+        m.load(0);
+        m.call(new_order);
+        m.array_set(ElemKind::Ref);
+        m.get_static(warehouse);
+        m.load(0);
+        m.array_get(ElemKind::Ref);
+        m.store(o);
+        m.for_loop(
+            2,
+            |m| {
+                m.const_i(ITEMS);
+            },
+            |m| {
+                m.get_static(total);
+                m.load(o);
+                m.get_field(items);
+                m.load(2);
+                m.array_get(ElemKind::I64);
+                m.add();
+                m.put_static(total);
+            },
+        );
+        m.ret();
+        pb.define_method(process, m);
+    }
+
+    let mut m = MethodBuilder::new("main", 0, 2, false);
+    let rng = 1;
+    m.const_i(0x0bb0_cafe);
+    m.store(rng);
+    m.const_i(WAREHOUSE_ORDERS);
+    m.new_array(ElemKind::Ref);
+    m.put_static(warehouse);
+    m.for_loop(
+        0,
+        |m| {
+            m.const_i(WAREHOUSE_ORDERS);
+        },
+        |m| {
+            m.get_static(warehouse);
+            m.load(0);
+            m.load(0);
+            m.call(new_order);
+            m.array_set(ElemKind::Ref);
+        },
+    );
+    // Fixed transaction count (n = 100000 in the paper; scaled here).
+    m.for_loop(
+        0,
+        move |m| {
+            m.const_i(9000 * f);
+        },
+        |m| {
+            m.rng_next(rng);
+            m.const_i(WAREHOUSE_ORDERS);
+            m.rem();
+            m.call(process);
+        },
+    );
+    m.ret();
+    let main = pb.add_method(m);
+    pb.set_entry(main);
+
+    Workload {
+        name: "pseudojbb",
+        suite: Suite::PseudoJbb,
+        description: "order processing: heavy churn of Order→long[20] pairs whose children exceed one cache line",
+        program: pb.finish().expect("pseudojbb verifies"),
+        min_heap_bytes: 768 * 1024,
+        hot_field: Some(("Order", "items")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpmopt_bytecode::OBJECT_HEADER_BYTES;
+
+    #[test]
+    fn order_items_exceed_one_cache_line() {
+        // The workload's defining property (paper Section 6.3).
+        assert!(OBJECT_HEADER_BYTES + 8 * ITEMS as u64 > 128);
+    }
+
+    #[test]
+    fn pseudojbb_builds() {
+        assert_eq!(build(Size::Tiny).suite, Suite::PseudoJbb);
+    }
+}

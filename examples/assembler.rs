@@ -1,0 +1,141 @@
+//! Write a guest program as assembly text, run it monitored, and watch
+//! the pipeline find its hot field.
+//!
+//! ```text
+//! cargo run --release --example assembler
+//! ```
+
+use hpmopt::bytecode::asm;
+use hpmopt::core::runtime::{HpmRuntime, RunConfig};
+use hpmopt::gc::{CollectorKind, HeapConfig};
+use hpmopt::hpm::{HpmConfig, SamplingInterval};
+use hpmopt::vm::VmConfig;
+
+const SOURCE: &str = r"
+    # A ring of Cell objects, each holding a small payload array.
+    # Walking the ring dereferences Cell.data every step - the hot edge.
+    class Cell { ref next; ref data; }
+    static ring: ref;
+    static sum: int;
+
+    method build(1) locals=3 {        # build(n): ring of n cells
+        const_null
+        store 1
+    fill:
+        load 0
+        const 0
+        le
+        jump_if close
+        new Cell
+        store 2
+        load 2
+        const 4
+        new_array i64
+        put_field Cell.data
+        load 2
+        load 1
+        put_field Cell.next
+        load 2
+        store 1
+        load 0
+        const 1
+        sub
+        store 0
+        jump fill
+    close:
+        load 1
+        put_static ring
+        return
+    }
+
+    method walk(1) locals=2 {         # walk(steps)
+        get_static ring
+        store 1
+    step:
+        load 0
+        const 0
+        le
+        jump_if done
+        load 1
+        is_null
+        jump_if rewind
+        get_static sum
+        load 1
+        get_field Cell.data
+        const 0
+        array_get i64
+        add
+        put_static sum
+        load 1
+        get_field Cell.next
+        store 1
+        load 0
+        const 1
+        sub
+        store 0
+        jump step
+    rewind:
+        get_static ring
+        store 1
+        jump step
+    done:
+        return
+    }
+
+    method main(0) locals=1 {
+        const 0
+        store 0
+    round:
+        load 0
+        const 6
+        ge
+        jump_if finished
+        const 3000
+        call build
+        const 60000
+        call walk
+        load 0
+        const 1
+        add
+        store 0
+        jump round
+    finished:
+        return
+    }
+";
+
+fn main() {
+    let program = asm::assemble(SOURCE).expect("assembly is well-formed");
+    println!(
+        "assembled: {} classes, {} methods, {} instructions",
+        program.classes().len(),
+        program.methods().len(),
+        program.total_instructions()
+    );
+
+    let mut vm = VmConfig::default();
+    vm.heap = HeapConfig {
+        heap_bytes: 4 * 1024 * 1024,
+        nursery_bytes: 256 * 1024,
+        los_bytes: 16 * 1024 * 1024,
+        collector: CollectorKind::GenMs,
+        cost: Default::default(),
+    };
+    let config = RunConfig {
+        vm,
+        hpm: HpmConfig {
+            interval: SamplingInterval::Fixed(1024),
+            buffer_capacity: 256,
+            cpu_hz: 100_000_000,
+            ..HpmConfig::default()
+        },
+        coalloc: true,
+        ..RunConfig::default()
+    };
+    let report = HpmRuntime::new(config).run(&program).expect("program runs");
+
+    println!("cycles: {}, L1 misses: {}", report.cycles, report.vm.mem.l1_misses);
+    println!("hottest fields: {:?}", &report.field_totals[..report.field_totals.len().min(3)]);
+    println!("decisions: {:?}", report.decisions);
+    println!("co-allocated: {}", report.vm.gc.objects_coallocated);
+}

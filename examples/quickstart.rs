@@ -1,0 +1,80 @@
+//! Quickstart: run one benchmark under HPM-guided co-allocation and
+//! print what the monitoring infrastructure saw.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload]
+//! ```
+
+use hpmopt::core::runtime::{HpmRuntime, RunConfig};
+use hpmopt::gc::{CollectorKind, HeapConfig};
+use hpmopt::hpm::{HpmConfig, SamplingInterval};
+use hpmopt::vm::VmConfig;
+use hpmopt::workloads::{self, Size};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "db".to_string());
+    let Some(w) = workloads::by_name(&name, Size::Small) else {
+        eprintln!(
+            "unknown workload {name:?}; available: {}",
+            workloads::names().join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    println!("workload: {} ({}) — {}", w.name, w.suite, w.description);
+
+    let mut vm = VmConfig::default();
+    vm.heap = HeapConfig {
+        heap_bytes: w.min_heap_bytes * 4,
+        nursery_bytes: 256 * 1024,
+        los_bytes: 64 * 1024 * 1024,
+        collector: CollectorKind::GenMs,
+        cost: Default::default(),
+    };
+    let config = RunConfig {
+        vm,
+        hpm: HpmConfig {
+            interval: SamplingInterval::Fixed(2048),
+            buffer_capacity: 256,
+            cpu_hz: 100_000_000,
+            ..HpmConfig::default()
+        },
+        coalloc: true,
+        ..RunConfig::default()
+    };
+
+    let report = HpmRuntime::new(config)
+        .run(&w.program)
+        .expect("workload completes");
+
+    println!("\nexecution");
+    println!("  cycles:            {:>14}", report.cycles);
+    println!("  bytecodes:         {:>14}", report.vm.bytecodes_executed);
+    println!("  L1 misses:         {:>14}", report.vm.mem.l1_misses);
+    println!("  L2 misses:         {:>14}", report.vm.mem.l2_misses);
+
+    println!("\ngarbage collection");
+    println!("  minor collections: {:>14}", report.vm.gc.minor_collections);
+    println!("  major collections: {:>14}", report.vm.gc.major_collections);
+    println!("  objects promoted:  {:>14}", report.vm.gc.objects_promoted);
+    println!("  co-allocated:      {:>14}", report.vm.gc.objects_coallocated);
+
+    println!("\nmonitoring");
+    println!("  events observed:   {:>14}", report.hpm.events);
+    println!("  samples taken:     {:>14}", report.hpm.samples);
+    println!("  attributed:        {:>14}", report.attribution.attributed);
+    println!("  overhead cycles:   {:>14}", report.vm.monitor_cycles);
+
+    println!("\nhottest fields (by sampled misses)");
+    for (field, n) in report.field_totals.iter().take(5) {
+        println!("  {field:<24} {n:>8}");
+    }
+
+    println!("\nco-allocation decisions");
+    if report.decisions.is_empty() {
+        println!("  (none — no field crossed the miss threshold)");
+    }
+    for (class, field) in &report.decisions {
+        println!("  co-allocate {field} children with their {class} parent");
+    }
+}

@@ -1,0 +1,40 @@
+//! # hpmopt — online optimizations driven by hardware performance monitoring
+//!
+//! A pure-Rust reproduction of *Schneider, Payer, Gross: "Online
+//! Optimizations Driven by Hardware Performance Monitoring" (PLDI 2007)*:
+//! a managed runtime whose JIT compiler and garbage collector consume
+//! precise, per-instruction cache-miss samples from a (simulated) hardware
+//! performance-monitoring unit, and use them to co-allocate heap objects
+//! online for better data locality.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`bytecode`] — class model, instruction set, program builder
+//! - [`memsim`] — memory-hierarchy simulator (caches, DTLB, prefetcher)
+//! - [`gc`] — generational collectors with co-allocation support
+//! - [`vm`] — execution engine, compilation tiers, machine-code maps, AOS
+//! - [`hpm`] — PEBS-style sampling unit, kernel buffer, collector thread
+//! - [`core`] — the paper's contribution: sample attribution, per-field
+//!   miss monitoring, co-allocation policy, and optimization feedback
+//! - [`workloads`] — the 16 synthetic benchmark programs of Table 1
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hpmopt::core::runtime::{HpmRuntime, RunConfig};
+//! use hpmopt::workloads;
+//!
+//! let workload = workloads::by_name("fop", workloads::Size::Tiny).unwrap();
+//! let report = HpmRuntime::new(RunConfig::default())
+//!     .run(&workload.program)
+//!     .unwrap();
+//! assert!(report.cycles > 0);
+//! ```
+
+pub use hpmopt_bytecode as bytecode;
+pub use hpmopt_core as core;
+pub use hpmopt_gc as gc;
+pub use hpmopt_hpm as hpm;
+pub use hpmopt_memsim as memsim;
+pub use hpmopt_vm as vm;
+pub use hpmopt_workloads as workloads;

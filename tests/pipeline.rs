@@ -1,0 +1,154 @@
+//! Cross-crate pipeline invariants: sample attribution accuracy, map
+//! ablation, overhead accounting, and collector equivalence.
+
+use hpmopt::core::runtime::{HpmRuntime, RunConfig};
+use hpmopt::gc::{CollectorKind, HeapConfig};
+use hpmopt::hpm::{HpmConfig, SamplingInterval};
+use hpmopt::vm::{CompilationPlan, VmConfig};
+use hpmopt::workloads::{self, Size, Workload};
+
+fn base_config(w: &Workload) -> RunConfig {
+    let mut vm = VmConfig::default();
+    vm.heap = HeapConfig {
+        heap_bytes: w.min_heap_bytes * 4,
+        nursery_bytes: 256 * 1024,
+        los_bytes: 64 * 1024 * 1024,
+        collector: CollectorKind::GenMs,
+        cost: Default::default(),
+    };
+    vm.plan = Some(CompilationPlan::new(
+        (0..w.program.methods().len() as u32)
+            .map(hpmopt::bytecode::MethodId)
+            .collect(),
+    ));
+    vm.aos.enabled = false;
+    RunConfig {
+        vm,
+        hpm: HpmConfig {
+            interval: SamplingInterval::Fixed(1024),
+            buffer_capacity: 256,
+            cpu_hz: 100_000_000,
+            ..HpmConfig::default()
+        },
+        coalloc: true,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn db_samples_attribute_to_the_declared_hot_field() {
+    let w = workloads::by_name("db", Size::Tiny).unwrap();
+    let report = HpmRuntime::new(base_config(&w)).run(&w.program).unwrap();
+    assert!(report.hpm.samples > 50, "need a sample population");
+    assert_eq!(
+        report.attribution.foreign, 0,
+        "every PC comes from registered code"
+    );
+    assert_eq!(
+        report.attribution.unmapped, 0,
+        "full maps leave nothing unmapped"
+    );
+    // The declared hot field must dominate the attributed misses.
+    let (top_field, top_count) = &report.field_totals[0];
+    assert_eq!(top_field, "String::value", "{:?}", report.field_totals);
+    assert!(
+        *top_count as f64 >= 0.5 * report.attribution.attributed as f64,
+        "hot field should take most attributed misses: {:?}",
+        report.field_totals
+    );
+}
+
+#[test]
+fn disabling_full_maps_loses_attribution_but_not_correctness() {
+    let w = workloads::by_name("db", Size::Tiny).unwrap();
+    let mut cfg = base_config(&w);
+    cfg.vm.full_mcmaps = false;
+    let report = HpmRuntime::new(cfg).run(&w.program).unwrap();
+    assert!(report.attribution.unmapped > 0, "stock maps drop samples");
+    assert!(report.cycles > 0, "the program itself is unaffected");
+}
+
+#[test]
+fn monitoring_overhead_is_accounted_and_bounded() {
+    let w = workloads::by_name("jess", Size::Tiny).unwrap();
+    let mut off = base_config(&w);
+    off.hpm.interval = SamplingInterval::Off;
+    off.coalloc = false;
+    let baseline = HpmRuntime::new(off).run(&w.program).unwrap();
+
+    let mut on = base_config(&w);
+    on.coalloc = false; // isolate monitoring cost
+    let monitored = HpmRuntime::new(on).run(&w.program).unwrap();
+
+    assert!(monitored.vm.monitor_cycles > 0);
+    let overhead = monitored.cycles as f64 / baseline.cycles as f64 - 1.0;
+    assert!(
+        overhead < 0.05,
+        "monitoring must stay cheap: {:.2}%",
+        overhead * 100.0
+    );
+    // The charged monitoring cycles explain (most of) the difference.
+    assert!(
+        monitored.cycles - baseline.cycles <= monitored.vm.monitor_cycles + baseline.cycles / 50,
+        "unaccounted overhead: base={} mon={} charged={}",
+        baseline.cycles,
+        monitored.cycles,
+        monitored.vm.monitor_cycles
+    );
+}
+
+#[test]
+fn collectors_compute_the_same_program_result() {
+    // The collector must be semantically invisible: identical bytecode
+    // counts under GenMS, GenMS+coalloc, and GenCopy.
+    let w = workloads::by_name("jess", Size::Tiny).unwrap();
+    let mut results = Vec::new();
+    for (collector, coalloc) in [
+        (CollectorKind::GenMs, false),
+        (CollectorKind::GenMs, true),
+        (CollectorKind::GenCopy, false),
+    ] {
+        let mut cfg = base_config(&w);
+        cfg.vm.heap.collector = collector;
+        cfg.coalloc = coalloc;
+        let r = HpmRuntime::new(cfg).run(&w.program).unwrap();
+        results.push(r.vm.bytecodes_executed);
+    }
+    assert_eq!(results[0], results[1], "co-allocation changes placement only");
+    assert_eq!(results[0], results[2], "collector choice changes placement only");
+}
+
+#[test]
+fn heap_sweep_trades_gc_count_for_space() {
+    let w = workloads::by_name("db", Size::Tiny).unwrap();
+    let mut collections = Vec::new();
+    for mult in [1u64, 4] {
+        let mut cfg = base_config(&w);
+        cfg.hpm.interval = SamplingInterval::Off;
+        cfg.coalloc = false;
+        cfg.vm.heap.heap_bytes = w.min_heap_bytes * mult;
+        let r = HpmRuntime::new(cfg).run(&w.program).unwrap();
+        collections.push(r.vm.gc.total_collections());
+    }
+    assert!(
+        collections[0] >= collections[1],
+        "a smaller heap cannot collect less: {collections:?}"
+    );
+}
+
+#[test]
+fn sampling_interval_controls_sample_volume() {
+    let w = workloads::by_name("db", Size::Tiny).unwrap();
+    let mut counts = Vec::new();
+    for interval in [512u64, 4096] {
+        let mut cfg = base_config(&w);
+        cfg.coalloc = false;
+        cfg.hpm.interval = SamplingInterval::Fixed(interval);
+        let r = HpmRuntime::new(cfg).run(&w.program).unwrap();
+        counts.push(r.hpm.samples);
+    }
+    assert!(
+        counts[0] > counts[1] * 3,
+        "8x finer interval must give several times the samples: {counts:?}"
+    );
+}

@@ -1,0 +1,78 @@
+//! End-to-end integration: every workload runs to completion under the
+//! fully monitored runtime, with sane statistics.
+
+use hpmopt::core::runtime::{HpmRuntime, RunConfig};
+use hpmopt::gc::{CollectorKind, HeapConfig};
+use hpmopt::hpm::{HpmConfig, SamplingInterval};
+use hpmopt::vm::VmConfig;
+use hpmopt::workloads::{self, Size, Workload};
+
+fn config_for(w: &Workload, collector: CollectorKind, coalloc: bool) -> RunConfig {
+    let mut vm = VmConfig::default();
+    vm.heap = HeapConfig {
+        heap_bytes: w.min_heap_bytes * 4,
+        nursery_bytes: 256 * 1024,
+        los_bytes: 64 * 1024 * 1024,
+        collector,
+        cost: Default::default(),
+    };
+    vm.step_limit = Some(400_000_000);
+    RunConfig {
+        vm,
+        hpm: HpmConfig {
+            interval: SamplingInterval::Fixed(2048),
+            buffer_capacity: 128,
+            ..HpmConfig::default()
+        },
+        coalloc,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn every_workload_completes_under_full_monitoring() {
+    for w in workloads::all(Size::Tiny) {
+        let report = HpmRuntime::new(config_for(&w, CollectorKind::GenMs, true))
+            .run(&w.program)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+        assert!(report.cycles > 0, "{}", w.name);
+        assert!(report.vm.bytecodes_executed > 1000, "{}", w.name);
+        assert!(report.vm.mem.accesses > 0, "{}", w.name);
+        eprintln!(
+            "{:>10}: {:>12} cycles, {:>9} bytecodes, {:>8} L1 misses, {} minor / {} major GCs, {} coalloc",
+            w.name,
+            report.cycles,
+            report.vm.bytecodes_executed,
+            report.vm.mem.l1_misses,
+            report.vm.gc.minor_collections,
+            report.vm.gc.major_collections,
+            report.vm.gc.objects_coallocated,
+        );
+    }
+}
+
+#[test]
+fn every_workload_completes_under_gencopy() {
+    for w in workloads::all(Size::Tiny) {
+        let report = HpmRuntime::new(config_for(&w, CollectorKind::GenCopy, false))
+            .run(&w.program)
+            .unwrap_or_else(|e| panic!("{} failed under GenCopy: {e}", w.name));
+        assert!(report.cycles > 0, "{}", w.name);
+    }
+}
+
+#[test]
+fn monitored_runs_are_deterministic() {
+    let w = workloads::by_name("db", Size::Tiny).unwrap();
+    let run = || {
+        HpmRuntime::new(config_for(&w, CollectorKind::GenMs, true))
+            .run(&w.program)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.vm.mem.l1_misses, b.vm.mem.l1_misses);
+    assert_eq!(a.hpm.samples, b.hpm.samples);
+    assert_eq!(a.vm.gc.objects_coallocated, b.vm.gc.objects_coallocated);
+}
