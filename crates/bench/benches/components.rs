@@ -3,195 +3,216 @@
 //! interest analysis. These quantify the *simulator's* own performance
 //! (how fast experiments run), complementing the `experiments` binary
 //! that reproduces the paper's numbers.
+//!
+//! Requires the `bench-criterion` feature (plus a `criterion`
+//! dev-dependency, which the default offline build omits).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
-use hpmopt_bytecode::{ElemKind, FieldType, Program};
-use hpmopt_core::interest::analyze_method;
-use hpmopt_core::mapping::SampleResolver;
-use hpmopt_gc::policy::NoCoalloc;
-use hpmopt_gc::{Heap, HeapConfig};
-use hpmopt_memsim::{AccessKind, MemConfig, MemoryHierarchy};
-use hpmopt_vm::compiler::compile;
-use hpmopt_vm::machine::Tier;
-use hpmopt_vm::{NoHooks, Vm, VmConfig};
-
-fn bench_program() -> Program {
-    let mut pb = ProgramBuilder::new();
-    let node = pb.add_class("Node", &[("next", FieldType::Ref), ("v", FieldType::Int)]);
-    let next = pb.field_id(node, "next").unwrap();
-    let v = pb.field_id(node, "v").unwrap();
-    let mut m = MethodBuilder::new("main", 0, 3, false);
-    // Build a 256-node list, then sum it 50 times.
-    m.const_null();
-    m.store(1);
-    m.for_loop(
-        0,
-        |m| {
-            m.const_i(256);
-        },
-        |m| {
-            m.new_object(node);
-            m.store(2);
-            m.load(2);
-            m.load(1);
-            m.put_field(next);
-            m.load(2);
-            m.load(0);
-            m.put_field(v);
-            m.load(2);
-            m.store(1);
-        },
+#[cfg(not(feature = "bench-criterion"))]
+fn main() {
+    eprintln!(
+        "components benches are disabled: rebuild with --features bench-criterion \
+         after adding the criterion dev-dependency"
     );
-    m.for_loop(
-        0,
-        |m| {
-            m.const_i(50);
-        },
-        |m| {
-            let cur = m.new_local();
-            m.load(1);
-            m.store(cur);
-            let top = m.label();
-            let done = m.label();
-            m.bind(top);
-            m.load(cur);
-            m.is_null();
-            m.jump_if(done);
-            m.load(cur);
-            m.get_field(v);
-            m.pop();
-            m.load(cur);
-            m.get_field(next);
-            m.store(cur);
-            m.jump(top);
-            m.bind(done);
-        },
-    );
-    m.ret();
-    let id = pb.add_method(m);
-    pb.set_entry(id);
-    pb.finish().unwrap()
 }
 
-fn cache_hierarchy(c: &mut Criterion) {
-    c.bench_function("memsim/access_mixed_1k", |b| {
-        let mut mem = MemoryHierarchy::new(MemConfig::pentium4());
-        let mut addr = 0x1000_0000u64;
-        b.iter(|| {
-            for i in 0..1024u64 {
-                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(i) % (1 << 24);
-                black_box(mem.access(0x1000_0000 + (addr & !7), 8, AccessKind::Read));
-            }
+#[cfg(feature = "bench-criterion")]
+fn main() {
+    harness::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}
+
+#[cfg(feature = "bench-criterion")]
+mod harness {
+    use criterion::{criterion_group, Criterion};
+    use std::hint::black_box;
+
+    use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+    use hpmopt_bytecode::{ElemKind, FieldType, Program};
+    use hpmopt_core::interest::analyze_method;
+    use hpmopt_core::mapping::SampleResolver;
+    use hpmopt_gc::policy::NoCoalloc;
+    use hpmopt_gc::{Heap, HeapConfig};
+    use hpmopt_memsim::{AccessKind, MemConfig, MemoryHierarchy};
+    use hpmopt_vm::compiler::compile;
+    use hpmopt_vm::machine::Tier;
+    use hpmopt_vm::{NoHooks, Vm, VmConfig};
+
+    fn bench_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let node = pb.add_class("Node", &[("next", FieldType::Ref), ("v", FieldType::Int)]);
+        let next = pb.field_id(node, "next").unwrap();
+        let v = pb.field_id(node, "v").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 3, false);
+        // Build a 256-node list, then sum it 50 times.
+        m.const_null();
+        m.store(1);
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(256);
+            },
+            |m| {
+                m.new_object(node);
+                m.store(2);
+                m.load(2);
+                m.load(1);
+                m.put_field(next);
+                m.load(2);
+                m.load(0);
+                m.put_field(v);
+                m.load(2);
+                m.store(1);
+            },
+        );
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(50);
+            },
+            |m| {
+                let cur = m.new_local();
+                m.load(1);
+                m.store(cur);
+                let top = m.label();
+                let done = m.label();
+                m.bind(top);
+                m.load(cur);
+                m.is_null();
+                m.jump_if(done);
+                m.load(cur);
+                m.get_field(v);
+                m.pop();
+                m.load(cur);
+                m.get_field(next);
+                m.store(cur);
+                m.jump(top);
+                m.bind(done);
+            },
+        );
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        pb.finish().unwrap()
+    }
+
+    fn cache_hierarchy(c: &mut Criterion) {
+        c.bench_function("memsim/access_mixed_1k", |b| {
+            let mut mem = MemoryHierarchy::new(MemConfig::pentium4());
+            let mut addr = 0x1000_0000u64;
+            b.iter(|| {
+                for i in 0..1024u64 {
+                    addr = addr.wrapping_mul(6364136223846793005).wrapping_add(i) % (1 << 24);
+                    black_box(mem.access(0x1000_0000 + (addr & !7), 8, AccessKind::Read));
+                }
+            });
         });
-    });
-}
+    }
 
-fn gc_alloc_and_collect(c: &mut Criterion) {
-    let program = bench_program();
-    let node = program.class_by_name("Node").unwrap();
-    c.bench_function("gc/alloc_collect_cycle", |b| {
-        b.iter(|| {
-            let mut heap = Heap::new(&program, HeapConfig::small());
-            let mut roots = Vec::new();
-            for _ in 0..1000 {
-                match heap.alloc_object(node) {
-                    Ok(a) => {
-                        if roots.len() < 64 {
-                            roots.push(a);
+    fn gc_alloc_and_collect(c: &mut Criterion) {
+        let program = bench_program();
+        let node = program.class_by_name("Node").unwrap();
+        c.bench_function("gc/alloc_collect_cycle", |b| {
+            b.iter(|| {
+                let mut heap = Heap::new(&program, HeapConfig::small());
+                let mut roots = Vec::new();
+                for _ in 0..1000 {
+                    match heap.alloc_object(node) {
+                        Ok(a) => {
+                            if roots.len() < 64 {
+                                roots.push(a);
+                            }
+                        }
+                        Err(_) => {
+                            heap.collect_minor(&mut roots, &NoCoalloc).unwrap();
                         }
                     }
-                    Err(_) => {
-                        heap.collect_minor(&mut roots, &NoCoalloc).unwrap();
-                    }
                 }
-            }
-            black_box(heap.stats());
+                black_box(heap.stats());
+            });
         });
-    });
-}
+    }
 
-fn interpreter_throughput(c: &mut Criterion) {
-    let program = bench_program();
-    c.bench_function("vm/interpret_list_sums", |b| {
-        b.iter(|| {
-            let mut vm = Vm::new(&program, VmConfig::test());
-            black_box(vm.run(&mut NoHooks).unwrap().cycles);
+    fn interpreter_throughput(c: &mut Criterion) {
+        let program = bench_program();
+        c.bench_function("vm/interpret_list_sums", |b| {
+            b.iter(|| {
+                let mut vm = Vm::new(&program, VmConfig::test());
+                black_box(vm.run(&mut NoHooks).unwrap().cycles);
+            });
         });
-    });
-}
+    }
 
-fn sample_resolution(c: &mut Criterion) {
-    let program = bench_program();
-    let code = compile(&program, program.entry(), Tier::Opt, 0x4000_0000, true);
-    let pcs: Vec<u64> = (0..code.machine_len() as u64)
-        .map(|i| 0x4000_0000 + i * 4)
-        .collect();
-    let mut resolver = SampleResolver::new();
-    resolver.register(code);
-    c.bench_function("core/resolve_pc", |b| {
-        b.iter(|| {
-            for &pc in &pcs {
-                black_box(resolver.resolve(pc).ok());
-            }
+    fn sample_resolution(c: &mut Criterion) {
+        let program = bench_program();
+        let code = compile(&program, program.entry(), Tier::Opt, 0x4000_0000, true);
+        let pcs: Vec<u64> = (0..code.machine_len() as u64)
+            .map(|i| 0x4000_0000 + i * 4)
+            .collect();
+        let mut resolver = SampleResolver::new();
+        resolver.register(code);
+        c.bench_function("core/resolve_pc", |b| {
+            b.iter(|| {
+                for &pc in &pcs {
+                    black_box(resolver.resolve(pc).ok());
+                }
+            });
         });
-    });
-}
+    }
 
-fn interest_analysis(c: &mut Criterion) {
-    let program = bench_program();
-    c.bench_function("core/interest_analysis", |b| {
-        b.iter(|| black_box(analyze_method(&program, program.entry())));
-    });
-}
-
-fn coalloc_speedup(c: &mut Criterion) {
-    // The ablation headline at micro scale: a String/char[] pair read
-    // through the parent, co-allocated vs separate size classes.
-    let mut pb = ProgramBuilder::new();
-    let s = pb.add_class("S", &[("value", FieldType::Ref)]);
-    let _f = pb.field_id(s, "value").unwrap();
-    let mut m = MethodBuilder::new("main", 0, 0, false);
-    m.ret();
-    let id = pb.add_method(m);
-    pb.set_entry(id);
-    let program = pb.finish().unwrap();
-    let value_off = 16;
-
-    c.bench_function("gc/coalloc_locality_micro", |b| {
-        b.iter(|| {
-            let mut heap = Heap::new(&program, HeapConfig::small());
-            let mut mem = MemoryHierarchy::new(MemConfig::pentium4());
-            let mut policy = hpmopt_gc::policy::StaticPolicy::new();
-            policy.set(s, value_off);
-            let mut roots = Vec::new();
-            for _ in 0..64 {
-                let p = heap.alloc_object(s).unwrap();
-                let v = heap.alloc_array(ElemKind::I16, 16).unwrap();
-                heap.set_field(p, value_off, v.0, true);
-                roots.push(p);
-            }
-            heap.collect_minor(&mut roots, &policy).unwrap();
-            let mut cycles = 0u64;
-            for &p in &roots {
-                cycles += mem.access(p.0 + value_off, 8, AccessKind::Read).cycles;
-                let v = heap.get_field(p, value_off);
-                cycles += mem.access(v + 16, 2, AccessKind::Read).cycles;
-            }
-            black_box(cycles);
+    fn interest_analysis(c: &mut Criterion) {
+        let program = bench_program();
+        c.bench_function("core/interest_analysis", |b| {
+            b.iter(|| black_box(analyze_method(&program, program.entry())));
         });
-    });
-}
+    }
 
-criterion_group!(
-    benches,
-    cache_hierarchy,
-    gc_alloc_and_collect,
-    interpreter_throughput,
-    sample_resolution,
-    interest_analysis,
-    coalloc_speedup,
-);
-criterion_main!(benches);
+    fn coalloc_speedup(c: &mut Criterion) {
+        // The ablation headline at micro scale: a String/char[] pair read
+        // through the parent, co-allocated vs separate size classes.
+        let mut pb = ProgramBuilder::new();
+        let s = pb.add_class("S", &[("value", FieldType::Ref)]);
+        let _f = pb.field_id(s, "value").unwrap();
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let program = pb.finish().unwrap();
+        let value_off = 16;
+
+        c.bench_function("gc/coalloc_locality_micro", |b| {
+            b.iter(|| {
+                let mut heap = Heap::new(&program, HeapConfig::small());
+                let mut mem = MemoryHierarchy::new(MemConfig::pentium4());
+                let mut policy = hpmopt_gc::policy::StaticPolicy::new();
+                policy.set(s, value_off);
+                let mut roots = Vec::new();
+                for _ in 0..64 {
+                    let p = heap.alloc_object(s).unwrap();
+                    let v = heap.alloc_array(ElemKind::I16, 16).unwrap();
+                    heap.set_field(p, value_off, v.0, true);
+                    roots.push(p);
+                }
+                heap.collect_minor(&mut roots, &policy).unwrap();
+                let mut cycles = 0u64;
+                for &p in &roots {
+                    cycles += mem.access(p.0 + value_off, 8, AccessKind::Read).cycles;
+                    let v = heap.get_field(p, value_off);
+                    cycles += mem.access(v + 16, 2, AccessKind::Read).cycles;
+                }
+                black_box(cycles);
+            });
+        });
+    }
+
+    criterion_group!(
+        benches,
+        cache_hierarchy,
+        gc_alloc_and_collect,
+        interpreter_throughput,
+        sample_resolution,
+        interest_analysis,
+        coalloc_speedup,
+    );
+}

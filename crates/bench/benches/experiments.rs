@@ -3,88 +3,109 @@
 //! exercises every table/figure pipeline and tracks the harness's own
 //! performance over time. The full-size numbers come from the
 //! `experiments` binary.
+//!
+//! Requires the `bench-criterion` feature (plus a `criterion`
+//! dev-dependency, which the default offline build omits).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-use hpmopt_bench::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, setup, table2};
-use hpmopt_workloads::{by_name, Size};
-
-fn small_set() -> Vec<hpmopt_workloads::Workload> {
-    vec![
-        by_name("fop", Size::Tiny).unwrap(),
-        by_name("db", Size::Tiny).unwrap(),
-    ]
+#[cfg(not(feature = "bench-criterion"))]
+fn main() {
+    eprintln!(
+        "experiments benches are disabled: rebuild with --features bench-criterion \
+         after adding the criterion dev-dependency"
+    );
 }
 
-fn bench_table2(c: &mut Criterion) {
-    let ws = small_set();
-    c.bench_function("experiments/table2_fop_db", |b| {
-        b.iter(|| black_box(table2::measure(&ws, Size::Tiny)));
-    });
+#[cfg(feature = "bench-criterion")]
+fn main() {
+    harness::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
 
-fn bench_fig2(c: &mut Criterion) {
-    let ws = vec![by_name("fop", Size::Tiny).unwrap()];
-    c.bench_function("experiments/fig2_fop", |b| {
-        b.iter(|| black_box(fig2::measure(&ws, Size::Tiny)));
-    });
-}
+#[cfg(feature = "bench-criterion")]
+mod harness {
+    use criterion::{criterion_group, Criterion};
+    use std::hint::black_box;
 
-fn bench_fig3(c: &mut Criterion) {
-    let ws = vec![by_name("fop", Size::Tiny).unwrap()];
-    c.bench_function("experiments/fig3_fop", |b| {
-        b.iter(|| black_box(fig3::measure(&ws, Size::Tiny)));
-    });
-}
+    use hpmopt_bench::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, setup, table2};
+    use hpmopt_workloads::{by_name, Size};
 
-fn bench_fig4(c: &mut Criterion) {
-    let ws = vec![by_name("db", Size::Tiny).unwrap()];
-    c.bench_function("experiments/fig4_db", |b| {
-        b.iter(|| black_box(fig4::measure(&ws, Size::Tiny)));
-    });
-}
+    fn small_set() -> Vec<hpmopt_workloads::Workload> {
+        vec![
+            by_name("fop", Size::Tiny).unwrap(),
+            by_name("db", Size::Tiny).unwrap(),
+        ]
+    }
 
-fn bench_fig5(c: &mut Criterion) {
-    let ws = vec![by_name("fop", Size::Tiny).unwrap()];
-    c.bench_function("experiments/fig5_fop", |b| {
-        b.iter(|| black_box(fig5::measure(&ws, Size::Tiny)));
-    });
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    c.bench_function("experiments/fig6_db", |b| {
-        b.iter(|| black_box(fig6::measure(Size::Tiny)));
-    });
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    c.bench_function("experiments/fig7_db", |b| {
-        b.iter(|| black_box(fig7::measure(Size::Tiny)));
-    });
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    c.bench_function("experiments/fig8_db", |b| {
-        b.iter(|| black_box(fig8::measure(Size::Tiny)));
-    });
-}
-
-fn bench_single_run(c: &mut Criterion) {
-    let w = by_name("db", Size::Tiny).unwrap();
-    c.bench_function("experiments/db_monitored_run", |b| {
-        b.iter(|| {
-            let heap = setup::heap_config(&w, 4, 1, hpmopt_gc::CollectorKind::GenMs);
-            let cfg = setup::run_config(&w, Size::Tiny, heap, setup::auto_interval(), true);
-            black_box(setup::run(&w, cfg).cycles)
+    fn bench_table2(c: &mut Criterion) {
+        let ws = small_set();
+        c.bench_function("experiments/table2_fop_db", |b| {
+            b.iter(|| black_box(table2::measure(&ws, Size::Tiny)));
         });
-    });
-}
+    }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table2, bench_fig2, bench_fig3, bench_fig4, bench_fig5,
-              bench_fig6, bench_fig7, bench_fig8, bench_single_run
+    fn bench_fig2(c: &mut Criterion) {
+        let ws = vec![by_name("fop", Size::Tiny).unwrap()];
+        c.bench_function("experiments/fig2_fop", |b| {
+            b.iter(|| black_box(fig2::measure(&ws, Size::Tiny)));
+        });
+    }
+
+    fn bench_fig3(c: &mut Criterion) {
+        let ws = vec![by_name("fop", Size::Tiny).unwrap()];
+        c.bench_function("experiments/fig3_fop", |b| {
+            b.iter(|| black_box(fig3::measure(&ws, Size::Tiny)));
+        });
+    }
+
+    fn bench_fig4(c: &mut Criterion) {
+        let ws = vec![by_name("db", Size::Tiny).unwrap()];
+        c.bench_function("experiments/fig4_db", |b| {
+            b.iter(|| black_box(fig4::measure(&ws, Size::Tiny)));
+        });
+    }
+
+    fn bench_fig5(c: &mut Criterion) {
+        let ws = vec![by_name("fop", Size::Tiny).unwrap()];
+        c.bench_function("experiments/fig5_fop", |b| {
+            b.iter(|| black_box(fig5::measure(&ws, Size::Tiny)));
+        });
+    }
+
+    fn bench_fig6(c: &mut Criterion) {
+        c.bench_function("experiments/fig6_db", |b| {
+            b.iter(|| black_box(fig6::measure(Size::Tiny)));
+        });
+    }
+
+    fn bench_fig7(c: &mut Criterion) {
+        c.bench_function("experiments/fig7_db", |b| {
+            b.iter(|| black_box(fig7::measure(Size::Tiny)));
+        });
+    }
+
+    fn bench_fig8(c: &mut Criterion) {
+        c.bench_function("experiments/fig8_db", |b| {
+            b.iter(|| black_box(fig8::measure(Size::Tiny)));
+        });
+    }
+
+    fn bench_single_run(c: &mut Criterion) {
+        let w = by_name("db", Size::Tiny).unwrap();
+        c.bench_function("experiments/db_monitored_run", |b| {
+            b.iter(|| {
+                let heap = setup::heap_config(&w, 4, 1, hpmopt_gc::CollectorKind::GenMs);
+                let cfg = setup::run_config(&w, Size::Tiny, heap, setup::auto_interval(), true);
+                black_box(setup::run(&w, cfg).cycles)
+            });
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(10);
+        targets = bench_table2, bench_fig2, bench_fig3, bench_fig4, bench_fig5,
+                  bench_fig6, bench_fig7, bench_fig8, bench_single_run
+    }
 }
-criterion_main!(benches);

@@ -27,7 +27,12 @@ pub fn maps(size: Size) -> String {
         let r = setup::run(&w, cfg);
         let a = r.attribution;
         rows.push(vec![
-            if full { "full maps (paper)" } else { "GC points only" }.to_string(),
+            if full {
+                "full maps (paper)"
+            } else {
+                "GC points only"
+            }
+            .to_string(),
             a.total().to_string(),
             a.unmapped.to_string(),
             fmt::pct(a.attribution_rate()),
@@ -39,7 +44,14 @@ pub fn maps(size: Size) -> String {
         "Ablation 1: the machine-code-map extension (db, heap = 4x, auto interval).\n\n",
     );
     out.push_str(&fmt::table(
-        &["opt-tier maps", "samples", "unmapped", "attributed", "coallocated", "L1 misses"],
+        &[
+            "opt-tier maps",
+            "samples",
+            "unmapped",
+            "attributed",
+            "coallocated",
+            "L1 misses",
+        ],
         &rows,
     ));
     out
@@ -68,7 +80,13 @@ pub fn events(size: Size) -> String {
         "Ablation 2: the event driving co-allocation (db, heap = 4x, auto interval).\n\n",
     );
     out.push_str(&fmt::table(
-        &["event", "events seen", "coallocated", "L1 miss change", "time change"],
+        &[
+            "event",
+            "events seen",
+            "coallocated",
+            "L1 miss change",
+            "time change",
+        ],
         &rows,
     ));
     out.push_str("\n(the paper notes TLB-driven decisions do not beat L1-driven ones)\n");
@@ -92,7 +110,10 @@ pub fn prefetch(size: Size) -> String {
             }
             let r = setup::run(&w, cfg);
             rows.push(vec![
-                format!("{name} ({})", if pf { "prefetch on" } else { "prefetch off" }),
+                format!(
+                    "{name} ({})",
+                    if pf { "prefetch on" } else { "prefetch off" }
+                ),
                 r.cycles.to_string(),
                 r.vm.mem.l2_misses.to_string(),
                 r.vm.mem.prefetches.to_string(),
@@ -132,7 +153,8 @@ mod tests {
         // via a direct comparison.
         let w = by_name("db", Size::Tiny).unwrap();
         let heap = setup::heap_config(&w, 4, 1, CollectorKind::GenMs);
-        let mut full = setup::run_config(&w, Size::Tiny, heap.clone(), setup::auto_interval(), true);
+        let mut full =
+            setup::run_config(&w, Size::Tiny, heap.clone(), setup::auto_interval(), true);
         full.vm.full_mcmaps = true;
         let mut stock = setup::run_config(&w, Size::Tiny, heap, setup::auto_interval(), true);
         stock.vm.full_mcmaps = false;
@@ -152,8 +174,20 @@ mod tests {
     fn prefetcher_absorbs_streaming_misses() {
         let w = by_name("compress", Size::Tiny).unwrap();
         let heap = setup::heap_config(&w, 4, 1, CollectorKind::GenMs);
-        let on = setup::run_config(&w, Size::Tiny, heap.clone(), hpmopt_hpm::SamplingInterval::Off, false);
-        let mut off = setup::run_config(&w, Size::Tiny, heap, hpmopt_hpm::SamplingInterval::Off, false);
+        let on = setup::run_config(
+            &w,
+            Size::Tiny,
+            heap.clone(),
+            hpmopt_hpm::SamplingInterval::Off,
+            false,
+        );
+        let mut off = setup::run_config(
+            &w,
+            Size::Tiny,
+            heap,
+            hpmopt_hpm::SamplingInterval::Off,
+            false,
+        );
         off.vm.mem = off.vm.mem.without_prefetch();
         let r_on = setup::run(&w, on);
         let r_off = setup::run(&w, off);

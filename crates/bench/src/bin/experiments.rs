@@ -12,6 +12,9 @@ use std::time::Instant;
 use hpmopt_bench::{ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2};
 use hpmopt_workloads::Size;
 
+/// One runnable artifact: its CLI name and generator.
+type Experiment = (&'static str, fn(Size) -> String);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map_or("all", String::as_str);
@@ -25,7 +28,7 @@ fn main() {
         }
     };
 
-    let experiments: Vec<(&str, fn(Size) -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("table1", table1::run),
         ("table2", table2::run),
         ("fig2", fig2::run),
@@ -38,7 +41,7 @@ fn main() {
         ("ablations", ablations::run),
     ];
 
-    let selected: Vec<&(&str, fn(Size) -> String)> = if what == "all" {
+    let selected: Vec<&Experiment> = if what == "all" {
         experiments.iter().collect()
     } else {
         let found: Vec<_> = experiments.iter().filter(|(n, _)| *n == what).collect();

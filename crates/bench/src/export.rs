@@ -7,6 +7,7 @@
 //! identifiers).
 
 use crate::{fig2, fig3, fig4, fig5, fig7, HEAP_MULTS, INTERVALS};
+use hpmopt_telemetry::{MetricId, MetricKind, TelemetrySnapshot};
 
 /// Figure 2 data as CSV: `program,i25k,i50k,i100k,auto` overhead ratios.
 #[must_use]
@@ -94,6 +95,22 @@ pub fn fig7_csv(s: &fig7::Series) -> String {
     out
 }
 
+/// A telemetry snapshot as CSV: `metric,kind,value`, one row per
+/// metric in declaration order, so successive snapshots of the same
+/// build diff line-by-line.
+#[must_use]
+pub fn telemetry_csv(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::from("metric,kind,value\n");
+    for &id in MetricId::ALL {
+        let kind = match id.kind() {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        out.push_str(&format!("{},{kind},{}\n", id.name(), snap.get(id)));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,11 +143,27 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_csv_lists_every_metric() {
+        let mut snap = TelemetrySnapshot::empty();
+        snap.values[MetricId::HpmPolls as usize] = 13;
+        let csv = telemetry_csv(&snap);
+        assert_eq!(csv.lines().count(), 1 + MetricId::COUNT);
+        assert!(csv.contains("hpm.polls,counter,13\n"));
+        assert!(csv.contains("hpm.poll_period_ms,gauge,0\n"));
+    }
+
+    #[test]
     fn fig7_csv_aligns_series() {
         let s = fig7::Series {
             cumulative: vec![
-                SeriesPoint { cycles: 10, total: 1 },
-                SeriesPoint { cycles: 20, total: 3 },
+                SeriesPoint {
+                    cycles: 10,
+                    total: 1,
+                },
+                SeriesPoint {
+                    cycles: 20,
+                    total: 3,
+                },
             ],
             rate: vec![(20, 0.2)],
             rate_ma3: vec![(20, 0.2)],

@@ -36,8 +36,7 @@ pub fn measure(ws: &[Workload], size: Size) -> Vec<Row> {
     ws.iter()
         .map(|w| {
             let heap = setup::heap_config(w, 4, 1, CollectorKind::GenMs);
-            let off_cfg =
-                setup::run_config(w, size, heap.clone(), setup::auto_interval(), false);
+            let off_cfg = setup::run_config(w, size, heap.clone(), setup::auto_interval(), false);
             let on_cfg = setup::run_config(w, size, heap, setup::auto_interval(), true);
             let off = setup::run(w, off_cfg);
             let on = setup::run(w, on_cfg);
@@ -70,7 +69,13 @@ pub fn render(rows: &[Row]) -> String {
         "Figure 4: L1 miss reduction with co-allocated objects (heap = 4x min, auto interval).\n\n",
     );
     out.push_str(&fmt::table(
-        &["program", "L1 misses (off)", "L1 misses (on)", "change", "coallocated"],
+        &[
+            "program",
+            "L1 misses (off)",
+            "L1 misses (on)",
+            "change",
+            "coallocated",
+        ],
         &data,
     ));
     out

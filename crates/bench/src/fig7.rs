@@ -77,7 +77,12 @@ pub fn render(s: &Series) -> String {
     let rows_a: Vec<Vec<String>> = s
         .cumulative
         .iter()
-        .map(|p| vec![format!("{:.1}M", p.cycles as f64 / 1e6), p.total.to_string()])
+        .map(|p| {
+            vec![
+                format!("{:.1}M", p.cycles as f64 / 1e6),
+                p.total.to_string(),
+            ]
+        })
         .collect();
     out.push_str(&fmt::table(&["cycles", "cumulative misses"], &rows_a));
     if let Some(at) = s.decision_at {
@@ -86,7 +91,9 @@ pub fn render(s: &Series) -> String {
             at as f64 / 1e6
         ));
     }
-    out.push_str("\n(b) miss rate over time (sampled misses per Mcycle) with moving average(3)\n\n");
+    out.push_str(
+        "\n(b) miss rate over time (sampled misses per Mcycle) with moving average(3)\n\n",
+    );
     let rows_b: Vec<Vec<String>> = s
         .rate
         .iter()
@@ -117,10 +124,7 @@ mod tests {
     fn series_is_monotone_and_rate_drops_after_decision() {
         let s = measure(Size::Tiny);
         assert!(s.cumulative.len() >= 4, "need several periods: {s:?}");
-        assert!(s
-            .cumulative
-            .windows(2)
-            .all(|w| w[0].total <= w[1].total));
+        assert!(s.cumulative.windows(2).all(|w| w[0].total <= w[1].total));
         assert!(s.decision_at.is_some(), "db must enable co-allocation");
         // Rate after the decision (once promoted pairs dominate) should
         // drop below the peak pre-decision rate.

@@ -76,7 +76,9 @@ pub fn measure(size: Size) -> Trajectory {
     for e in &report.policy_events {
         match *e {
             PolicyEvent::Pinned { cycles, .. } => pinned_at = Some(cycles),
-            PolicyEvent::Reverted { cycles, .. } if pinned_at.is_some() && reverted_at.is_none() => {
+            PolicyEvent::Reverted { cycles, .. }
+                if pinned_at.is_some() && reverted_at.is_none() =>
+            {
                 reverted_at = Some(cycles);
             }
             PolicyEvent::Enabled { .. } | PolicyEvent::Reverted { .. } => {}

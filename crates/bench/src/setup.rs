@@ -40,14 +40,15 @@ pub fn plan_for(w: &Workload, size: Size) -> CompilationPlan {
     if let Some(p) = plan_cache().lock().unwrap().get(&key) {
         return p.clone();
     }
-    let mut vm = VmConfig::default();
-    vm.heap = heap_config(w, 4, 1, CollectorKind::GenMs);
+    let mut vm = VmConfig {
+        heap: heap_config(w, 4, 1, CollectorKind::GenMs),
+        ..VmConfig::default()
+    };
     // A tight AOS so even the short simulated runs promote their hot
     // methods to the optimizing tier, as the paper's long runs do.
     vm.aos.sample_period_cycles = 200_000;
     vm.aos.opt_threshold = 2;
-    let mut plan =
-        HpmRuntime::generate_plan(&w.program, vm).expect("plan profiling run completes");
+    let mut plan = HpmRuntime::generate_plan(&w.program, vm).expect("plan profiling run completes");
     // The entry method drives every workload; guarantee it is in the plan
     // even if the profiling run spent most samples in callees.
     if !plan.contains(w.program.entry()) {
@@ -80,11 +81,13 @@ pub fn run_config(
     sampling: SamplingInterval,
     coalloc: bool,
 ) -> RunConfig {
-    let mut vm = VmConfig::default();
-    vm.heap = heap;
-    vm.plan = Some(plan_for(w, size));
+    let mut vm = VmConfig {
+        heap,
+        plan: Some(plan_for(w, size)),
+        step_limit: Some(3_000_000_000),
+        ..VmConfig::default()
+    };
     vm.aos.enabled = false;
-    vm.step_limit = Some(3_000_000_000);
     RunConfig {
         vm,
         hpm: HpmConfig {

@@ -26,7 +26,10 @@ pub fn render(ws: &[Workload]) -> String {
         })
         .collect();
     let mut out = String::from("Table 1: Benchmark programs.\n\n");
-    out.push_str(&fmt::table(&["program", "suite", "min heap", "models"], &rows));
+    out.push_str(&fmt::table(
+        &["program", "suite", "min heap", "models"],
+        &rows,
+    ));
     out
 }
 

@@ -53,8 +53,7 @@ pub fn render(rows: &[Row]) -> String {
             ]
         })
         .collect();
-    let mut out =
-        String::from("Table 2: Space overhead — size of machine code and maps (KB).\n\n");
+    let mut out = String::from("Table 2: Space overhead — size of machine code and maps (KB).\n\n");
     out.push_str(&fmt::table(
         &["program", "machine code", "GC maps", "MC maps", "MC/GC"],
         &data,

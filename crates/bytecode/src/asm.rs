@@ -506,10 +506,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let p = assemble(
-            "# leading comment\n\nmethod main(0) locals=0 { // trailing\n  return\n}",
-        )
-        .unwrap();
+        let p = assemble("# leading comment\n\nmethod main(0) locals=0 { // trailing\n  return\n}")
+            .unwrap();
         assert_eq!(p.method(p.entry()).len(), 1);
     }
 }

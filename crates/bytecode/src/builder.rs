@@ -74,7 +74,12 @@ impl MethodBuilder {
     /// `extra_locals` additional local slots, and whether it returns a
     /// value.
     #[must_use]
-    pub fn new(name: impl Into<String>, params: u16, extra_locals: u16, returns_value: bool) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        params: u16,
+        extra_locals: u16,
+        returns_value: bool,
+    ) -> Self {
         MethodBuilder {
             name: name.into(),
             class: None,

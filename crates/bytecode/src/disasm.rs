@@ -74,7 +74,12 @@ pub fn instr(program: &Program, i: Instr) -> String {
 pub fn program(program: &Program) -> String {
     let mut out = String::new();
     for (i, c) in program.classes().iter().enumerate() {
-        let _ = writeln!(out, "class {} (#{i}, {} bytes)", c.name(), c.instance_size());
+        let _ = writeln!(
+            out,
+            "class {} (#{i}, {} bytes)",
+            c.name(),
+            c.instance_size()
+        );
         for f in c.fields() {
             let _ = writeln!(out, "  field {}: {} @ {}", f.name(), f.ty(), f.offset());
         }

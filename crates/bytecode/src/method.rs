@@ -94,7 +94,14 @@ mod tests {
 
     #[test]
     fn accessors_round_trip() {
-        let m = MethodDef::new("run", None, 2, 5, true, vec![Instr::Const(1), Instr::ReturnVal]);
+        let m = MethodDef::new(
+            "run",
+            None,
+            2,
+            5,
+            true,
+            vec![Instr::Const(1), Instr::ReturnVal],
+        );
         assert_eq!(m.name(), "run");
         assert_eq!(m.params(), 2);
         assert_eq!(m.locals(), 5);

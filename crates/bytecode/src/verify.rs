@@ -20,16 +20,33 @@ pub enum VerifyError {
     /// A method body is empty.
     EmptyBody { method: String },
     /// An instruction references an out-of-range class/field/method/static.
-    BadId { method: String, at: usize, what: &'static str },
+    BadId {
+        method: String,
+        at: usize,
+        what: &'static str,
+    },
     /// A local-variable index is out of range.
-    LocalOutOfRange { method: String, at: usize, local: u16 },
+    LocalOutOfRange {
+        method: String,
+        at: usize,
+        local: u16,
+    },
     /// A branch target is outside the method body.
-    BadBranchTarget { method: String, at: usize, target: u32 },
+    BadBranchTarget {
+        method: String,
+        at: usize,
+        target: u32,
+    },
     /// The operand stack would underflow.
     StackUnderflow { method: String, at: usize },
     /// Two control-flow paths reach the same instruction with different
     /// stack depths.
-    InconsistentStackDepth { method: String, at: usize, a: usize, b: usize },
+    InconsistentStackDepth {
+        method: String,
+        at: usize,
+        a: usize,
+        b: usize,
+    },
     /// Control can fall off the end of the method body.
     FallsOffEnd { method: String },
     /// A void method executes `ReturnVal`, or vice versa.
@@ -48,13 +65,22 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "method {method} instruction {at}: invalid {what} id")
             }
             VerifyError::LocalOutOfRange { method, at, local } => {
-                write!(f, "method {method} instruction {at}: local {local} out of range")
+                write!(
+                    f,
+                    "method {method} instruction {at}: local {local} out of range"
+                )
             }
             VerifyError::BadBranchTarget { method, at, target } => {
-                write!(f, "method {method} instruction {at}: branch target {target} out of range")
+                write!(
+                    f,
+                    "method {method} instruction {at}: branch target {target} out of range"
+                )
             }
             VerifyError::StackUnderflow { method, at } => {
-                write!(f, "method {method} instruction {at}: operand stack underflow")
+                write!(
+                    f,
+                    "method {method} instruction {at}: operand stack underflow"
+                )
             }
             VerifyError::InconsistentStackDepth { method, at, a, b } => write!(
                 f,
@@ -139,9 +165,7 @@ fn check_ids(program: &Program, method: MethodId) -> Result<(), VerifyError> {
             {
                 return Err(bad("static"))
             }
-            Instr::Call(c) if c.0 as usize >= program.methods().len() => {
-                return Err(bad("method"))
-            }
+            Instr::Call(c) if c.0 as usize >= program.methods().len() => return Err(bad("method")),
             Instr::Load(l) | Instr::Store(l) if l >= m.locals() => {
                 return Err(VerifyError::LocalOutOfRange {
                     method: name.clone(),
@@ -194,18 +218,27 @@ fn check_flow(program: &Program, method: MethodId) -> Result<(), VerifyError> {
         }
         let (pops, pushes) = stack_effect(program, i);
         if depth < pops {
-            return Err(VerifyError::StackUnderflow { method: name, at: pc });
+            return Err(VerifyError::StackUnderflow {
+                method: name,
+                at: pc,
+            });
         }
         let next = depth - pops + pushes;
         match i {
             Instr::Return => {
                 if m.returns_value() {
-                    return Err(VerifyError::WrongReturnKind { method: name, at: pc });
+                    return Err(VerifyError::WrongReturnKind {
+                        method: name,
+                        at: pc,
+                    });
                 }
             }
             Instr::ReturnVal => {
                 if !m.returns_value() {
-                    return Err(VerifyError::WrongReturnKind { method: name, at: pc });
+                    return Err(VerifyError::WrongReturnKind {
+                        method: name,
+                        at: pc,
+                    });
                 }
             }
             Instr::Jump(t) => worklist.push((t as usize, next)),

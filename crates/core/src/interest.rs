@@ -66,7 +66,12 @@ struct AbsState {
 fn merge(a: &mut AbsState, b: &AbsState) -> bool {
     debug_assert_eq!(a.stack.len(), b.stack.len(), "verifier guarantees depth");
     let mut changed = false;
-    for (x, y) in a.stack.iter_mut().zip(&b.stack).chain(a.locals.iter_mut().zip(&b.locals)) {
+    for (x, y) in a
+        .stack
+        .iter_mut()
+        .zip(&b.stack)
+        .chain(a.locals.iter_mut().zip(&b.locals))
+    {
         if *x != *y && x.is_some() {
             *x = None;
             changed = true;

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use hpmopt_bytecode::{ClassId, FieldId, MethodId, Program};
 use hpmopt_hpm::Sample;
+use hpmopt_telemetry::{MetricId, Telemetry};
 use hpmopt_vm::machine::{CompiledCode, Tier};
 
 use crate::interest::{analyze_method, InterestMap};
@@ -101,6 +102,7 @@ pub struct OnlineMonitor {
     watched: BTreeSet<FieldId>,
     series: BTreeMap<FieldId, Vec<SeriesPoint>>,
     batches: u64,
+    telemetry: Telemetry,
 }
 
 impl OnlineMonitor {
@@ -116,7 +118,14 @@ impl OnlineMonitor {
             watched: BTreeSet::new(),
             series: BTreeMap::new(),
             batches: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; `core.samples.*` attribution counters
+    /// and `core.batches` flow into it from now on.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Register a (re)compiled artifact. Opt-tier methods get the
@@ -142,8 +151,14 @@ impl OnlineMonitor {
     pub fn process_batch(&mut self, samples: &[Sample], cycles: u64) -> u64 {
         for s in samples {
             match self.resolver.resolve(s.pc) {
-                Err(ResolveFailure::ForeignPc) => self.attribution.foreign += 1,
-                Err(ResolveFailure::Unmapped) => self.attribution.unmapped += 1,
+                Err(ResolveFailure::ForeignPc) => {
+                    self.attribution.foreign += 1;
+                    self.telemetry.incr(MetricId::CoreSamplesForeign);
+                }
+                Err(ResolveFailure::Unmapped) => {
+                    self.attribution.unmapped += 1;
+                    self.telemetry.incr(MetricId::CoreSamplesUnmapped);
+                }
                 Ok(r) => {
                     let field = self
                         .interest
@@ -153,16 +168,21 @@ impl OnlineMonitor {
                     match field {
                         Some(f) => {
                             self.attribution.attributed += 1;
+                            self.telemetry.incr(MetricId::CoreSamplesAttributed);
                             let c = self.counters.entry(f).or_default();
                             c.total += 1;
                             c.window += 1;
                         }
-                        None => self.attribution.uninteresting += 1,
+                        None => {
+                            self.attribution.uninteresting += 1;
+                            self.telemetry.incr(MetricId::CoreSamplesUninteresting);
+                        }
                     }
                 }
             }
         }
         self.batches += 1;
+        self.telemetry.incr(MetricId::CoreBatches);
         if self.config.record_series {
             for &f in &self.watched {
                 let total = self.counters.get(&f).map_or(0, |c| c.total);
@@ -197,11 +217,7 @@ impl OnlineMonitor {
     /// All per-field totals, descending.
     #[must_use]
     pub fn field_totals(&self) -> Vec<(FieldId, u64)> {
-        let mut v: Vec<(FieldId, u64)> = self
-            .counters
-            .iter()
-            .map(|(&f, c)| (f, c.total))
-            .collect();
+        let mut v: Vec<(FieldId, u64)> = self.counters.iter().map(|(&f, c)| (f, c.total)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -352,8 +368,20 @@ mod tests {
         mon.process_batch(&[sample(hot), sample(hot)], 2000);
         let s = mon.series(y);
         assert_eq!(s.len(), 2);
-        assert_eq!(s[0], SeriesPoint { cycles: 1000, total: 1 });
-        assert_eq!(s[1], SeriesPoint { cycles: 2000, total: 3 });
+        assert_eq!(
+            s[0],
+            SeriesPoint {
+                cycles: 1000,
+                total: 1
+            }
+        );
+        assert_eq!(
+            s[1],
+            SeriesPoint {
+                cycles: 2000,
+                total: 3
+            }
+        );
     }
 
     #[test]

@@ -261,7 +261,11 @@ mod tests {
         pol.pin(class, bad, 500);
         assert_eq!(pol.coalloc_child(class).unwrap().gap_bytes, 128);
         pol.unpin(class, 600);
-        assert_eq!(pol.coalloc_child(class).unwrap().gap_bytes, 0, "adaptive resumes");
+        assert_eq!(
+            pol.coalloc_child(class).unwrap().gap_bytes,
+            0,
+            "adaptive resumes"
+        );
     }
 
     #[test]

@@ -14,13 +14,15 @@ use hpmopt_bytecode::{ClassId, Program};
 use hpmopt_gc::policy::{CoallocDecision, CoallocPolicy, NoCoalloc};
 use hpmopt_gc::GcStats;
 use hpmopt_hpm::{HpmConfig, HpmStats, HpmSystem};
-use hpmopt_vm::machine::CompiledCode;
+use hpmopt_telemetry::{CycleBuckets, MetricId, Telemetry, TraceKind};
+use hpmopt_vm::machine::{CompiledCode, Tier};
 use hpmopt_vm::{
     AccessContext, CompilationPlan, NoHooks, RunSummary, RuntimeHooks, Vm, VmConfig, VmError,
 };
 
 use crate::feedback::{Assessor, FeedbackConfig, Verdict};
 use crate::monitor::{AttributionStats, MonitorConfig, OnlineMonitor, SeriesPoint};
+use crate::phases::{PhaseConfig, PhaseDetector};
 use crate::policy::{AdaptivePolicy, PolicyConfig, PolicyEvent};
 
 /// The Figure 8 experiment: pin a deliberately bad placement (padding
@@ -60,6 +62,9 @@ pub struct RunConfig {
     pub watch_fields: Vec<(String, String)>,
     /// Optional Figure 8 forced bad placement.
     pub forced_bad: Option<ForcedBadPlacement>,
+    /// Telemetry sink shared by every pipeline layer. Disabled by
+    /// default, in which case all recording is a no-op.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RunConfig {
@@ -74,6 +79,7 @@ impl Default for RunConfig {
             assess_adaptive: false,
             watch_fields: Vec::new(),
             forced_bad: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -118,6 +124,19 @@ impl RunReport {
             .iter()
             .filter(|e| matches!(e, PolicyEvent::Reverted { .. }))
             .count()
+    }
+
+    /// Split the run's total cycles into exclusive buckets: mutator,
+    /// GC, sampling microcode, poll/drain, and recompilation.
+    #[must_use]
+    pub fn cycle_buckets(&self) -> CycleBuckets {
+        CycleBuckets::from_run(
+            self.cycles,
+            self.vm.gc_cycles,
+            self.hpm.sampling_cycles,
+            self.vm.monitor_cycles,
+            self.vm.compile_cycles,
+        )
     }
 }
 
@@ -171,8 +190,13 @@ impl HpmRuntime {
             })
         });
 
+        let telemetry = self.config.telemetry.clone();
+        monitor.set_telemetry(telemetry.clone());
+        let mut hpm = HpmSystem::new(self.config.hpm);
+        hpm.set_telemetry(telemetry.clone());
+
         let mut hooks = Hooks {
-            hpm: HpmSystem::new(self.config.hpm),
+            hpm,
             monitor,
             policy: AdaptivePolicy::new(self.config.policy),
             assessor: Assessor::new(self.config.feedback),
@@ -183,10 +207,16 @@ impl HpmRuntime {
             rate_history: BTreeMap::new(),
             event_series: Vec::new(),
             last_period_cycles: 0,
+            telemetry,
+            phases: PhaseDetector::new(PhaseConfig::default()),
+            policy_events_emitted: 0,
+            gc_seen: GcStats::default(),
+            last_cycles: 0,
         };
 
         let mut vm = Vm::new(program, self.config.vm.clone());
         let summary = vm.run(&mut hooks)?;
+        sync_final_counters(&hooks, &summary);
 
         let field_totals = hooks
             .monitor
@@ -198,12 +228,7 @@ impl HpmRuntime {
             .policy
             .decisions()
             .into_iter()
-            .map(|(c, f)| {
-                (
-                    program.class(c).name().to_string(),
-                    program.field_name(f),
-                )
-            })
+            .map(|(c, f)| (program.class(c).name().to_string(), program.field_name(f)))
             .collect();
         let series = watched
             .iter()
@@ -239,6 +264,47 @@ impl HpmRuntime {
     }
 }
 
+/// Push the run's final aggregate statistics into the telemetry
+/// registry. The `memsim.*` and residual `gc.*`/`vm.*` numbers are
+/// kept by their subsystems (which stay telemetry-free) and exported
+/// here in one go, so the snapshot taken after a run is exact.
+fn sync_final_counters(hooks: &Hooks, summary: &RunSummary) {
+    let t = &hooks.telemetry;
+    let mem = &summary.mem;
+    t.add(MetricId::MemsimL1Hits, mem.l1_hits);
+    t.add(MetricId::MemsimL1Misses, mem.l1_misses);
+    t.add(MetricId::MemsimL1Evictions, mem.l1_evictions);
+    t.add(MetricId::MemsimL2Hits, mem.l2_hits);
+    t.add(MetricId::MemsimL2Misses, mem.l2_misses);
+    t.add(MetricId::MemsimL2Evictions, mem.l2_evictions);
+    t.add(MetricId::MemsimDtlbHits, mem.dtlb_hits);
+    t.add(MetricId::MemsimDtlbMisses, mem.dtlb_misses);
+    t.add(MetricId::MemsimDtlbEvictions, mem.dtlb_evictions);
+
+    // GC counters were advanced per collection in `on_gc`; cover any
+    // allocation/promotion tail after the last collection callback.
+    let gc = &summary.gc;
+    let seen = &hooks.gc_seen;
+    t.add(
+        MetricId::GcMinorCollections,
+        gc.minor_collections - seen.minor_collections,
+    );
+    t.add(
+        MetricId::GcMajorCollections,
+        gc.major_collections - seen.major_collections,
+    );
+    t.add(
+        MetricId::GcPromotedBytes,
+        gc.bytes_promoted - seen.bytes_promoted,
+    );
+    t.add(
+        MetricId::GcCoallocatedBytes,
+        gc.bytes_coallocated - seen.bytes_coallocated,
+    );
+
+    t.set_gauge(MetricId::VmCompileCycles, summary.compile_cycles);
+}
+
 #[derive(Debug, Clone)]
 struct PendingPin {
     class: ClassId,
@@ -262,6 +328,16 @@ struct Hooks {
     rate_history: BTreeMap<ClassId, Vec<f64>>,
     event_series: Vec<(u64, u64)>,
     last_period_cycles: u64,
+    telemetry: Telemetry,
+    /// Global sampled-miss-rate change-point detector, fed per poll;
+    /// boundaries become `phase_change` trace events.
+    phases: PhaseDetector,
+    /// Policy-log entries already exported as trace events.
+    policy_events_emitted: usize,
+    /// GC stats as of the previous `on_gc`, for per-collection deltas.
+    gc_seen: GcStats,
+    /// Most recent cycle stamp observed (for callbacks without a clock).
+    last_cycles: u64,
 }
 
 impl Hooks {
@@ -278,11 +354,54 @@ impl Hooks {
 
 impl RuntimeHooks for Hooks {
     fn on_access(&mut self, ctx: &AccessContext) -> u64 {
-        self.hpm.on_event(ctx.pc, ctx.addr.0, &ctx.outcome, ctx.cycles)
+        self.last_cycles = ctx.cycles;
+        self.hpm
+            .on_event(ctx.pc, ctx.addr.0, &ctx.outcome, ctx.cycles)
     }
 
     fn on_compile(&mut self, program: &Program, code: &CompiledCode) {
         self.monitor.register_artifact(program, code);
+        let tier = match code.tier {
+            Tier::Baseline => {
+                self.telemetry.incr(MetricId::VmCompilesBaseline);
+                "baseline"
+            }
+            Tier::Opt => {
+                self.telemetry.incr(MetricId::VmCompilesOpt);
+                "opt"
+            }
+        };
+        self.telemetry.record(
+            self.last_cycles,
+            TraceKind::Recompilation {
+                method: code.method.0,
+                tier,
+            },
+        );
+    }
+
+    fn on_gc(&mut self, stats: &GcStats, cycles: u64) {
+        self.last_cycles = cycles;
+        let minor = stats.minor_collections - self.gc_seen.minor_collections;
+        let major = stats.major_collections - self.gc_seen.major_collections;
+        self.telemetry.add(MetricId::GcMinorCollections, minor);
+        self.telemetry.add(MetricId::GcMajorCollections, major);
+        self.telemetry.add(
+            MetricId::GcPromotedBytes,
+            stats.bytes_promoted - self.gc_seen.bytes_promoted,
+        );
+        self.telemetry.add(
+            MetricId::GcCoallocatedBytes,
+            stats.bytes_coallocated - self.gc_seen.bytes_coallocated,
+        );
+        self.telemetry.record(
+            cycles,
+            TraceKind::GcCollection {
+                major: major > 0,
+                promoted_bytes: stats.bytes_promoted - self.gc_seen.bytes_promoted,
+            },
+        );
+        self.gc_seen = *stats;
     }
 
     fn on_poll(&mut self, program: &Program, cycles: u64) -> u64 {
@@ -310,9 +429,18 @@ impl RuntimeHooks for Hooks {
 
 impl Hooks {
     fn run_poll(&mut self, program: &Program, cycles: u64) -> u64 {
+        self.last_cycles = cycles;
+        let attributed_before = self.monitor.attribution().attributed;
         let (samples, copy_cost) = self.hpm.poll(cycles);
         let mut cost = copy_cost;
         cost += self.monitor.process_batch(&samples, cycles);
+        self.telemetry.record(
+            cycles,
+            TraceKind::PollCompleted {
+                samples: samples.len() as u64,
+                attributed: self.monitor.attribution().attributed - attributed_before,
+            },
+        );
 
         // Period bookkeeping: per-class sampled misses and rates.
         let window = self.monitor.take_window();
@@ -373,6 +501,59 @@ impl Hooks {
                     }
                 }
             }
+        }
+
+        // Export new policy decisions as trace events and counters.
+        let events = self.policy.events();
+        for event in &events[self.policy_events_emitted..] {
+            let (kind, metric) = match *event {
+                PolicyEvent::Enabled { class, field, .. } => (
+                    TraceKind::CoallocDecision {
+                        class: class.0,
+                        field: field.0,
+                        action: "enabled",
+                    },
+                    MetricId::CorePolicyEnabled,
+                ),
+                PolicyEvent::Pinned { class, .. } => (
+                    TraceKind::CoallocDecision {
+                        class: class.0,
+                        field: u32::MAX,
+                        action: "pinned",
+                    },
+                    MetricId::CorePolicyPinned,
+                ),
+                PolicyEvent::Reverted { class, .. } => (
+                    TraceKind::CoallocDecision {
+                        class: class.0,
+                        field: u32::MAX,
+                        action: "reverted",
+                    },
+                    MetricId::CorePolicyReverted,
+                ),
+            };
+            let at = match *event {
+                PolicyEvent::Enabled { cycles, .. }
+                | PolicyEvent::Pinned { cycles, .. }
+                | PolicyEvent::Reverted { cycles, .. } => cycles,
+            };
+            self.telemetry.record(at, kind);
+            self.telemetry.incr(metric);
+        }
+        self.policy_events_emitted = events.len();
+
+        // Feed the phase detector with the global sampled-miss rate
+        // (misses per megacycle over this decision period).
+        let total_misses: u64 = class_misses.values().sum();
+        let global_rate = total_misses as f64 * 1_000_000.0 / dt as f64;
+        if let Some(change) = self.phases.observe(cycles, global_rate) {
+            self.telemetry.incr(MetricId::CorePhaseChanges);
+            self.telemetry.record(
+                cycles,
+                TraceKind::PhaseChange {
+                    miss_rate_ppm: change.after.round() as u64,
+                },
+            );
         }
 
         self.event_series.push((cycles, self.hpm.stats().events));
@@ -610,7 +791,11 @@ mod tests {
             .policy_events
             .iter()
             .any(|e| matches!(e, PolicyEvent::Pinned { .. }));
-        assert!(pinned, "bad decision was installed: {:?}", report.policy_events);
+        assert!(
+            pinned,
+            "bad decision was installed: {:?}",
+            report.policy_events
+        );
         assert!(
             report.revert_count() > 0,
             "feedback must revert it: {:?}",

@@ -1,6 +1,12 @@
 //! Property-based tests for the instructions-of-interest analysis and
 //! the sample resolver.
 
+//
+// These tests need the external `proptest` crate, which the offline
+// build cannot fetch; enable with `--features proptest-tests` after
+// adding proptest as a dev-dependency.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 
 use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};

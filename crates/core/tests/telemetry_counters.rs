@@ -1,0 +1,205 @@
+//! End-to-end check that the telemetry counters a monitored run emits
+//! agree with the statistics the run itself reports, plus the
+//! attribution-rate edge cases.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ElemKind, FieldType, Program};
+use hpmopt_core::monitor::AttributionStats;
+use hpmopt_core::runtime::{HpmRuntime, RunConfig};
+use hpmopt_gc::{CollectorKind, HeapConfig};
+use hpmopt_hpm::{HpmConfig, SamplingInterval};
+use hpmopt_telemetry::{MetricId, Telemetry, DEFAULT_TRACE_CAPACITY};
+use hpmopt_vm::VmConfig;
+
+/// A pointer-chasing workload big enough to miss in the L1: parents in
+/// a table, each holding an array child read on every traversal.
+fn chasing_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let node = pb.add_class("Node", &[("data", FieldType::Ref)]);
+    let data = pb.field_id(node, "data").unwrap();
+    let table = pb.add_static("table", FieldType::Ref);
+    let sum = pb.add_static("sum", FieldType::Int);
+    let n = 1500i64;
+
+    let mut m = MethodBuilder::new("main", 0, 4, false);
+    m.const_i(n);
+    m.new_array(ElemKind::Ref);
+    m.put_static(table);
+    m.for_loop(
+        0,
+        |m| {
+            m.const_i(n);
+        },
+        |m| {
+            m.new_object(node);
+            m.store(1);
+            m.load(1);
+            m.const_i(4);
+            m.new_array(ElemKind::I16);
+            m.put_field(data);
+            m.get_static(table);
+            m.load(0);
+            m.load(1);
+            m.array_set(ElemKind::Ref);
+        },
+    );
+    m.for_loop(
+        2,
+        |m| {
+            m.const_i(20);
+        },
+        |m| {
+            m.for_loop(
+                0,
+                |m| {
+                    m.const_i(n);
+                },
+                |m| {
+                    m.get_static(table);
+                    m.load(0);
+                    m.array_get(ElemKind::Ref);
+                    m.store(1);
+                    m.get_static(sum);
+                    m.load(1);
+                    m.get_field(data);
+                    m.const_i(0);
+                    m.array_get(ElemKind::I16);
+                    m.add();
+                    m.put_static(sum);
+                },
+            );
+        },
+    );
+    m.ret();
+    let id = pb.add_method(m);
+    pb.set_entry(id);
+    pb.finish().unwrap()
+}
+
+fn config(telemetry: Telemetry) -> RunConfig {
+    let mut vm = VmConfig::test();
+    vm.step_limit = None;
+    vm.heap = HeapConfig {
+        heap_bytes: 4 * 1024 * 1024,
+        nursery_bytes: 64 * 1024,
+        los_bytes: 8 * 1024 * 1024,
+        collector: CollectorKind::GenMs,
+        cost: Default::default(),
+    };
+    RunConfig {
+        vm,
+        hpm: HpmConfig {
+            interval: SamplingInterval::Fixed(512),
+            buffer_capacity: 32,
+            ..HpmConfig::default()
+        },
+        telemetry,
+        ..RunConfig::default()
+    }
+}
+
+#[test]
+fn counters_agree_with_the_run_report() {
+    let telemetry = Telemetry::enabled(DEFAULT_TRACE_CAPACITY);
+    let report = HpmRuntime::new(config(telemetry.clone()))
+        .run(&chasing_program())
+        .unwrap();
+    let snap = telemetry.snapshot(report.cycles);
+
+    // Attribution outcomes, sample for sample.
+    let attr = &report.attribution;
+    assert!(attr.total() > 0, "run must process samples");
+    assert_eq!(snap.get(MetricId::CoreSamplesAttributed), attr.attributed);
+    assert_eq!(
+        snap.get(MetricId::CoreSamplesUninteresting),
+        attr.uninteresting
+    );
+    assert_eq!(snap.get(MetricId::CoreSamplesUnmapped), attr.unmapped);
+    assert_eq!(snap.get(MetricId::CoreSamplesForeign), attr.foreign);
+
+    // HPM pipeline totals.
+    assert_eq!(snap.get(MetricId::HpmSamplesGenerated), report.hpm.samples);
+    assert_eq!(snap.get(MetricId::HpmPolls), report.hpm.polls);
+    assert_eq!(snap.get(MetricId::HpmSamplesDropped), report.hpm.dropped);
+    assert_eq!(
+        snap.get(MetricId::HpmSamplesDrained),
+        report.hpm.samples - report.hpm.dropped,
+        "drained = generated - dropped once the final poll ran"
+    );
+
+    // Memory hierarchy and GC, synced at end of run.
+    assert_eq!(snap.get(MetricId::MemsimL1Misses), report.vm.mem.l1_misses);
+    assert_eq!(snap.get(MetricId::MemsimL1Hits), report.vm.mem.l1_hits);
+    assert_eq!(snap.get(MetricId::MemsimL2Misses), report.vm.mem.l2_misses);
+    assert_eq!(
+        snap.get(MetricId::MemsimDtlbMisses),
+        report.vm.mem.dtlb_misses
+    );
+    assert_eq!(
+        snap.get(MetricId::GcMinorCollections),
+        report.vm.gc.minor_collections
+    );
+    assert_eq!(
+        snap.get(MetricId::GcMajorCollections),
+        report.vm.gc.major_collections
+    );
+    assert_eq!(
+        snap.get(MetricId::GcPromotedBytes),
+        report.vm.gc.bytes_promoted
+    );
+
+    // The attribution rate recomputed from telemetry matches the report.
+    let total = snap.get(MetricId::CoreSamplesAttributed)
+        + snap.get(MetricId::CoreSamplesUninteresting)
+        + snap.get(MetricId::CoreSamplesUnmapped)
+        + snap.get(MetricId::CoreSamplesForeign);
+    let rate = snap.get(MetricId::CoreSamplesAttributed) as f64 / total as f64;
+    assert!((rate - attr.attribution_rate()).abs() < 1e-12);
+}
+
+#[test]
+fn disabled_telemetry_stays_all_zero() {
+    let telemetry = Telemetry::disabled();
+    let report = HpmRuntime::new(config(telemetry.clone()))
+        .run(&chasing_program())
+        .unwrap();
+    assert!(report.attribution.total() > 0);
+    let snap = telemetry.snapshot(report.cycles);
+    for &id in MetricId::ALL {
+        assert_eq!(snap.get(id), 0, "{} leaked through", id.name());
+    }
+    assert!(snap.events.is_empty());
+}
+
+#[test]
+fn attribution_rate_edge_cases() {
+    // No samples at all: rate is 0, not NaN.
+    let idle = AttributionStats::default();
+    assert_eq!(idle.total(), 0);
+    assert_eq!(idle.attribution_rate(), 0.0);
+
+    // Every sample attributed: rate is exactly 1.
+    let perfect = AttributionStats {
+        attributed: 42,
+        ..AttributionStats::default()
+    };
+    assert_eq!(perfect.attribution_rate(), 1.0);
+
+    // Nothing attributed, everything rejected: rate is exactly 0.
+    let hopeless = AttributionStats {
+        uninteresting: 10,
+        unmapped: 5,
+        foreign: 2,
+        ..AttributionStats::default()
+    };
+    assert_eq!(hopeless.total(), 17);
+    assert_eq!(hopeless.attribution_rate(), 0.0);
+
+    // Mixed: the rate is the exact ratio.
+    let mixed = AttributionStats {
+        attributed: 3,
+        uninteresting: 1,
+        ..AttributionStats::default()
+    };
+    assert!((mixed.attribution_rate() - 0.75).abs() < f64::EPSILON);
+}

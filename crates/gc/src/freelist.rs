@@ -95,7 +95,11 @@ impl MsSpace {
     /// Panics unless the region is block-aligned in length.
     #[must_use]
     pub fn new(start: Address, end: Address) -> Self {
-        assert_eq!((end.0 - start.0) % BLOCK_BYTES, 0, "region must be whole blocks");
+        assert_eq!(
+            (end.0 - start.0) % BLOCK_BYTES,
+            0,
+            "region must be whole blocks"
+        );
         MsSpace {
             start,
             end,
@@ -118,7 +122,10 @@ impl MsSpace {
         let cell = self.free_cells[class].pop()?;
         let cell_bytes = self.size_table[class];
         let (bi, ci) = self.locate(cell);
-        self.blocks.get_mut(&bi).expect("cell in carved block").allocated[ci] = true;
+        self.blocks
+            .get_mut(&bi)
+            .expect("cell in carved block")
+            .allocated[ci] = true;
         self.used_bytes += cell_bytes;
         Some(cell)
     }
@@ -191,7 +198,10 @@ impl MsSpace {
             let base = self.start.0 + bi * BLOCK_BYTES;
             for (ci, &alloc) in block.allocated.iter().enumerate() {
                 if alloc {
-                    out.push((Address(base + ci as u64 * block.cell_bytes), block.cell_bytes));
+                    out.push((
+                        Address(base + ci as u64 * block.cell_bytes),
+                        block.cell_bytes,
+                    ));
                 }
             }
         }
@@ -365,7 +375,10 @@ mod tests {
         }
         assert!(s.alloc(4096).is_none(), "cells free but block still bound");
         s.reclaim_empty_blocks();
-        assert!(s.alloc(4096).is_some(), "reclaimed block serves a new class");
+        assert!(
+            s.alloc(4096).is_some(),
+            "reclaimed block serves a new class"
+        );
     }
 
     #[test]

@@ -129,6 +129,10 @@ impl std::fmt::Display for GcError {
 
 impl std::error::Error for GcError {}
 
+// One variant exists per heap for its whole lifetime, so the size
+// skew between the spaces is irrelevant and boxing would only add an
+// indirection to every mature-space access.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 enum Mature {
     Ms(MsSpace),
@@ -200,7 +204,8 @@ impl Heap {
         // region, and a collection between this allocation and the
         // program's own field initialization would otherwise trace stale
         // reference bytes left by the previous generation.
-        self.raw.zero(obj.offset(OBJECT_HEADER_BYTES), size - OBJECT_HEADER_BYTES);
+        self.raw
+            .zero(obj.offset(OBJECT_HEADER_BYTES), size - OBJECT_HEADER_BYTES);
         self.stats.objects_allocated += 1;
         self.stats.bytes_allocated += size;
         Ok(obj)
@@ -215,7 +220,8 @@ impl Heap {
         let size = ObjectModel::array_size(kind, len);
         let obj = self.alloc_raw(size)?;
         ObjectModel::init_header(&mut self.raw, obj, TypeTag::Array(kind), size, len);
-        self.raw.zero(obj.offset(OBJECT_HEADER_BYTES), size - OBJECT_HEADER_BYTES);
+        self.raw
+            .zero(obj.offset(OBJECT_HEADER_BYTES), size - OBJECT_HEADER_BYTES);
         self.stats.objects_allocated += 1;
         self.stats.bytes_allocated += size;
         Ok(obj)
@@ -264,7 +270,8 @@ impl Heap {
     #[must_use]
     pub fn array_get(&self, obj: Address, kind: ElemKind, idx: u64) -> u64 {
         debug_assert!(idx < self.array_len(obj));
-        self.raw.read_uint(self.elem_addr(obj, kind, idx), kind.width())
+        self.raw
+            .read_uint(self.elem_addr(obj, kind, idx), kind.width())
     }
 
     /// Write array element `idx`, with the write barrier for ref arrays.
@@ -427,8 +434,14 @@ impl Heap {
                         let child_size = ObjectModel::size(&self.raw, child);
                         let total = size + d.gap_bytes + child_size;
                         if total <= LOS_THRESHOLD_BYTES {
-                            return self
-                                .promote_pair(obj, size, child, child_size, d.gap_bytes, queue);
+                            return self.promote_pair(
+                                obj,
+                                size,
+                                child,
+                                child_size,
+                                d.gap_bytes,
+                                queue,
+                            );
                         }
                     }
                 }
@@ -473,6 +486,7 @@ impl Heap {
         self.stats.objects_promoted += 2;
         self.stats.bytes_promoted += parent_size + child_size;
         self.stats.objects_coallocated += 1;
+        self.stats.bytes_coallocated += parent_size + child_size;
         self.stats.gc_cycles += 2 * self.cost.per_object + total * self.cost.per_copied_byte;
         queue.push_back(cell);
         queue.push_back(child_to);
@@ -709,7 +723,7 @@ impl Heap {
         let mut p = self.nursery.start();
         while p < self.nursery.cursor() {
             let size = ObjectModel::size(&self.raw, p);
-            debug_assert!(size >= OBJECT_HEADER_BYTES && size % 8 == 0);
+            debug_assert!(size >= OBJECT_HEADER_BYTES && size.is_multiple_of(8));
             ObjectModel::clear_flags(&mut self.raw, p, flags::MARK);
             p = p.offset(size);
         }
@@ -1013,7 +1027,10 @@ mod tests {
     #[test]
     fn gencopy_major_compacts() {
         let (p, _string, node) = program();
-        let mut h = Heap::new(&p, HeapConfig::small().with_collector(CollectorKind::GenCopy));
+        let mut h = Heap::new(
+            &p,
+            HeapConfig::small().with_collector(CollectorKind::GenCopy),
+        );
         // Promote one keeper plus 50 objects that will die before the
         // major collection.
         let mut roots = vec![h.alloc_object(node).unwrap()];
@@ -1034,7 +1051,10 @@ mod tests {
     #[test]
     fn gencopy_preserves_linked_structures() {
         let (p, _string, node) = program();
-        let mut h = Heap::new(&p, HeapConfig::small().with_collector(CollectorKind::GenCopy));
+        let mut h = Heap::new(
+            &p,
+            HeapConfig::small().with_collector(CollectorKind::GenCopy),
+        );
         let a = h.alloc_object(node).unwrap();
         let b = h.alloc_object(node).unwrap();
         h.set_field(a, 16, b.0, true);

@@ -218,7 +218,10 @@ mod tests {
         let mut h = RawHeap::new(4096);
         let obj = h.base();
         ObjectModel::init_header(&mut h, obj, TypeTag::Array(ElemKind::I16), 48, 12);
-        assert_eq!(ObjectModel::type_tag(&h, obj), TypeTag::Array(ElemKind::I16));
+        assert_eq!(
+            ObjectModel::type_tag(&h, obj),
+            TypeTag::Array(ElemKind::I16)
+        );
         assert_eq!(ObjectModel::size(&h, obj), 48);
         assert_eq!(ObjectModel::array_len(&h, obj), 12);
         assert!(!ObjectModel::is_marked(&h, obj));

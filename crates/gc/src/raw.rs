@@ -137,7 +137,12 @@ mod tests {
     fn round_trips_all_widths() {
         let mut h = RawHeap::new(4096);
         let a = h.base();
-        for (w, v) in [(1u64, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)] {
+        for (w, v) in [
+            (1u64, 0xabu64),
+            (2, 0xbeef),
+            (4, 0xdead_beef),
+            (8, 0x0123_4567_89ab_cdef),
+        ] {
             h.write_uint(a, w, v);
             assert_eq!(h.read_uint(a, w), v, "width {w}");
         }

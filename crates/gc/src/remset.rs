@@ -72,10 +72,7 @@ mod tests {
         r.record(Address(24));
         r.record(Address(8));
         r.record(Address(16));
-        assert_eq!(
-            r.drain_sorted(),
-            vec![Address(8), Address(16), Address(24)]
-        );
+        assert_eq!(r.drain_sorted(), vec![Address(8), Address(16), Address(24)]);
         assert!(r.is_empty());
     }
 

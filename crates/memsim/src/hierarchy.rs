@@ -51,12 +51,24 @@ pub struct MemStats {
     pub reads: u64,
     /// Demand writes.
     pub writes: u64,
+    /// L1 demand hits.
+    pub l1_hits: u64,
     /// L1 demand misses.
     pub l1_misses: u64,
+    /// L1 lines evicted by replacement.
+    pub l1_evictions: u64,
+    /// L2 demand hits.
+    pub l2_hits: u64,
     /// L2 demand misses.
     pub l2_misses: u64,
+    /// L2 lines evicted by replacement (demand and prefetch fills).
+    pub l2_evictions: u64,
+    /// DTLB hits.
+    pub dtlb_hits: u64,
     /// DTLB misses.
     pub dtlb_misses: u64,
+    /// DTLB translations evicted by replacement.
+    pub dtlb_evictions: u64,
     /// Prefetches issued into L2.
     pub prefetches: u64,
     /// Total cycles spent in memory accesses.
@@ -96,6 +108,20 @@ pub struct MemoryHierarchy {
     tlb: Tlb,
     prefetcher: StreamPrefetcher,
     stats: MemStats,
+    stat_base: ComponentBase,
+}
+
+/// Component counter readings at the last [`MemoryHierarchy::reset_stats`],
+/// subtracted in [`MemoryHierarchy::stats`] so resets behave uniformly
+/// across tallied and component-derived fields.
+#[derive(Debug, Clone, Copy, Default)]
+struct ComponentBase {
+    l1_hits: u64,
+    l1_evictions: u64,
+    l2_hits: u64,
+    l2_evictions: u64,
+    dtlb_hits: u64,
+    dtlb_evictions: u64,
 }
 
 impl MemoryHierarchy {
@@ -109,6 +135,7 @@ impl MemoryHierarchy {
             prefetcher: StreamPrefetcher::new(config.l2.line_bytes(), config.prefetch_depth),
             config,
             stats: MemStats::default(),
+            stat_base: ComponentBase::default(),
         }
     }
 
@@ -173,15 +200,35 @@ impl MemoryHierarchy {
         self.prefetcher.flush();
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics. Hit and eviction totals are read off the
+    /// component caches here rather than tallied per access, keeping
+    /// the access fast path unchanged.
     #[must_use]
     pub fn stats(&self) -> MemStats {
-        self.stats
+        let mut s = self.stats;
+        let base = &self.stat_base;
+        s.l1_hits = self.l1.hits() - base.l1_hits;
+        s.l1_evictions = self.l1.evictions() - base.l1_evictions;
+        s.l2_hits = self.l2.hits() - base.l2_hits;
+        s.l2_evictions = self.l2.evictions() - base.l2_evictions;
+        s.dtlb_hits = self.tlb.hits() - base.dtlb_hits;
+        s.dtlb_evictions = self.tlb.evictions() - base.dtlb_evictions;
+        s
     }
 
-    /// Reset statistics (keeps cache contents).
+    /// Reset statistics (keeps cache contents). Component hit/eviction
+    /// counters keep running internally; the snapshot taken here acts
+    /// as the new zero for [`MemoryHierarchy::stats`].
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
+        self.stat_base = ComponentBase {
+            l1_hits: self.l1.hits(),
+            l1_evictions: self.l1.evictions(),
+            l2_hits: self.l2.hits(),
+            l2_evictions: self.l2.evictions(),
+            dtlb_hits: self.tlb.hits(),
+            dtlb_evictions: self.tlb.evictions(),
+        };
     }
 
     /// The L1 cache (for inspection in tests and reports).
@@ -310,5 +357,37 @@ mod tests {
         assert_eq!(m.stats().accesses, 0);
         let out = m.access(0x0, 8, AccessKind::Read);
         assert!(!out.l1_miss, "cache contents survived the stat reset");
+    }
+
+    #[test]
+    fn stats_surface_hits_and_evictions() {
+        let mut m = p4();
+        m.access(0x0, 8, AccessKind::Read);
+        m.access(0x0, 8, AccessKind::Read);
+        let s = m.stats();
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.dtlb_hits, 1);
+        assert_eq!(s.l1_hits + s.l1_misses, s.accesses);
+        // Thrash one L1 set (16 sets × 128-byte lines → 2 KiB stride)
+        // past its 8 ways to force replacement.
+        for i in 0..16u64 {
+            m.access(i * 2048, 8, AccessKind::Read);
+        }
+        assert!(m.stats().l1_evictions > 0, "L1 set overflow must evict");
+    }
+
+    #[test]
+    fn reset_stats_zeroes_component_counters_too() {
+        let mut m = p4();
+        for i in 0..16u64 {
+            m.access(i * 2048, 8, AccessKind::Read);
+        }
+        m.access(0x0, 8, AccessKind::Read);
+        m.reset_stats();
+        let s = m.stats();
+        assert_eq!(
+            (s.l1_hits, s.l1_evictions, s.l2_hits, s.dtlb_hits),
+            (0, 0, 0, 0)
+        );
     }
 }

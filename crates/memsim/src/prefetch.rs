@@ -54,7 +54,9 @@ impl StreamPrefetcher {
             s.last_use = self.tick;
             if s.confidence >= 2 {
                 let base = line + self.line_bytes;
-                let out: Vec<u64> = (0..self.depth).map(|i| base + i * self.line_bytes).collect();
+                let out: Vec<u64> = (0..self.depth)
+                    .map(|i| base + i * self.line_bytes)
+                    .collect();
                 self.issued += out.len() as u64;
                 return out;
             }
@@ -93,7 +95,10 @@ mod tests {
     #[test]
     fn sequential_stream_is_detected_after_two_misses() {
         let mut p = StreamPrefetcher::new(128, 2);
-        assert!(p.observe_miss(0x0000).is_empty(), "first miss: candidate only");
+        assert!(
+            p.observe_miss(0x0000).is_empty(),
+            "first miss: candidate only"
+        );
         let pf = p.observe_miss(0x0080);
         assert_eq!(pf, vec![0x0100, 0x0180], "second sequential miss confirms");
     }
@@ -121,6 +126,9 @@ mod tests {
         let mut p = StreamPrefetcher::new(128, 1);
         p.observe_miss(0x0000);
         p.flush();
-        assert!(p.observe_miss(0x0080).is_empty(), "stream state was dropped");
+        assert!(
+            p.observe_miss(0x0080).is_empty(),
+            "stream state was dropped"
+        );
     }
 }

@@ -12,6 +12,7 @@ pub struct Tlb {
     pages: Vec<u64>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl Tlb {
@@ -22,7 +23,10 @@ impl Tlb {
     /// Panics if `page_bytes` is not a power of two or `entries` is zero.
     #[must_use]
     pub fn new(entries: usize, page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         assert!(entries > 0, "TLB must have at least one entry");
         Tlb {
             entries,
@@ -30,6 +34,7 @@ impl Tlb {
             pages: Vec::with_capacity(entries),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -44,6 +49,7 @@ impl Tlb {
         } else {
             if self.pages.len() == self.entries {
                 self.pages.pop();
+                self.evictions += 1;
             }
             self.pages.insert(0, page);
             self.misses += 1;
@@ -66,6 +72,12 @@ impl Tlb {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Translations evicted by LRU replacement (`flush` does not count).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 

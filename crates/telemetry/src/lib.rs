@@ -1,0 +1,188 @@
+//! Workspace-wide telemetry: a metrics registry of cheap monotonic
+//! counters and gauges, a bounded structured event trace, snapshot
+//! diff/export, and the cycle-bucket overhead accountant.
+//!
+//! The entry point is the [`Telemetry`] handle. It is clone-cheap
+//! (an `Arc` internally), `Send + Sync`, and has two states:
+//!
+//! - [`Telemetry::enabled`] — counters land in a shared atomic
+//!   registry and events in a drop-oldest ring;
+//! - [`Telemetry::disabled`] — every operation early-returns on a
+//!   `None`; no allocation, no atomics, no locking.
+//!
+//! Telemetry never charges *simulated* cycles: it observes the
+//! simulation's clock but does not advance it, so enabling it cannot
+//! perturb the experiment being measured.
+//!
+//! ```
+//! use hpmopt_telemetry::{MetricId, Telemetry, TraceKind};
+//!
+//! let t = Telemetry::enabled(64);
+//! t.incr(MetricId::HpmPolls);
+//! t.record(
+//!     1_000,
+//!     TraceKind::PollCompleted { samples: 8, attributed: 7 },
+//! );
+//! let snap = t.snapshot(1_000);
+//! assert_eq!(snap.get(MetricId::HpmPolls), 1);
+//! assert_eq!(snap.events.len(), 1);
+//!
+//! let off = Telemetry::disabled();
+//! off.incr(MetricId::HpmPolls); // no-op
+//! assert!(!off.is_enabled());
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod overhead;
+pub mod snapshot;
+pub mod trace;
+
+pub use metrics::{MetricId, MetricKind, MetricsRegistry};
+pub use overhead::CycleBuckets;
+pub use snapshot::TelemetrySnapshot;
+pub use trace::{TraceEvent, TraceKind, TraceRing};
+
+use std::sync::{Arc, Mutex};
+
+/// Default number of trace events retained before drop-oldest kicks in.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+struct Inner {
+    registry: MetricsRegistry,
+    trace: Mutex<TraceRing>,
+}
+
+/// Shared handle to the telemetry sinks. See the crate docs.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    /// The default handle is disabled, so plumbing a `Telemetry` field
+    /// through existing config structs changes nothing until a caller
+    /// opts in.
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Telemetry {
+    /// A live handle retaining up to `trace_capacity` events.
+    pub fn enabled(trace_capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                registry: MetricsRegistry::new(),
+                trace: Mutex::new(TraceRing::new(trace_capacity)),
+            })),
+        }
+    }
+
+    /// A no-op handle: every operation returns immediately.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(&self, id: MetricId, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.add(id, n);
+        }
+    }
+
+    /// Increment a counter by one.
+    pub fn incr(&self, id: MetricId) {
+        self.add(id, 1);
+    }
+
+    /// Overwrite a gauge.
+    pub fn set_gauge(&self, id: MetricId, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.set(id, value);
+        }
+    }
+
+    /// Raise a gauge to `value` if below it (for monotonic syncs).
+    pub fn set_gauge_max(&self, id: MetricId, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.set_max(id, value);
+        }
+    }
+
+    /// Current value of one metric (0 when disabled).
+    pub fn get(&self, id: MetricId) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.registry.get(id),
+            None => 0,
+        }
+    }
+
+    /// Append a trace event stamped with the given simulated cycle.
+    pub fn record(&self, cycle: u64, kind: TraceKind) {
+        if let Some(inner) = &self.inner {
+            let mut ring = inner.trace.lock().unwrap();
+            ring.push(TraceEvent { cycle, kind });
+        }
+    }
+
+    /// Freeze every metric and the retained trace at `at_cycle`.
+    /// Disabled handles return [`TelemetrySnapshot::empty`].
+    pub fn snapshot(&self, at_cycle: u64) -> TelemetrySnapshot {
+        match &self.inner {
+            Some(inner) => {
+                let ring = inner.trace.lock().unwrap();
+                TelemetrySnapshot {
+                    at_cycle,
+                    values: inner.registry.read_all(),
+                    events: ring.to_vec(),
+                    dropped_events: ring.dropped(),
+                }
+            }
+            None => TelemetrySnapshot::empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        t.incr(MetricId::CoreBatches);
+        t.set_gauge(MetricId::HpmPollPeriodMs, 99);
+        t.record(5, TraceKind::BufferOverflow { dropped: 1 });
+        let snap = t.snapshot(5);
+        assert_eq!(snap, TelemetrySnapshot::empty());
+        assert_eq!(t.get(MetricId::CoreBatches), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::enabled(8);
+        let u = t.clone();
+        t.incr(MetricId::GcMinorCollections);
+        u.incr(MetricId::GcMinorCollections);
+        assert_eq!(t.get(MetricId::GcMinorCollections), 2);
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Telemetry>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Overhead accountant: splits a run's total simulated cycles into
+//! exclusive buckets so the cost of monitoring infrastructure can be
+//! stated as a percentage, the way the paper reports its < 1 %
+//! overhead claim.
+//!
+//! Buckets are exclusive and sum to `total`:
+//! - `mutator` — application bytecode execution (the remainder),
+//! - `gc` — collections,
+//! - `sampling_microcode` — the PEBS-style unit writing sample
+//!   records (the paper's "microcode cost"),
+//! - `poll_drain` — the collector thread draining the kernel buffer
+//!   and the monitor attributing samples,
+//! - `recompilation` — tier-up compilations.
+
+use crate::json::{number, JsonWriter};
+
+/// Exclusive cycle buckets for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBuckets {
+    pub total: u64,
+    pub mutator: u64,
+    pub gc: u64,
+    pub sampling_microcode: u64,
+    pub poll_drain: u64,
+    pub recompilation: u64,
+}
+
+impl CycleBuckets {
+    /// Build buckets from a run's aggregate numbers. `monitor_cycles`
+    /// is the combined cost charged by the sampling unit and the
+    /// drain/attribution path; `sampling_cycles` is the sampling-unit
+    /// share of it. The mutator bucket is the saturating remainder, so
+    /// the buckets always partition `total`.
+    pub fn from_run(
+        total: u64,
+        gc: u64,
+        sampling_cycles: u64,
+        monitor_cycles: u64,
+        recompilation: u64,
+    ) -> Self {
+        let sampling_microcode = sampling_cycles.min(monitor_cycles);
+        let poll_drain = monitor_cycles - sampling_microcode;
+        let overhead = gc + sampling_microcode + poll_drain + recompilation;
+        Self {
+            total,
+            mutator: total.saturating_sub(overhead),
+            gc,
+            sampling_microcode,
+            poll_drain,
+            recompilation,
+        }
+    }
+
+    /// Cycles spent on the monitoring infrastructure itself: sampling
+    /// microcode + poll/drain + recompilation. GC is *not* monitoring
+    /// overhead — it runs with or without the HPM system.
+    pub fn monitoring_cycles(&self) -> u64 {
+        self.sampling_microcode + self.poll_drain + self.recompilation
+    }
+
+    /// Monitoring overhead as a percentage of total cycles.
+    pub fn monitoring_overhead_pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.monitoring_cycles() as f64 / self.total as f64 * 100.0
+        }
+    }
+
+    /// Share of one bucket as a percentage of total cycles.
+    pub fn pct(&self, bucket: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            bucket as f64 / self.total as f64 * 100.0
+        }
+    }
+
+    /// Write the buckets as a JSON object under the given writer
+    /// (value position).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.object_value();
+        w.field_u64("total", self.total);
+        w.field_u64("mutator", self.mutator);
+        w.field_u64("gc", self.gc);
+        w.field_u64("sampling_microcode", self.sampling_microcode);
+        w.field_u64("poll_drain", self.poll_drain);
+        w.field_u64("recompilation", self.recompilation);
+        w.field_f64("monitoring_overhead_pct", self.monitoring_overhead_pct());
+        w.end_object();
+    }
+
+    /// Human-readable bucket table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("cycle buckets\n");
+        let rows = [
+            ("mutator", self.mutator),
+            ("gc", self.gc),
+            ("sampling_microcode", self.sampling_microcode),
+            ("poll_drain", self.poll_drain),
+            ("recompilation", self.recompilation),
+        ];
+        for (name, cycles) in rows {
+            out.push_str(&format!(
+                "    {:<20} {:>14}  ({:>6}%)\n",
+                name,
+                cycles,
+                number(self.pct(cycles))
+            ));
+        }
+        out.push_str(&format!("    {:<20} {:>14}\n", "total", self.total));
+        out.push_str(&format!(
+            "  monitoring overhead: {}% of total cycles\n",
+            number(self.monitoring_overhead_pct())
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_total() {
+        let b = CycleBuckets::from_run(1_000_000, 120_000, 5_000, 12_000, 3_000);
+        assert_eq!(
+            b.mutator + b.gc + b.sampling_microcode + b.poll_drain + b.recompilation,
+            b.total
+        );
+        assert_eq!(b.sampling_microcode, 5_000);
+        assert_eq!(b.poll_drain, 7_000);
+        assert_eq!(b.monitoring_cycles(), 15_000);
+        assert!((b.monitoring_overhead_pct() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_total_is_zero_pct() {
+        let b = CycleBuckets::default();
+        assert_eq!(b.monitoring_overhead_pct(), 0.0);
+    }
+}

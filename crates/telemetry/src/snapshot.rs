@@ -1,0 +1,245 @@
+//! Point-in-time telemetry snapshots: capture, diff, export.
+//!
+//! A [`TelemetrySnapshot`] freezes every metric plus the retained
+//! event trace at one simulated-clock instant. Snapshots support
+//! interval accounting via [`TelemetrySnapshot::diff`] (counters are
+//! subtracted, gauges keep the later reading) and two export formats:
+//! hand-rolled JSON ([`TelemetrySnapshot::to_json`]) and a
+//! human-readable table ([`TelemetrySnapshot::render_text`]).
+
+use crate::json::JsonWriter;
+use crate::metrics::{MetricId, MetricKind};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Frozen copy of the registry and trace at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Simulated cycle at which the snapshot was taken.
+    pub at_cycle: u64,
+    /// Metric values, aligned with [`MetricId::ALL`].
+    pub values: Vec<u64>,
+    /// Retained trace events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Trace events lost to ring wraparound before this snapshot.
+    pub dropped_events: u64,
+}
+
+impl TelemetrySnapshot {
+    /// An all-zero snapshot (what [`crate::Telemetry::disabled`]
+    /// produces).
+    pub fn empty() -> Self {
+        Self {
+            at_cycle: 0,
+            values: vec![0; MetricId::COUNT],
+            events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+
+    /// Value of one metric in this snapshot.
+    pub fn get(&self, id: MetricId) -> u64 {
+        self.values[id as usize]
+    }
+
+    /// Interval between `earlier` and `self`: counters become the
+    /// delta accumulated in between (saturating, so a reset or
+    /// mismatched pair cannot underflow), gauges keep this snapshot's
+    /// reading. Events retained are those stamped after
+    /// `earlier.at_cycle`.
+    pub fn diff(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let values = MetricId::ALL
+            .iter()
+            .map(|&id| match id.kind() {
+                MetricKind::Counter => self.get(id).saturating_sub(earlier.get(id)),
+                MetricKind::Gauge => self.get(id),
+            })
+            .collect();
+        let events = self
+            .events
+            .iter()
+            .filter(|e| e.cycle > earlier.at_cycle)
+            .cloned()
+            .collect();
+        TelemetrySnapshot {
+            at_cycle: self.at_cycle,
+            values,
+            events,
+            dropped_events: self.dropped_events.saturating_sub(earlier.dropped_events),
+        }
+    }
+
+    /// Serialize the snapshot as a JSON object:
+    /// `{ "at_cycle", "metrics": {name: value, …}, "dropped_events",
+    /// "events": [{"cycle", "type", …payload}] }`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Write the snapshot object at the writer's current value
+    /// position (top level or after [`JsonWriter::key`]).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.object_value();
+        w.field_u64("at_cycle", self.at_cycle);
+        w.key("metrics").object_value();
+        for &id in MetricId::ALL {
+            w.field_u64(id.name(), self.get(id));
+        }
+        w.end_object();
+        w.field_u64("dropped_events", self.dropped_events);
+        w.key("events").array_value();
+        for event in &self.events {
+            write_event(w, event);
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    /// Render the snapshot as an aligned, grouped plain-text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("telemetry @ cycle {}\n", self.at_cycle));
+        let mut last_ns = "";
+        let width = MetricId::ALL
+            .iter()
+            .map(|id| id.name().len())
+            .max()
+            .unwrap_or(0);
+        for &id in MetricId::ALL {
+            let ns = id.name().split('.').next().unwrap_or("");
+            if ns != last_ns {
+                out.push_str(&format!("  [{ns}]\n"));
+                last_ns = ns;
+            }
+            out.push_str(&format!(
+                "    {:<width$}  {}\n",
+                id.name(),
+                self.get(id),
+                width = width
+            ));
+        }
+        out.push_str(&format!(
+            "  trace: {} event(s) retained, {} dropped\n",
+            self.events.len(),
+            self.dropped_events
+        ));
+        for event in &self.events {
+            out.push_str(&format!(
+                "    cycle {:>12}  {}\n",
+                event.cycle,
+                describe_event(&event.kind)
+            ));
+        }
+        out
+    }
+}
+
+fn write_event(w: &mut JsonWriter, event: &TraceEvent) {
+    w.begin_object();
+    w.field_u64("cycle", event.cycle);
+    w.field_str("type", event.kind.name());
+    match &event.kind {
+        TraceKind::PollCompleted {
+            samples,
+            attributed,
+        } => {
+            w.field_u64("samples", *samples);
+            w.field_u64("attributed", *attributed);
+        }
+        TraceKind::BufferOverflow { dropped } => {
+            w.field_u64("dropped", *dropped);
+        }
+        TraceKind::GcCollection {
+            major,
+            promoted_bytes,
+        } => {
+            w.field_bool("major", *major);
+            w.field_u64("promoted_bytes", *promoted_bytes);
+        }
+        TraceKind::Recompilation { method, tier } => {
+            w.field_u64("method", u64::from(*method));
+            w.field_str("tier", tier);
+        }
+        TraceKind::CoallocDecision {
+            class,
+            field,
+            action,
+        } => {
+            w.field_u64("class", u64::from(*class));
+            w.field_u64("field", u64::from(*field));
+            w.field_str("action", action);
+        }
+        TraceKind::PhaseChange { miss_rate_ppm } => {
+            w.field_u64("miss_rate_ppm", *miss_rate_ppm);
+        }
+    }
+    w.end_object();
+}
+
+fn describe_event(kind: &TraceKind) -> String {
+    match kind {
+        TraceKind::PollCompleted {
+            samples,
+            attributed,
+        } => {
+            format!("poll_completed samples={samples} attributed={attributed}")
+        }
+        TraceKind::BufferOverflow { dropped } => format!("buffer_overflow dropped={dropped}"),
+        TraceKind::GcCollection {
+            major,
+            promoted_bytes,
+        } => format!(
+            "gc_collection kind={} promoted_bytes={promoted_bytes}",
+            if *major { "major" } else { "minor" }
+        ),
+        TraceKind::Recompilation { method, tier } => {
+            format!("recompilation method={method} tier={tier}")
+        }
+        TraceKind::CoallocDecision {
+            class,
+            field,
+            action,
+        } => format!("coalloc_decision class={class} field={field} action={action}"),
+        TraceKind::PhaseChange { miss_rate_ppm } => {
+            format!("phase_change miss_rate_ppm={miss_rate_ppm}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_counters_and_gauges() {
+        let mut earlier = TelemetrySnapshot::empty();
+        let mut later = TelemetrySnapshot::empty();
+        earlier.values[MetricId::HpmSamplesGenerated as usize] = 10;
+        later.values[MetricId::HpmSamplesGenerated as usize] = 25;
+        earlier.values[MetricId::HpmPollPeriodMs as usize] = 40;
+        later.values[MetricId::HpmPollPeriodMs as usize] = 20;
+        later.at_cycle = 100;
+        let d = later.diff(&earlier);
+        assert_eq!(d.get(MetricId::HpmSamplesGenerated), 15);
+        assert_eq!(d.get(MetricId::HpmPollPeriodMs), 20);
+    }
+
+    #[test]
+    fn json_contains_all_metric_names() {
+        let snap = TelemetrySnapshot::empty();
+        let json = snap.to_json();
+        for &id in MetricId::ALL {
+            assert!(json.contains(id.name()), "missing {}", id.name());
+        }
+    }
+
+    #[test]
+    fn text_render_groups_namespaces() {
+        let snap = TelemetrySnapshot::empty();
+        let text = snap.render_text();
+        for ns in ["[hpm]", "[memsim]", "[gc]", "[vm]", "[core]"] {
+            assert!(text.contains(ns), "missing {ns}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Bounded structured event trace.
+//!
+//! A [`TraceRing`] holds the most recent `capacity` events; when full,
+//! the oldest event is discarded and a dropped-events counter is
+//! incremented so consumers can tell the record is partial. Events are
+//! typed ([`TraceKind`]) and stamped with the *simulated* cycle clock,
+//! never wall time, so traces are deterministic across runs.
+
+use std::collections::VecDeque;
+
+/// What happened. Payloads carry the few fields a consumer needs to
+/// interpret the event without re-deriving state from metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The collector thread drained the kernel sample buffer.
+    PollCompleted { samples: u64, attributed: u64 },
+    /// The kernel buffer filled and samples were lost before the drain.
+    BufferOverflow { dropped: u64 },
+    /// A collection finished; `promoted_bytes` is this collection's
+    /// survivor volume.
+    GcCollection { major: bool, promoted_bytes: u64 },
+    /// A method moved to a higher tier.
+    Recompilation { method: u32, tier: &'static str },
+    /// The co-allocation policy changed its mind about a (class, field).
+    /// `field` is `u32::MAX` when the action carries no specific field
+    /// (pins and reverts operate on the whole class).
+    CoallocDecision {
+        class: u32,
+        field: u32,
+        action: &'static str,
+    },
+    /// The phase detector saw the miss-rate regime shift.
+    PhaseChange { miss_rate_ppm: u64 },
+}
+
+impl TraceKind {
+    /// Stable event-type name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::PollCompleted { .. } => "poll_completed",
+            TraceKind::BufferOverflow { .. } => "buffer_overflow",
+            TraceKind::GcCollection { .. } => "gc_collection",
+            TraceKind::Recompilation { .. } => "recompilation",
+            TraceKind::CoallocDecision { .. } => "coalloc_decision",
+            TraceKind::PhaseChange { .. } => "phase_change",
+        }
+    }
+}
+
+/// One trace entry: a simulated-clock timestamp plus the typed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub cycle: u64,
+    pub kind: TraceKind,
+}
+
+/// Fixed-capacity ring with drop-oldest semantics.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest entry if the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events lost to wraparound since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            kind: TraceKind::PollCompleted {
+                samples: cycle,
+                attributed: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn drop_oldest_on_wrap() {
+        let mut ring = TraceRing::new(3);
+        for c in 0..5 {
+            ring.push(ev(c));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let cycles: Vec<u64> = ring.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_dropped() {
+        let mut ring = TraceRing::new(0);
+        ring.push(ev(1));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Integration tests: ring wraparound accounting, exact snapshot diffs
+//! across a poll boundary, and a JSON round-trip through a minimal
+//! parser written here (the workspace has no JSON dependency, so the
+//! test brings its own reader for the writer under test).
+
+use std::collections::BTreeMap;
+
+use hpmopt_telemetry::{MetricId, Telemetry, TraceKind};
+
+// ---------------------------------------------------------------------
+// Ring wraparound
+// ---------------------------------------------------------------------
+
+#[test]
+fn wraparound_reports_exact_drop_count() {
+    let capacity = 16;
+    let telemetry = Telemetry::enabled(capacity);
+    let pushed = 100u64;
+    for i in 0..pushed {
+        telemetry.record(
+            i,
+            TraceKind::PollCompleted {
+                samples: i,
+                attributed: 0,
+            },
+        );
+    }
+    let snap = telemetry.snapshot(pushed);
+    assert_eq!(snap.events.len(), capacity);
+    assert_eq!(snap.dropped_events, pushed - capacity as u64);
+    // The survivors are exactly the newest `capacity` events, in order.
+    let cycles: Vec<u64> = snap.events.iter().map(|e| e.cycle).collect();
+    let expected: Vec<u64> = (pushed - capacity as u64..pushed).collect();
+    assert_eq!(cycles, expected);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot diff across a poll boundary
+// ---------------------------------------------------------------------
+
+#[test]
+fn diff_across_a_poll_boundary_is_exact() {
+    let telemetry = Telemetry::enabled(64);
+
+    // Poll 1: 7 samples drained, period gauge at 40 ms.
+    telemetry.incr(MetricId::HpmPolls);
+    telemetry.add(MetricId::HpmSamplesDrained, 7);
+    telemetry.set_gauge(MetricId::HpmPollPeriodMs, 40);
+    telemetry.record(
+        1_000,
+        TraceKind::PollCompleted {
+            samples: 7,
+            attributed: 5,
+        },
+    );
+    let at_poll1 = telemetry.snapshot(1_000);
+
+    // Poll 2: 11 more samples, the period adapted down to 20 ms.
+    telemetry.incr(MetricId::HpmPolls);
+    telemetry.add(MetricId::HpmSamplesDrained, 11);
+    telemetry.set_gauge(MetricId::HpmPollPeriodMs, 20);
+    telemetry.record(
+        2_000,
+        TraceKind::PollCompleted {
+            samples: 11,
+            attributed: 9,
+        },
+    );
+    let at_poll2 = telemetry.snapshot(2_000);
+
+    let between = at_poll2.diff(&at_poll1);
+    // Counters: exactly the second poll's contribution.
+    assert_eq!(between.get(MetricId::HpmPolls), 1);
+    assert_eq!(between.get(MetricId::HpmSamplesDrained), 11);
+    // Gauges: the later reading, not a subtraction.
+    assert_eq!(between.get(MetricId::HpmPollPeriodMs), 20);
+    // Events: only those stamped after the earlier snapshot.
+    assert_eq!(between.events.len(), 1);
+    assert_eq!(between.events[0].cycle, 2_000);
+    assert_eq!(between.at_cycle, 2_000);
+    assert_eq!(between.dropped_events, 0);
+}
+
+// ---------------------------------------------------------------------
+// JSON round-trip
+// ---------------------------------------------------------------------
+
+/// The subset of JSON the snapshot writer emits.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Number(f64),
+    Bool(bool),
+    Str(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_u64(&self) -> u64 {
+        match self {
+            Value::Number(n) => *n as u64,
+            v => panic!("expected number, got {v:?}"),
+        }
+    }
+
+    fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => &map[key],
+            v => panic!("expected object, got {v:?}"),
+        }
+    }
+}
+
+/// Minimal recursive-descent parser for the writer's output. Supports
+/// objects, arrays, strings (with the escapes the writer produces),
+/// numbers, booleans, and null — nothing more.
+fn parse(input: &str) -> Value {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value();
+    p.skip_ws();
+    assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON value");
+    v
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        self.bytes[self.pos]
+    }
+
+    fn expect(&mut self, b: u8) {
+        assert_eq!(self.peek(), b, "at byte {}", self.pos);
+        self.pos += 1;
+    }
+
+    fn value(&mut self) -> Value {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Value::Str(self.string()),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Number(f64::NAN)),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Value {
+        assert!(self.bytes[self.pos..].starts_with(lit.as_bytes()));
+        self.pos += lit.len();
+        v
+    }
+
+    fn object(&mut self) -> Value {
+        self.expect(b'{');
+        let mut map = BTreeMap::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Value::Object(map);
+        }
+        loop {
+            let key = self.string();
+            self.expect(b':');
+            map.insert(key, self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Value::Object(map);
+                }
+                b => panic!("unexpected {:?} in object", b as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Value {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Value::Array(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Value::Array(items);
+                }
+                b => panic!("unexpected {:?} in array", b as char),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes[self.pos] {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .unwrap();
+                            let code = u32::from_str_radix(hex, 16).unwrap();
+                            out.push(char::from_u32(code).unwrap());
+                            self.pos += 4;
+                        }
+                        b => panic!("unsupported escape \\{}", b as char),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through unescaped.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Value {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Value::Number(text.parse().unwrap())
+    }
+}
+
+#[test]
+fn snapshot_json_round_trips_through_a_real_parser() {
+    let telemetry = Telemetry::enabled(8);
+    telemetry.add(MetricId::HpmSamplesGenerated, 566);
+    telemetry.add(MetricId::MemsimL1Misses, 150_227);
+    telemetry.set_gauge(MetricId::HpmPollPeriodMs, 160);
+    telemetry.record(
+        2_399_380,
+        TraceKind::GcCollection {
+            major: false,
+            promoted_bytes: 262_112,
+        },
+    );
+    telemetry.record(
+        7_007_050,
+        TraceKind::CoallocDecision {
+            class: 0,
+            field: 0,
+            action: "enabled",
+        },
+    );
+    telemetry.record(
+        10_199_996,
+        TraceKind::Recompilation {
+            method: 2,
+            tier: "opt",
+        },
+    );
+    let snap = telemetry.snapshot(81_229_847);
+
+    let parsed = parse(&snap.to_json());
+
+    assert_eq!(parsed.get("at_cycle").as_u64(), snap.at_cycle);
+    assert_eq!(parsed.get("dropped_events").as_u64(), 0);
+    let metrics = parsed.get("metrics");
+    for &id in MetricId::ALL {
+        assert_eq!(
+            metrics.get(id.name()).as_u64(),
+            snap.get(id),
+            "metric {} did not survive the round trip",
+            id.name()
+        );
+    }
+    let Value::Array(events) = parsed.get("events") else {
+        panic!("events must be an array");
+    };
+    assert_eq!(events.len(), 3);
+    assert_eq!(events[0].get("type"), &Value::Str("gc_collection".into()));
+    assert_eq!(events[0].get("major"), &Value::Bool(false));
+    assert_eq!(events[0].get("promoted_bytes").as_u64(), 262_112);
+    assert_eq!(events[1].get("action"), &Value::Str("enabled".into()));
+    assert_eq!(events[2].get("type"), &Value::Str("recompilation".into()));
+    assert_eq!(events[2].get("tier"), &Value::Str("opt".into()));
+    assert_eq!(events[2].get("cycle").as_u64(), 10_199_996);
+}
+
+#[test]
+fn parser_handles_escaped_strings() {
+    let v = parse(r#"{"a": "x\"y\\z\n", "b": [1, 2.5, true]}"#);
+    assert_eq!(v.get("a"), &Value::Str("x\"y\\z\n".into()));
+    let Value::Array(items) = v.get("b") else {
+        panic!("expected array")
+    };
+    assert_eq!(items[1], Value::Number(2.5));
+    assert_eq!(items[2], Value::Bool(true));
+}

@@ -34,6 +34,15 @@ pub struct VmConfig {
     /// memory latency is charged on top, so a higher width makes programs
     /// more memory-bound, as on the real machine.
     pub issue_width: u64,
+    /// Cycles charged per bytecode when the baseline compiler installs a
+    /// method. Zero (the default) models compilation as free, which is
+    /// the seed behaviour; the report harness sets both costs so the
+    /// overhead accountant can carve out a recompilation bucket.
+    pub baseline_compile_cycles_per_bc: u64,
+    /// Cycles charged per bytecode for an optimizing (tier-up)
+    /// compilation. Zero by default; see
+    /// [`VmConfig::baseline_compile_cycles_per_bc`].
+    pub opt_compile_cycles_per_bc: u64,
 }
 
 impl Default for VmConfig {
@@ -48,6 +57,8 @@ impl Default for VmConfig {
             max_call_depth: 2048,
             call_overhead_cycles: 10,
             issue_width: 3,
+            baseline_compile_cycles_per_bc: 0,
+            opt_compile_cycles_per_bc: 0,
         }
     }
 }
@@ -71,6 +82,8 @@ impl VmConfig {
             max_call_depth: 512,
             call_overhead_cycles: 10,
             issue_width: 3,
+            baseline_compile_cycles_per_bc: 0,
+            opt_compile_cycles_per_bc: 0,
         }
     }
 

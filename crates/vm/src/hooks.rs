@@ -103,6 +103,9 @@ mod tests {
             bytecode_index: 0,
         };
         assert_eq!(h.on_access(&ctx), 0);
-        assert!(h.coalloc_policy().coalloc_child(hpmopt_bytecode::ClassId(0)).is_none());
+        assert!(h
+            .coalloc_policy()
+            .coalloc_child(hpmopt_bytecode::ClassId(0))
+            .is_none());
     }
 }

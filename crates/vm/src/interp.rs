@@ -45,6 +45,9 @@ pub struct RunSummary {
     pub monitor_cycles: u64,
     /// Cycles charged for collections.
     pub gc_cycles: u64,
+    /// Cycles charged for baseline and optimizing compilations (zero
+    /// unless the [`crate::VmConfig`] compile costs are set).
+    pub compile_cycles: u64,
     /// Memory-hierarchy statistics.
     pub mem: MemStats,
     /// Collector statistics.
@@ -98,6 +101,7 @@ pub struct Vm<'p> {
     code_cursor: u64,
     cycles: u64,
     monitor_cycles: u64,
+    compile_cycles: u64,
     gc_cycles_seen: u64,
     bytecodes: u64,
     statics: Vec<Value>,
@@ -133,6 +137,7 @@ impl<'p> Vm<'p> {
             code_cursor: CODE_BASE,
             cycles: 0,
             monitor_cycles: 0,
+            compile_cycles: 0,
             gc_cycles_seen: 0,
             bytecodes: 0,
             statics,
@@ -259,6 +264,7 @@ impl<'p> Vm<'p> {
             bytecodes_executed: self.bytecodes,
             monitor_cycles: self.monitor_cycles,
             gc_cycles: self.heap.stats().gc_cycles,
+            compile_cycles: self.compile_cycles,
             mem: self.mem.stats(),
             gc: self.heap.stats(),
             code_sizes,
@@ -290,7 +296,20 @@ impl<'p> Vm<'p> {
     }
 
     fn install<H: RuntimeHooks>(&mut self, m: MethodId, tier: Tier, hooks: &mut H) {
-        let code = compile(self.program, m, tier, self.code_cursor, self.config.full_mcmaps);
+        let per_bc = match tier {
+            Tier::Baseline => self.config.baseline_compile_cycles_per_bc,
+            Tier::Opt => self.config.opt_compile_cycles_per_bc,
+        };
+        let cost = per_bc * self.program.method(m).len() as u64;
+        self.cycles += cost;
+        self.compile_cycles += cost;
+        let code = compile(
+            self.program,
+            m,
+            tier,
+            self.code_cursor,
+            self.config.full_mcmaps,
+        );
         self.code_cursor = code.code_end();
         self.method_table.insert(CodeRange {
             start: code.code_start,
@@ -561,8 +580,7 @@ impl<'p> Vm<'p> {
             Instr::New(class) => {
                 let obj = self.alloc_object_gc(class, hooks)?;
                 // Initializing the header touches the object's first line.
-                cycles +=
-                    self.data_access(obj, 8, AccessKind::Write, mem_pc, method, bc, hooks);
+                cycles += self.data_access(obj, 8, AccessKind::Write, mem_pc, method, bc, hooks);
                 self.stack.push(Value::Ref(obj));
             }
             Instr::NewArray(kind) => {
@@ -571,8 +589,7 @@ impl<'p> Vm<'p> {
                     return Err(VmError::IndexOutOfBounds);
                 }
                 let obj = self.alloc_array_gc(kind, len as u64, hooks)?;
-                cycles +=
-                    self.data_access(obj, 8, AccessKind::Write, mem_pc, method, bc, hooks);
+                cycles += self.data_access(obj, 8, AccessKind::Write, mem_pc, method, bc, hooks);
                 self.stack.push(Value::Ref(obj));
             }
             Instr::GetField(f) => {
@@ -582,8 +599,7 @@ impl<'p> Vm<'p> {
                 }
                 let info = self.program.field(f);
                 let addr = self.heap.field_addr(obj, info.offset);
-                cycles +=
-                    self.data_access(addr, 8, AccessKind::Read, mem_pc, method, bc, hooks);
+                cycles += self.data_access(addr, 8, AccessKind::Read, mem_pc, method, bc, hooks);
                 let raw = self.heap.get_field(obj, info.offset);
                 self.stack.push(if info.ty.is_ref() {
                     Value::Ref(Address(raw))
@@ -599,8 +615,7 @@ impl<'p> Vm<'p> {
                 }
                 let info = self.program.field(f);
                 let addr = self.heap.field_addr(obj, info.offset);
-                cycles +=
-                    self.data_access(addr, 8, AccessKind::Write, mem_pc, method, bc, hooks);
+                cycles += self.data_access(addr, 8, AccessKind::Write, mem_pc, method, bc, hooks);
                 let (raw, is_ref) = match v {
                     Value::Ref(a) => (a.0, true),
                     Value::Int(i) => (i as u64, false),
@@ -612,15 +627,13 @@ impl<'p> Vm<'p> {
             }
             Instr::GetStatic(s) => {
                 let addr = Address(STATICS_BASE + 8 * u64::from(s.0));
-                cycles +=
-                    self.data_access(addr, 8, AccessKind::Read, mem_pc, method, bc, hooks);
+                cycles += self.data_access(addr, 8, AccessKind::Read, mem_pc, method, bc, hooks);
                 self.stack.push(self.statics[s.0 as usize]);
             }
             Instr::PutStatic(s) => {
                 let v = self.pop()?;
                 let addr = Address(STATICS_BASE + 8 * u64::from(s.0));
-                cycles +=
-                    self.data_access(addr, 8, AccessKind::Write, mem_pc, method, bc, hooks);
+                cycles += self.data_access(addr, 8, AccessKind::Write, mem_pc, method, bc, hooks);
                 self.statics[s.0 as usize] = v;
             }
             Instr::ArrayGet(kind) => {
@@ -684,8 +697,7 @@ impl<'p> Vm<'p> {
                     return Err(VmError::NullPointer);
                 }
                 // The length lives in the header line.
-                cycles +=
-                    self.data_access(arr, 8, AccessKind::Read, mem_pc, method, bc, hooks);
+                cycles += self.data_access(arr, 8, AccessKind::Read, mem_pc, method, bc, hooks);
                 self.stack.push(Value::Int(self.heap.array_len(arr) as i64));
             }
             Instr::IsNull => {
@@ -766,6 +778,26 @@ mod tests {
         let mut vm = Vm::new(&p, VmConfig::test());
         vm.run(&mut NoHooks).unwrap();
         vm.statics[0].as_int().unwrap()
+    }
+
+    #[test]
+    fn compile_cycles_charged_when_costs_set() {
+        let p = expr_program(|m| {
+            m.const_i(1);
+        });
+        let free = {
+            let mut vm = Vm::new(&p, VmConfig::test());
+            vm.run(&mut NoHooks).unwrap()
+        };
+        assert_eq!(free.compile_cycles, 0, "compilation is free by default");
+
+        let mut cfg = VmConfig::test();
+        cfg.baseline_compile_cycles_per_bc = 25;
+        let mut vm = Vm::new(&p, cfg);
+        let charged = vm.run(&mut NoHooks).unwrap();
+        let expected = 25 * p.method(p.entry()).len() as u64;
+        assert_eq!(charged.compile_cycles, expected);
+        assert_eq!(charged.cycles, free.cycles + expected);
     }
 
     #[test]

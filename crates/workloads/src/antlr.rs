@@ -24,7 +24,10 @@ pub fn build(size: Size) -> Workload {
     let mut pb = ProgramBuilder::new();
     let alt = pb.add_class("Alt", &[("symbols", FieldType::Ref)]);
     let symbols = pb.field_id(alt, "symbols").unwrap();
-    let rule = pb.add_class("Rule", &[("alts", FieldType::Ref), ("link", FieldType::Ref)]);
+    let rule = pb.add_class(
+        "Rule",
+        &[("alts", FieldType::Ref), ("link", FieldType::Ref)],
+    );
     let alts = pb.field_id(rule, "alts").unwrap();
     let link = pb.field_id(rule, "link").unwrap();
     let grammar = pb.add_static("grammar", FieldType::Ref);

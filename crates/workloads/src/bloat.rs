@@ -22,7 +22,11 @@ pub fn build(size: Size) -> Workload {
     let bits = pb.field_id(operand, "bits").unwrap();
     let insn = pb.add_class(
         "Insn",
-        &[("op", FieldType::Ref), ("next", FieldType::Ref), ("opcode", FieldType::Int)],
+        &[
+            ("op", FieldType::Ref),
+            ("next", FieldType::Ref),
+            ("opcode", FieldType::Int),
+        ],
     );
     let op = pb.field_id(insn, "op").unwrap();
     let next = pb.field_id(insn, "next").unwrap();

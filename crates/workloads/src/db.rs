@@ -31,7 +31,10 @@ const CHARS: i64 = 12;
 pub fn build(size: Size) -> Workload {
     let f = size.factor();
     let mut pb = ProgramBuilder::new();
-    let string = pb.add_class("String", &[("value", FieldType::Ref), ("hash", FieldType::Int)]);
+    let string = pb.add_class(
+        "String",
+        &[("value", FieldType::Ref), ("hash", FieldType::Int)],
+    );
     let value = pb.field_id(string, "value").unwrap();
     let hash = pb.field_id(string, "hash").unwrap();
     let table = pb.add_static("table", FieldType::Ref);

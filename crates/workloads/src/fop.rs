@@ -21,7 +21,11 @@ pub fn build(size: Size) -> Workload {
     let mut pb = ProgramBuilder::new();
     let block = pb.add_class(
         "FoBlock",
-        &[("child", FieldType::Ref), ("width", FieldType::Int), ("height", FieldType::Int)],
+        &[
+            ("child", FieldType::Ref),
+            ("width", FieldType::Int),
+            ("height", FieldType::Int),
+        ],
     );
     let child = pb.field_id(block, "child").unwrap();
     let width = pb.field_id(block, "width").unwrap();
@@ -96,7 +100,8 @@ pub fn build(size: Size) -> Workload {
     Workload {
         name: "fop",
         suite: Suite::DaCapo,
-        description: "document formatter: one small FoBlock tree, a few layout passes, smallest footprint",
+        description:
+            "document formatter: one small FoBlock tree, a few layout passes, smallest footprint",
         program: pb.finish().expect("fop verifies"),
         min_heap_bytes: 256 * 1024,
         hot_field: None,

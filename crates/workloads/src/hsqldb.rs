@@ -23,7 +23,10 @@ const COLS: i64 = 6;
 pub fn build(size: Size) -> Workload {
     let f = size.factor();
     let mut pb = ProgramBuilder::new();
-    let row = pb.add_class("Row", &[("values", FieldType::Ref), ("key", FieldType::Int)]);
+    let row = pb.add_class(
+        "Row",
+        &[("values", FieldType::Ref), ("key", FieldType::Int)],
+    );
     let values = pb.field_id(row, "values").unwrap();
     let key = pb.field_id(row, "key").unwrap();
     let table = pb.add_static("table", FieldType::Ref);

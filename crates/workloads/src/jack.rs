@@ -23,7 +23,11 @@ pub fn build(size: Size) -> Workload {
     let mut pb = ProgramBuilder::new();
     let token = pb.add_class(
         "Token",
-        &[("text", FieldType::Ref), ("next", FieldType::Ref), ("kind", FieldType::Int)],
+        &[
+            ("text", FieldType::Ref),
+            ("next", FieldType::Ref),
+            ("kind", FieldType::Int),
+        ],
     );
     let text = pb.field_id(token, "text").unwrap();
     let next = pb.field_id(token, "next").unwrap();

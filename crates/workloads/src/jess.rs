@@ -143,7 +143,8 @@ pub fn build(size: Size) -> Workload {
     Workload {
         name: "jess",
         suite: Suite::SpecJvm98,
-        description: "expert-system shell: rule-network sweeps chasing RuleNode::fact into Fact slots",
+        description:
+            "expert-system shell: rule-network sweeps chasing RuleNode::fact into Fact slots",
         program: pb.finish().expect("jess verifies"),
         min_heap_bytes: 640 * 1024,
         hot_field: Some(("RuleNode", "fact")),

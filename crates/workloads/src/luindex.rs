@@ -20,7 +20,11 @@ pub fn build(size: Size) -> Workload {
     let mut pb = ProgramBuilder::new();
     let posting = pb.add_class(
         "Posting",
-        &[("positions", FieldType::Ref), ("next", FieldType::Ref), ("doc", FieldType::Int)],
+        &[
+            ("positions", FieldType::Ref),
+            ("next", FieldType::Ref),
+            ("doc", FieldType::Int),
+        ],
     );
     let positions = pb.field_id(posting, "positions").unwrap();
     let next = pb.field_id(posting, "next").unwrap();

@@ -19,7 +19,11 @@ pub fn build(size: Size) -> Workload {
     let mut pb = ProgramBuilder::new();
     let posting = pb.add_class(
         "Posting",
-        &[("payload", FieldType::Ref), ("next", FieldType::Ref), ("doc", FieldType::Int)],
+        &[
+            ("payload", FieldType::Ref),
+            ("next", FieldType::Ref),
+            ("doc", FieldType::Int),
+        ],
     );
     let payload = pb.field_id(posting, "payload").unwrap();
     let next = pb.field_id(posting, "next").unwrap();
@@ -145,7 +149,8 @@ pub fn build(size: Size) -> Workload {
     Workload {
         name: "lusearch",
         suite: Suite::DaCapo,
-        description: "index search: shuffled queries walking Posting::payload chains between segment merges",
+        description:
+            "index search: shuffled queries walking Posting::payload chains between segment merges",
         program: pb.finish().expect("lusearch verifies"),
         min_heap_bytes: 2560 * 1024,
         hot_field: Some(("Posting", "payload")),

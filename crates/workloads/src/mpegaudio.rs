@@ -144,7 +144,8 @@ pub fn build(size: Size) -> Workload {
     Workload {
         name: "mpegaudio",
         suite: Suite::SpecJvm98,
-        description: "MP3-style synthesis filter over large sample arrays; allocation-free steady state",
+        description:
+            "MP3-style synthesis filter over large sample arrays; allocation-free steady state",
         program: pb.finish().expect("mpegaudio verifies"),
         min_heap_bytes: 384 * 1024,
         hot_field: None,

@@ -24,7 +24,11 @@ pub fn build(size: Size) -> Workload {
     let mut pb = ProgramBuilder::new();
     let vec3 = pb.add_class(
         "Vec3",
-        &[("x", FieldType::Int), ("y", FieldType::Int), ("z", FieldType::Int)],
+        &[
+            ("x", FieldType::Int),
+            ("y", FieldType::Int),
+            ("z", FieldType::Int),
+        ],
     );
     let fx = pb.field_id(vec3, "x").unwrap();
     let fy = pb.field_id(vec3, "y").unwrap();

@@ -24,7 +24,11 @@ pub fn build(size: Size) -> Workload {
     let mut pb = ProgramBuilder::new();
     let node = pb.add_class(
         "AstNode",
-        &[("children", FieldType::Ref), ("attrs", FieldType::Ref), ("kind", FieldType::Int)],
+        &[
+            ("children", FieldType::Ref),
+            ("attrs", FieldType::Ref),
+            ("kind", FieldType::Int),
+        ],
     );
     let children = pb.field_id(node, "children").unwrap();
     let attrs = pb.field_id(node, "attrs").unwrap();
@@ -176,7 +180,8 @@ pub fn build(size: Size) -> Workload {
     Workload {
         name: "pmd",
         suite: Suite::DaCapo,
-        description: "source analyzer: rule visitors over AstNode→attrs trees, re-parsed each round",
+        description:
+            "source analyzer: rule visitors over AstNode→attrs trees, re-parsed each round",
         program: pb.finish().expect("pmd verifies"),
         min_heap_bytes: 8 * 1024 * 1024,
         hot_field: Some(("AstNode", "attrs")),

@@ -113,13 +113,15 @@ fn main() {
         program.total_instructions()
     );
 
-    let mut vm = VmConfig::default();
-    vm.heap = HeapConfig {
-        heap_bytes: 4 * 1024 * 1024,
-        nursery_bytes: 256 * 1024,
-        los_bytes: 16 * 1024 * 1024,
-        collector: CollectorKind::GenMs,
-        cost: Default::default(),
+    let vm = VmConfig {
+        heap: HeapConfig {
+            heap_bytes: 4 * 1024 * 1024,
+            nursery_bytes: 256 * 1024,
+            los_bytes: 16 * 1024 * 1024,
+            collector: CollectorKind::GenMs,
+            cost: Default::default(),
+        },
+        ..VmConfig::default()
     };
     let config = RunConfig {
         vm,
@@ -134,8 +136,14 @@ fn main() {
     };
     let report = HpmRuntime::new(config).run(&program).expect("program runs");
 
-    println!("cycles: {}, L1 misses: {}", report.cycles, report.vm.mem.l1_misses);
-    println!("hottest fields: {:?}", &report.field_totals[..report.field_totals.len().min(3)]);
+    println!(
+        "cycles: {}, L1 misses: {}",
+        report.cycles, report.vm.mem.l1_misses
+    );
+    println!(
+        "hottest fields: {:?}",
+        &report.field_totals[..report.field_totals.len().min(3)]
+    );
     println!("decisions: {:?}", report.decisions);
     println!("co-allocated: {}", report.vm.gc.objects_coallocated);
 }

@@ -130,13 +130,15 @@ fn main() {
 
     let mut results = Vec::new();
     for coalloc in [false, true] {
-        let mut vm = VmConfig::default();
-        vm.heap = HeapConfig {
-            heap_bytes: 4 * 1024 * 1024,
-            nursery_bytes: 256 * 1024,
-            los_bytes: 64 * 1024 * 1024,
-            collector: CollectorKind::GenMs,
-            cost: Default::default(),
+        let vm = VmConfig {
+            heap: HeapConfig {
+                heap_bytes: 4 * 1024 * 1024,
+                nursery_bytes: 256 * 1024,
+                los_bytes: 64 * 1024 * 1024,
+                collector: CollectorKind::GenMs,
+                cost: Default::default(),
+            },
+            ..VmConfig::default()
         };
         let config = RunConfig {
             vm,
@@ -160,5 +162,8 @@ fn main() {
         results.push(report);
     }
     let ratio = results[1].vm.mem.l1_misses as f64 / results[0].vm.mem.l1_misses as f64;
-    println!("\nL1 miss change from co-allocation: {:+.1}%", (ratio - 1.0) * 100.0);
+    println!(
+        "\nL1 miss change from co-allocation: {:+.1}%",
+        (ratio - 1.0) * 100.0
+    );
 }

@@ -14,13 +14,15 @@ use hpmopt::workloads::{self, Size};
 
 fn run_db(coalloc: bool, sampling: SamplingInterval) -> RunReport {
     let w = workloads::by_name("db", Size::Small).unwrap();
-    let mut vm = VmConfig::default();
-    vm.heap = HeapConfig {
-        heap_bytes: w.min_heap_bytes * 4,
-        nursery_bytes: 256 * 1024,
-        los_bytes: 64 * 1024 * 1024,
-        collector: CollectorKind::GenMs,
-        cost: Default::default(),
+    let vm = VmConfig {
+        heap: HeapConfig {
+            heap_bytes: w.min_heap_bytes * 4,
+            nursery_bytes: 256 * 1024,
+            los_bytes: 64 * 1024 * 1024,
+            collector: CollectorKind::GenMs,
+            cost: Default::default(),
+        },
+        ..VmConfig::default()
     };
     let config = RunConfig {
         vm,
@@ -33,14 +35,21 @@ fn run_db(coalloc: bool, sampling: SamplingInterval) -> RunReport {
         coalloc,
         ..RunConfig::default()
     };
-    HpmRuntime::new(config).run(&w.program).expect("db completes")
+    HpmRuntime::new(config)
+        .run(&w.program)
+        .expect("db completes")
 }
 
 fn main() {
     println!("running db without monitoring (baseline)...");
     let base = run_db(false, SamplingInterval::Off);
     println!("running db with HPM-guided co-allocation...");
-    let opt = run_db(true, SamplingInterval::Auto { target_per_sec: 1000 });
+    let opt = run_db(
+        true,
+        SamplingInterval::Auto {
+            target_per_sec: 1000,
+        },
+    );
 
     let time_ratio = opt.cycles as f64 / base.cycles as f64;
     let miss_ratio = opt.vm.mem.l1_misses as f64 / base.vm.mem.l1_misses as f64;

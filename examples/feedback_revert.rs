@@ -16,13 +16,15 @@ use hpmopt::workloads::{self, Size};
 
 fn main() {
     let w = workloads::by_name("db", Size::Small).unwrap();
-    let mut vm = VmConfig::default();
-    vm.heap = HeapConfig {
-        heap_bytes: w.min_heap_bytes * 4,
-        nursery_bytes: 256 * 1024,
-        los_bytes: 64 * 1024 * 1024,
-        collector: CollectorKind::GenMs,
-        cost: Default::default(),
+    let vm = VmConfig {
+        heap: HeapConfig {
+            heap_bytes: w.min_heap_bytes * 4,
+            nursery_bytes: 256 * 1024,
+            los_bytes: 64 * 1024 * 1024,
+            collector: CollectorKind::GenMs,
+            cost: Default::default(),
+        },
+        ..VmConfig::default()
     };
     let config = RunConfig {
         vm,
@@ -48,15 +50,22 @@ fn main() {
         ..RunConfig::default()
     };
 
-    let report = HpmRuntime::new(config).run(&w.program).expect("db completes");
+    let report = HpmRuntime::new(config)
+        .run(&w.program)
+        .expect("db completes");
 
     println!("policy timeline:");
     for e in &report.policy_events {
         match e {
             PolicyEvent::Enabled { cycles, .. } => {
-                println!("  {:>7.1}M cycles  co-allocation enabled (miss-driven)", *cycles as f64 / 1e6);
+                println!(
+                    "  {:>7.1}M cycles  co-allocation enabled (miss-driven)",
+                    *cycles as f64 / 1e6
+                );
             }
-            PolicyEvent::Pinned { cycles, gap_bytes, .. } => {
+            PolicyEvent::Pinned {
+                cycles, gap_bytes, ..
+            } => {
                 println!(
                     "  {:>7.1}M cycles  BAD placement pinned ({gap_bytes}-byte gap between parent and child)",
                     *cycles as f64 / 1e6

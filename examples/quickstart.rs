@@ -23,13 +23,15 @@ fn main() {
 
     println!("workload: {} ({}) — {}", w.name, w.suite, w.description);
 
-    let mut vm = VmConfig::default();
-    vm.heap = HeapConfig {
-        heap_bytes: w.min_heap_bytes * 4,
-        nursery_bytes: 256 * 1024,
-        los_bytes: 64 * 1024 * 1024,
-        collector: CollectorKind::GenMs,
-        cost: Default::default(),
+    let vm = VmConfig {
+        heap: HeapConfig {
+            heap_bytes: w.min_heap_bytes * 4,
+            nursery_bytes: 256 * 1024,
+            los_bytes: 64 * 1024 * 1024,
+            collector: CollectorKind::GenMs,
+            cost: Default::default(),
+        },
+        ..VmConfig::default()
     };
     let config = RunConfig {
         vm,
@@ -54,10 +56,19 @@ fn main() {
     println!("  L2 misses:         {:>14}", report.vm.mem.l2_misses);
 
     println!("\ngarbage collection");
-    println!("  minor collections: {:>14}", report.vm.gc.minor_collections);
-    println!("  major collections: {:>14}", report.vm.gc.major_collections);
+    println!(
+        "  minor collections: {:>14}",
+        report.vm.gc.minor_collections
+    );
+    println!(
+        "  major collections: {:>14}",
+        report.vm.gc.major_collections
+    );
     println!("  objects promoted:  {:>14}", report.vm.gc.objects_promoted);
-    println!("  co-allocated:      {:>14}", report.vm.gc.objects_coallocated);
+    println!(
+        "  co-allocated:      {:>14}",
+        report.vm.gc.objects_coallocated
+    );
 
     println!("\nmonitoring");
     println!("  events observed:   {:>14}", report.hpm.events);

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: formatting, lints, and the
+# tier-1 gate. The build is fully offline — no network needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q --workspace --release
+
+echo "==> smoke: hpmopt-report db"
+cargo run --release --bin hpmopt-report -- db -o target/ci-report-db.json >/dev/null
+
+echo "CI OK"

@@ -1,0 +1,187 @@
+//! `hpmopt-report` — run one workload with telemetry enabled and
+//! account for where the simulated cycles went.
+//!
+//! ```text
+//! cargo run --release --bin hpmopt-report -- [workload] [size] [-o out.json]
+//! ```
+//!
+//! Runs the workload twice — once with telemetry disabled, once
+//! enabled — prints the metric table, retained event trace, and cycle
+//! buckets, and writes the same data as JSON. The enabled/disabled
+//! cycle comparison is part of the report: telemetry observes the
+//! simulated clock without advancing it, so the delta must be zero.
+
+use std::process::ExitCode;
+
+use hpmopt::core::policy::PolicyConfig;
+use hpmopt::core::runtime::{HpmRuntime, RunConfig, RunReport};
+use hpmopt::gc::{CollectorKind, HeapConfig};
+use hpmopt::hpm::{HpmConfig, SamplingInterval};
+use hpmopt::telemetry::json::{number, JsonWriter};
+use hpmopt::telemetry::{Telemetry, TelemetrySnapshot, DEFAULT_TRACE_CAPACITY};
+use hpmopt::vm::VmConfig;
+use hpmopt::workloads::{by_name, names, Size, Workload};
+
+/// Simulation-scale monitoring clock (see `hpmopt-bench`'s setup
+/// module): simulated runs are ~10^4 shorter than the paper's, so the
+/// monitoring stack is told the CPU runs at 100 MHz to scale poll
+/// periods accordingly.
+const MONITOR_CPU_HZ: u64 = 100_000_000;
+/// Kernel sample-buffer capacity at simulation scale.
+const BUFFER_CAPACITY: usize = 256;
+/// Auto-mode sample-rate target at simulation scale.
+const AUTO_TARGET_PER_SEC: u64 = 1_000;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: hpmopt-report [workload] [tiny|small|full] [-o FILE.json]");
+    eprintln!("workloads: {}", names().join(", "));
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut workload_name = String::from("db");
+    let mut size = Size::Tiny;
+    let mut out_path: Option<String> = None;
+    let mut positional = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" | "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => return usage(),
+            },
+            "-h" | "--help" => return usage(),
+            "tiny" => size = Size::Tiny,
+            "small" => size = Size::Small,
+            "full" => size = Size::Full,
+            name if positional == 0 => {
+                workload_name = name.to_string();
+                positional += 1;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let Some(workload) = by_name(&workload_name, size) else {
+        eprintln!("unknown workload `{workload_name}`");
+        return usage();
+    };
+    let out_path = out_path.unwrap_or_else(|| format!("target/hpmopt-report-{workload_name}.json"));
+
+    // Two identical configurations, differing only in the telemetry
+    // handle. The disabled run is the control for the zero-perturbation
+    // claim below.
+    let telemetry = Telemetry::enabled(DEFAULT_TRACE_CAPACITY);
+    let enabled = run(&workload, telemetry.clone());
+    let disabled = run(&workload, Telemetry::disabled());
+
+    let snapshot = telemetry.snapshot(enabled.cycles);
+    let delta_pct = cycle_delta_pct(enabled.cycles, disabled.cycles);
+
+    println!("hpmopt-report: {} ({size})", workload.name);
+    println!();
+    print!("{}", snapshot.render_text());
+    println!();
+    print!("{}", enabled.cycle_buckets().render_text());
+    println!();
+    println!("  telemetry perturbation check");
+    println!("    cycles (telemetry on)   {:>14}", enabled.cycles);
+    println!("    cycles (telemetry off)  {:>14}", disabled.cycles);
+    println!("    delta                   {:>13}%", number(delta_pct));
+
+    let json = render_json(&workload_name, size, &snapshot, &enabled, &disabled);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!();
+    println!("  wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+/// Run `workload` under monitoring with the given telemetry handle.
+/// Mirrors the experiment configuration in `hpmopt-bench`, plus
+/// nonzero compile costs and a live AOS so the recompilation bucket
+/// is exercised.
+fn run(workload: &Workload, telemetry: Telemetry) -> RunReport {
+    let mut vm = VmConfig {
+        heap: HeapConfig {
+            heap_bytes: workload.min_heap_bytes * 4,
+            nursery_bytes: 256 * 1024,
+            los_bytes: 64 * 1024 * 1024,
+            collector: CollectorKind::GenMs,
+            cost: Default::default(),
+        },
+        ..VmConfig::default()
+    };
+    vm.aos.enabled = true;
+    vm.aos.sample_period_cycles = 200_000;
+    vm.aos.opt_threshold = 2;
+    vm.baseline_compile_cycles_per_bc = 3;
+    vm.opt_compile_cycles_per_bc = 30;
+    vm.step_limit = Some(3_000_000_000);
+    let config = RunConfig {
+        vm,
+        hpm: HpmConfig {
+            interval: SamplingInterval::Auto {
+                target_per_sec: AUTO_TARGET_PER_SEC,
+            },
+            buffer_capacity: BUFFER_CAPACITY,
+            cpu_hz: MONITOR_CPU_HZ,
+            ..HpmConfig::default()
+        },
+        coalloc: true,
+        policy: PolicyConfig {
+            min_field_misses: 4,
+        },
+        telemetry,
+        ..RunConfig::default()
+    };
+    HpmRuntime::new(config)
+        .run(&workload.program)
+        .unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name))
+}
+
+/// Cycle difference of the telemetry-enabled run relative to the
+/// disabled control, in percent.
+fn cycle_delta_pct(enabled: u64, disabled: u64) -> f64 {
+    if disabled == 0 {
+        return 0.0;
+    }
+    (enabled as f64 - disabled as f64).abs() / disabled as f64 * 100.0
+}
+
+fn render_json(
+    workload: &str,
+    size: Size,
+    snapshot: &TelemetrySnapshot,
+    enabled: &RunReport,
+    disabled: &RunReport,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("workload", workload);
+    w.field_str("size", &size.to_string());
+    w.key("perturbation").object_value();
+    w.field_u64("cycles_enabled", enabled.cycles);
+    w.field_u64("cycles_disabled", disabled.cycles);
+    w.field_f64(
+        "cycle_delta_pct",
+        cycle_delta_pct(enabled.cycles, disabled.cycles),
+    );
+    w.end_object();
+    w.key("snapshot");
+    snapshot.write_json(&mut w);
+    w.key("cycle_buckets");
+    enabled.cycle_buckets().write_json(&mut w);
+    w.end_object();
+    w.finish()
+}

@@ -17,6 +17,8 @@
 //! - [`core`] — the paper's contribution: sample attribution, per-field
 //!   miss monitoring, co-allocation policy, and optimization feedback
 //! - [`workloads`] — the 16 synthetic benchmark programs of Table 1
+//! - [`telemetry`] — metrics registry, event trace, and the overhead
+//!   accountant behind the `hpmopt-report` binary
 //!
 //! # Quickstart
 //!
@@ -36,5 +38,6 @@ pub use hpmopt_core as core;
 pub use hpmopt_gc as gc;
 pub use hpmopt_hpm as hpm;
 pub use hpmopt_memsim as memsim;
+pub use hpmopt_telemetry as telemetry;
 pub use hpmopt_vm as vm;
 pub use hpmopt_workloads as workloads;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collector_telemetry-010b53ba0b7aed57.d: crates/hpm/tests/collector_telemetry.rs
+
+/root/repo/target/debug/deps/collector_telemetry-010b53ba0b7aed57: crates/hpm/tests/collector_telemetry.rs
+
+crates/hpm/tests/collector_telemetry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collector_telemetry-4f67034a1ca5d000.d: crates/hpm/tests/collector_telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollector_telemetry-4f67034a1ca5d000.rmeta: crates/hpm/tests/collector_telemetry.rs Cargo.toml
+
+crates/hpm/tests/collector_telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

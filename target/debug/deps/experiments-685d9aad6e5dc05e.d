@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-685d9aad6e5dc05e.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-685d9aad6e5dc05e: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

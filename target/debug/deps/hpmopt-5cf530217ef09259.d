@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpmopt-5cf530217ef09259.d: src/lib.rs
+
+/root/repo/target/debug/deps/hpmopt-5cf530217ef09259: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hpmopt-70072e3aee98c640.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhpmopt-70072e3aee98c640.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhpmopt-70072e3aee98c640.rmeta: src/lib.rs
+
+src/lib.rs:

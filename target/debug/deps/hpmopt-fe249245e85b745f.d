@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpmopt-fe249245e85b745f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt-fe249245e85b745f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/hpmopt_bench-a76e68176e08e84e.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/export.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fmt.rs crates/bench/src/setup.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+/root/repo/target/debug/deps/hpmopt_bench-a76e68176e08e84e: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/export.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fmt.rs crates/bench/src/setup.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/export.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/hpmopt_bench-b0c6af6ec349a5e2.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/export.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fmt.rs crates/bench/src/setup.rs crates/bench/src/table1.rs crates/bench/src/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_bench-b0c6af6ec349a5e2.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/export.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fmt.rs crates/bench/src/setup.rs crates/bench/src/table1.rs crates/bench/src/table2.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/export.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

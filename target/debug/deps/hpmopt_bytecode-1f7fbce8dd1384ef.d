@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hpmopt_bytecode-1f7fbce8dd1384ef.d: crates/bytecode/src/lib.rs crates/bytecode/src/asm.rs crates/bytecode/src/builder.rs crates/bytecode/src/class.rs crates/bytecode/src/disasm.rs crates/bytecode/src/instr.rs crates/bytecode/src/method.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+/root/repo/target/debug/deps/hpmopt_bytecode-1f7fbce8dd1384ef: crates/bytecode/src/lib.rs crates/bytecode/src/asm.rs crates/bytecode/src/builder.rs crates/bytecode/src/class.rs crates/bytecode/src/disasm.rs crates/bytecode/src/instr.rs crates/bytecode/src/method.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+crates/bytecode/src/lib.rs:
+crates/bytecode/src/asm.rs:
+crates/bytecode/src/builder.rs:
+crates/bytecode/src/class.rs:
+crates/bytecode/src/disasm.rs:
+crates/bytecode/src/instr.rs:
+crates/bytecode/src/method.rs:
+crates/bytecode/src/program.rs:
+crates/bytecode/src/verify.rs:

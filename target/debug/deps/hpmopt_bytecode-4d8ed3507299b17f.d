@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hpmopt_bytecode-4d8ed3507299b17f.d: crates/bytecode/src/lib.rs crates/bytecode/src/asm.rs crates/bytecode/src/builder.rs crates/bytecode/src/class.rs crates/bytecode/src/disasm.rs crates/bytecode/src/instr.rs crates/bytecode/src/method.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+/root/repo/target/debug/deps/libhpmopt_bytecode-4d8ed3507299b17f.rlib: crates/bytecode/src/lib.rs crates/bytecode/src/asm.rs crates/bytecode/src/builder.rs crates/bytecode/src/class.rs crates/bytecode/src/disasm.rs crates/bytecode/src/instr.rs crates/bytecode/src/method.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+/root/repo/target/debug/deps/libhpmopt_bytecode-4d8ed3507299b17f.rmeta: crates/bytecode/src/lib.rs crates/bytecode/src/asm.rs crates/bytecode/src/builder.rs crates/bytecode/src/class.rs crates/bytecode/src/disasm.rs crates/bytecode/src/instr.rs crates/bytecode/src/method.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+crates/bytecode/src/lib.rs:
+crates/bytecode/src/asm.rs:
+crates/bytecode/src/builder.rs:
+crates/bytecode/src/class.rs:
+crates/bytecode/src/disasm.rs:
+crates/bytecode/src/instr.rs:
+crates/bytecode/src/method.rs:
+crates/bytecode/src/program.rs:
+crates/bytecode/src/verify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hpmopt_bytecode-f58148740a8fd528.d: crates/bytecode/src/lib.rs crates/bytecode/src/asm.rs crates/bytecode/src/builder.rs crates/bytecode/src/class.rs crates/bytecode/src/disasm.rs crates/bytecode/src/instr.rs crates/bytecode/src/method.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_bytecode-f58148740a8fd528.rmeta: crates/bytecode/src/lib.rs crates/bytecode/src/asm.rs crates/bytecode/src/builder.rs crates/bytecode/src/class.rs crates/bytecode/src/disasm.rs crates/bytecode/src/instr.rs crates/bytecode/src/method.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs Cargo.toml
+
+crates/bytecode/src/lib.rs:
+crates/bytecode/src/asm.rs:
+crates/bytecode/src/builder.rs:
+crates/bytecode/src/class.rs:
+crates/bytecode/src/disasm.rs:
+crates/bytecode/src/instr.rs:
+crates/bytecode/src/method.rs:
+crates/bytecode/src/program.rs:
+crates/bytecode/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpmopt_core-0f2eee8894fe777f.d: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/hpmopt_core-0f2eee8894fe777f: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/feedback.rs:
+crates/core/src/interest.rs:
+crates/core/src/mapping.rs:
+crates/core/src/monitor.rs:
+crates/core/src/phases.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hpmopt_core-7db9fe2e68ac12ed.d: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_core-7db9fe2e68ac12ed.rmeta: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/feedback.rs:
+crates/core/src/interest.rs:
+crates/core/src/mapping.rs:
+crates/core/src/monitor.rs:
+crates/core/src/phases.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

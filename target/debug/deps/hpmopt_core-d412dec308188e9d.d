@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hpmopt_core-d412dec308188e9d.d: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/libhpmopt_core-d412dec308188e9d.rlib: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/libhpmopt_core-d412dec308188e9d.rmeta: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/feedback.rs:
+crates/core/src/interest.rs:
+crates/core/src/mapping.rs:
+crates/core/src/monitor.rs:
+crates/core/src/phases.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hpmopt_gc-1e23bc62f959556e.d: crates/gc/src/lib.rs crates/gc/src/classtable.rs crates/gc/src/freelist.rs crates/gc/src/heap.rs crates/gc/src/los.rs crates/gc/src/nursery.rs crates/gc/src/object.rs crates/gc/src/policy.rs crates/gc/src/raw.rs crates/gc/src/remset.rs crates/gc/src/semispace.rs crates/gc/src/stats.rs
+
+/root/repo/target/debug/deps/hpmopt_gc-1e23bc62f959556e: crates/gc/src/lib.rs crates/gc/src/classtable.rs crates/gc/src/freelist.rs crates/gc/src/heap.rs crates/gc/src/los.rs crates/gc/src/nursery.rs crates/gc/src/object.rs crates/gc/src/policy.rs crates/gc/src/raw.rs crates/gc/src/remset.rs crates/gc/src/semispace.rs crates/gc/src/stats.rs
+
+crates/gc/src/lib.rs:
+crates/gc/src/classtable.rs:
+crates/gc/src/freelist.rs:
+crates/gc/src/heap.rs:
+crates/gc/src/los.rs:
+crates/gc/src/nursery.rs:
+crates/gc/src/object.rs:
+crates/gc/src/policy.rs:
+crates/gc/src/raw.rs:
+crates/gc/src/remset.rs:
+crates/gc/src/semispace.rs:
+crates/gc/src/stats.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/hpmopt_gc-ce7cc67c0f66d70b.d: crates/gc/src/lib.rs crates/gc/src/classtable.rs crates/gc/src/freelist.rs crates/gc/src/heap.rs crates/gc/src/los.rs crates/gc/src/nursery.rs crates/gc/src/object.rs crates/gc/src/policy.rs crates/gc/src/raw.rs crates/gc/src/remset.rs crates/gc/src/semispace.rs crates/gc/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_gc-ce7cc67c0f66d70b.rmeta: crates/gc/src/lib.rs crates/gc/src/classtable.rs crates/gc/src/freelist.rs crates/gc/src/heap.rs crates/gc/src/los.rs crates/gc/src/nursery.rs crates/gc/src/object.rs crates/gc/src/policy.rs crates/gc/src/raw.rs crates/gc/src/remset.rs crates/gc/src/semispace.rs crates/gc/src/stats.rs Cargo.toml
+
+crates/gc/src/lib.rs:
+crates/gc/src/classtable.rs:
+crates/gc/src/freelist.rs:
+crates/gc/src/heap.rs:
+crates/gc/src/los.rs:
+crates/gc/src/nursery.rs:
+crates/gc/src/object.rs:
+crates/gc/src/policy.rs:
+crates/gc/src/raw.rs:
+crates/gc/src/remset.rs:
+crates/gc/src/semispace.rs:
+crates/gc/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

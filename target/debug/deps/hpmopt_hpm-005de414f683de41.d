@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hpmopt_hpm-005de414f683de41.d: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_hpm-005de414f683de41.rmeta: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs Cargo.toml
+
+crates/hpm/src/lib.rs:
+crates/hpm/src/collector.rs:
+crates/hpm/src/kernel.rs:
+crates/hpm/src/pebs.rs:
+crates/hpm/src/userlib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hpmopt_hpm-c7b814ba4dd586a1.d: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs
+
+/root/repo/target/debug/deps/libhpmopt_hpm-c7b814ba4dd586a1.rlib: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs
+
+/root/repo/target/debug/deps/libhpmopt_hpm-c7b814ba4dd586a1.rmeta: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs
+
+crates/hpm/src/lib.rs:
+crates/hpm/src/collector.rs:
+crates/hpm/src/kernel.rs:
+crates/hpm/src/pebs.rs:
+crates/hpm/src/userlib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpmopt_hpm-eed123a9b0183008.d: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs
+
+/root/repo/target/debug/deps/hpmopt_hpm-eed123a9b0183008: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs
+
+crates/hpm/src/lib.rs:
+crates/hpm/src/collector.rs:
+crates/hpm/src/kernel.rs:
+crates/hpm/src/pebs.rs:
+crates/hpm/src/userlib.rs:

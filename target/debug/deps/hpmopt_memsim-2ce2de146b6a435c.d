@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hpmopt_memsim-2ce2de146b6a435c.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/debug/deps/hpmopt_memsim-2ce2de146b6a435c: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/prefetch.rs:
+crates/memsim/src/tlb.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hpmopt_memsim-344044c448ef89fe.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_memsim-344044c448ef89fe.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs Cargo.toml
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/prefetch.rs:
+crates/memsim/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpmopt_memsim-37c4b630a337284c.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/debug/deps/libhpmopt_memsim-37c4b630a337284c.rlib: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/debug/deps/libhpmopt_memsim-37c4b630a337284c.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/prefetch.rs:
+crates/memsim/src/tlb.rs:

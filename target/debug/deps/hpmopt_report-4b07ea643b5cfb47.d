@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpmopt_report-4b07ea643b5cfb47.d: src/bin/report.rs
+
+/root/repo/target/debug/deps/hpmopt_report-4b07ea643b5cfb47: src/bin/report.rs
+
+src/bin/report.rs:

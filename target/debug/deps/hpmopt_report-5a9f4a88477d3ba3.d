@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpmopt_report-5a9f4a88477d3ba3.d: src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_report-5a9f4a88477d3ba3.rmeta: src/bin/report.rs Cargo.toml
+
+src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

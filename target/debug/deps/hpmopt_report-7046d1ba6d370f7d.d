@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpmopt_report-7046d1ba6d370f7d.d: src/bin/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_report-7046d1ba6d370f7d.rmeta: src/bin/report.rs Cargo.toml
+
+src/bin/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpmopt_report-e76b4740e076299f.d: src/bin/report.rs
+
+/root/repo/target/debug/deps/hpmopt_report-e76b4740e076299f: src/bin/report.rs
+
+src/bin/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hpmopt_telemetry-170ebd979cecceb1.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/hpmopt_telemetry-170ebd979cecceb1: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/overhead.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/trace.rs:

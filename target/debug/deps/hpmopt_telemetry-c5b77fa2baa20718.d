@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hpmopt_telemetry-c5b77fa2baa20718.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libhpmopt_telemetry-c5b77fa2baa20718.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/libhpmopt_telemetry-c5b77fa2baa20718.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/overhead.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/trace.rs:

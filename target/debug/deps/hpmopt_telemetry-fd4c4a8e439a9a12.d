@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hpmopt_telemetry-fd4c4a8e439a9a12.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_telemetry-fd4c4a8e439a9a12.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/overhead.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

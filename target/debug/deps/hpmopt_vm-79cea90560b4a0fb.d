@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hpmopt_vm-79cea90560b4a0fb.d: crates/vm/src/lib.rs crates/vm/src/aos.rs crates/vm/src/compiler.rs crates/vm/src/config.rs crates/vm/src/hooks.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/methodtable.rs crates/vm/src/value.rs
+
+/root/repo/target/debug/deps/libhpmopt_vm-79cea90560b4a0fb.rlib: crates/vm/src/lib.rs crates/vm/src/aos.rs crates/vm/src/compiler.rs crates/vm/src/config.rs crates/vm/src/hooks.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/methodtable.rs crates/vm/src/value.rs
+
+/root/repo/target/debug/deps/libhpmopt_vm-79cea90560b4a0fb.rmeta: crates/vm/src/lib.rs crates/vm/src/aos.rs crates/vm/src/compiler.rs crates/vm/src/config.rs crates/vm/src/hooks.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/methodtable.rs crates/vm/src/value.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/aos.rs:
+crates/vm/src/compiler.rs:
+crates/vm/src/config.rs:
+crates/vm/src/hooks.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/machine.rs:
+crates/vm/src/methodtable.rs:
+crates/vm/src/value.rs:

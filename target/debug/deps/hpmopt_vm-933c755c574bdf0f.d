@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hpmopt_vm-933c755c574bdf0f.d: crates/vm/src/lib.rs crates/vm/src/aos.rs crates/vm/src/compiler.rs crates/vm/src/config.rs crates/vm/src/hooks.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/methodtable.rs crates/vm/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_vm-933c755c574bdf0f.rmeta: crates/vm/src/lib.rs crates/vm/src/aos.rs crates/vm/src/compiler.rs crates/vm/src/config.rs crates/vm/src/hooks.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/methodtable.rs crates/vm/src/value.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/aos.rs:
+crates/vm/src/compiler.rs:
+crates/vm/src/config.rs:
+crates/vm/src/hooks.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/machine.rs:
+crates/vm/src/methodtable.rs:
+crates/vm/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hpmopt_vm-a55f84936d8e0fc0.d: crates/vm/src/lib.rs crates/vm/src/aos.rs crates/vm/src/compiler.rs crates/vm/src/config.rs crates/vm/src/hooks.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/methodtable.rs crates/vm/src/value.rs
+
+/root/repo/target/debug/deps/hpmopt_vm-a55f84936d8e0fc0: crates/vm/src/lib.rs crates/vm/src/aos.rs crates/vm/src/compiler.rs crates/vm/src/config.rs crates/vm/src/hooks.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/methodtable.rs crates/vm/src/value.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/aos.rs:
+crates/vm/src/compiler.rs:
+crates/vm/src/config.rs:
+crates/vm/src/hooks.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/machine.rs:
+crates/vm/src/methodtable.rs:
+crates/vm/src/value.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/hpmopt_workloads-6c359c1866a397b5.d: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/compress.rs crates/workloads/src/db.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jack.rs crates/workloads/src/javac.rs crates/workloads/src/jess.rs crates/workloads/src/jython.rs crates/workloads/src/luindex.rs crates/workloads/src/lusearch.rs crates/workloads/src/mpegaudio.rs crates/workloads/src/mtrt.rs crates/workloads/src/pmd.rs crates/workloads/src/pseudojbb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpmopt_workloads-6c359c1866a397b5.rmeta: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/compress.rs crates/workloads/src/db.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jack.rs crates/workloads/src/javac.rs crates/workloads/src/jess.rs crates/workloads/src/jython.rs crates/workloads/src/luindex.rs crates/workloads/src/lusearch.rs crates/workloads/src/mpegaudio.rs crates/workloads/src/mtrt.rs crates/workloads/src/pmd.rs crates/workloads/src/pseudojbb.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/antlr.rs:
+crates/workloads/src/bloat.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/db.rs:
+crates/workloads/src/fop.rs:
+crates/workloads/src/hsqldb.rs:
+crates/workloads/src/jack.rs:
+crates/workloads/src/javac.rs:
+crates/workloads/src/jess.rs:
+crates/workloads/src/jython.rs:
+crates/workloads/src/luindex.rs:
+crates/workloads/src/lusearch.rs:
+crates/workloads/src/mpegaudio.rs:
+crates/workloads/src/mtrt.rs:
+crates/workloads/src/pmd.rs:
+crates/workloads/src/pseudojbb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-64589a5127120fce.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-64589a5127120fce: tests/pipeline.rs
+
+tests/pipeline.rs:

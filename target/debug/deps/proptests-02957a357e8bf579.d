@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-02957a357e8bf579.d: crates/vm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-02957a357e8bf579.rmeta: crates/vm/tests/proptests.rs Cargo.toml
+
+crates/vm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2acdb28f87e1a773.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2acdb28f87e1a773: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

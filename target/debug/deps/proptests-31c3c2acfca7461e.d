@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-31c3c2acfca7461e.d: crates/gc/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-31c3c2acfca7461e.rmeta: crates/gc/tests/proptests.rs Cargo.toml
+
+crates/gc/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-356615ab0aaee85b.d: crates/hpm/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-356615ab0aaee85b.rmeta: crates/hpm/tests/proptests.rs Cargo.toml
+
+crates/hpm/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

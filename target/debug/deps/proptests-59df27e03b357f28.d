@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-59df27e03b357f28.d: crates/vm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-59df27e03b357f28: crates/vm/tests/proptests.rs
+
+crates/vm/tests/proptests.rs:

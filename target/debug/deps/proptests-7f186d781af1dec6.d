@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7f186d781af1dec6.d: crates/bytecode/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7f186d781af1dec6: crates/bytecode/tests/proptests.rs
+
+crates/bytecode/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-863b5c5971b56522.d: crates/bytecode/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-863b5c5971b56522.rmeta: crates/bytecode/tests/proptests.rs Cargo.toml
+
+crates/bytecode/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8853d9e049ff81d8.d: crates/hpm/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8853d9e049ff81d8: crates/hpm/tests/proptests.rs
+
+crates/hpm/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a23178a034ecfa91.d: crates/memsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a23178a034ecfa91: crates/memsim/tests/proptests.rs
+
+crates/memsim/tests/proptests.rs:

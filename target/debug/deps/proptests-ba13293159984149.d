@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ba13293159984149.d: crates/gc/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ba13293159984149: crates/gc/tests/proptests.rs
+
+crates/gc/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d92ec8c14065dec5.d: crates/memsim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d92ec8c14065dec5.rmeta: crates/memsim/tests/proptests.rs Cargo.toml
+
+crates/memsim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-0163577613a1c333.d: crates/telemetry/tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-0163577613a1c333.rmeta: crates/telemetry/tests/telemetry.rs Cargo.toml
+
+crates/telemetry/tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

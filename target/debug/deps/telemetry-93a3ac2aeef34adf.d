@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-93a3ac2aeef34adf.d: crates/telemetry/tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-93a3ac2aeef34adf: crates/telemetry/tests/telemetry.rs
+
+crates/telemetry/tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_counters-4efb24ea7c8d0572.d: crates/core/tests/telemetry_counters.rs
+
+/root/repo/target/debug/deps/telemetry_counters-4efb24ea7c8d0572: crates/core/tests/telemetry_counters.rs
+
+crates/core/tests/telemetry_counters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_counters-f5e95770f63b8c72.d: crates/core/tests/telemetry_counters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_counters-f5e95770f63b8c72.rmeta: crates/core/tests/telemetry_counters.rs Cargo.toml
+
+crates/core/tests/telemetry_counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads_run-3d3536ed312ff73e.d: tests/workloads_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads_run-3d3536ed312ff73e.rmeta: tests/workloads_run.rs Cargo.toml
+
+tests/workloads_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads_run-c4e3060e288a080b.d: tests/workloads_run.rs
+
+/root/repo/target/debug/deps/workloads_run-c4e3060e288a080b: tests/workloads_run.rs
+
+tests/workloads_run.rs:

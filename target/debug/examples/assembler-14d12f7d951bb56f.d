@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/assembler-14d12f7d951bb56f.d: examples/assembler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libassembler-14d12f7d951bb56f.rmeta: examples/assembler.rs Cargo.toml
+
+examples/assembler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assembler-a6cfc8d421ed188f.d: examples/assembler.rs
+
+/root/repo/target/debug/examples/assembler-a6cfc8d421ed188f: examples/assembler.rs
+
+examples/assembler.rs:

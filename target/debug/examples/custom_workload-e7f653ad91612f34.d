@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_workload-e7f653ad91612f34.d: examples/custom_workload.rs
+
+/root/repo/target/debug/examples/custom_workload-e7f653ad91612f34: examples/custom_workload.rs
+
+examples/custom_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/db_coallocation-1531876e0797d318.d: examples/db_coallocation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdb_coallocation-1531876e0797d318.rmeta: examples/db_coallocation.rs Cargo.toml
+
+examples/db_coallocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/db_coallocation-85fb3b33a569f56e.d: examples/db_coallocation.rs
+
+/root/repo/target/debug/examples/db_coallocation-85fb3b33a569f56e: examples/db_coallocation.rs
+
+examples/db_coallocation.rs:

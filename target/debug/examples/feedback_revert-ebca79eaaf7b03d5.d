@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/feedback_revert-ebca79eaaf7b03d5.d: examples/feedback_revert.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfeedback_revert-ebca79eaaf7b03d5.rmeta: examples/feedback_revert.rs Cargo.toml
+
+examples/feedback_revert.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feedback_revert-f9ab56a7c0916500.d: examples/feedback_revert.rs
+
+/root/repo/target/debug/examples/feedback_revert-f9ab56a7c0916500: examples/feedback_revert.rs
+
+examples/feedback_revert.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f7916ec1a7d63201.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f7916ec1a7d63201: examples/quickstart.rs
+
+examples/quickstart.rs:

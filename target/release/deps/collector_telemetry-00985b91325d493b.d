@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collector_telemetry-00985b91325d493b.d: crates/hpm/tests/collector_telemetry.rs
+
+/root/repo/target/release/deps/collector_telemetry-00985b91325d493b: crates/hpm/tests/collector_telemetry.rs
+
+crates/hpm/tests/collector_telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-9795ddd91ba72eab.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-9795ddd91ba72eab: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hpmopt-c84fdc2c50fe335c.d: src/lib.rs
+
+/root/repo/target/release/deps/hpmopt-c84fdc2c50fe335c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hpmopt-ebbc0a62a9c5dd61.d: src/lib.rs
+
+/root/repo/target/release/deps/libhpmopt-ebbc0a62a9c5dd61.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhpmopt-ebbc0a62a9c5dd61.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hpmopt_bench-3abce9943cba1417.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/export.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fmt.rs crates/bench/src/setup.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+/root/repo/target/release/deps/hpmopt_bench-3abce9943cba1417: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/export.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fmt.rs crates/bench/src/setup.rs crates/bench/src/table1.rs crates/bench/src/table2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/export.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fmt.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hpmopt_bytecode-3d14223d71293b55.d: crates/bytecode/src/lib.rs crates/bytecode/src/asm.rs crates/bytecode/src/builder.rs crates/bytecode/src/class.rs crates/bytecode/src/disasm.rs crates/bytecode/src/instr.rs crates/bytecode/src/method.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+/root/repo/target/release/deps/hpmopt_bytecode-3d14223d71293b55: crates/bytecode/src/lib.rs crates/bytecode/src/asm.rs crates/bytecode/src/builder.rs crates/bytecode/src/class.rs crates/bytecode/src/disasm.rs crates/bytecode/src/instr.rs crates/bytecode/src/method.rs crates/bytecode/src/program.rs crates/bytecode/src/verify.rs
+
+crates/bytecode/src/lib.rs:
+crates/bytecode/src/asm.rs:
+crates/bytecode/src/builder.rs:
+crates/bytecode/src/class.rs:
+crates/bytecode/src/disasm.rs:
+crates/bytecode/src/instr.rs:
+crates/bytecode/src/method.rs:
+crates/bytecode/src/program.rs:
+crates/bytecode/src/verify.rs:

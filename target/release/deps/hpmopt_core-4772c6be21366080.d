@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hpmopt_core-4772c6be21366080.d: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/release/deps/libhpmopt_core-4772c6be21366080.rlib: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/release/deps/libhpmopt_core-4772c6be21366080.rmeta: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/feedback.rs:
+crates/core/src/interest.rs:
+crates/core/src/mapping.rs:
+crates/core/src/monitor.rs:
+crates/core/src/phases.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:

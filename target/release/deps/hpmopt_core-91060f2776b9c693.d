@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hpmopt_core-91060f2776b9c693.d: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+/root/repo/target/release/deps/hpmopt_core-91060f2776b9c693: crates/core/src/lib.rs crates/core/src/feedback.rs crates/core/src/interest.rs crates/core/src/mapping.rs crates/core/src/monitor.rs crates/core/src/phases.rs crates/core/src/policy.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/feedback.rs:
+crates/core/src/interest.rs:
+crates/core/src/mapping.rs:
+crates/core/src/monitor.rs:
+crates/core/src/phases.rs:
+crates/core/src/policy.rs:
+crates/core/src/runtime.rs:

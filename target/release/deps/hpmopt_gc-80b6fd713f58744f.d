@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/hpmopt_gc-80b6fd713f58744f.d: crates/gc/src/lib.rs crates/gc/src/classtable.rs crates/gc/src/freelist.rs crates/gc/src/heap.rs crates/gc/src/los.rs crates/gc/src/nursery.rs crates/gc/src/object.rs crates/gc/src/policy.rs crates/gc/src/raw.rs crates/gc/src/remset.rs crates/gc/src/semispace.rs crates/gc/src/stats.rs
+
+/root/repo/target/release/deps/libhpmopt_gc-80b6fd713f58744f.rlib: crates/gc/src/lib.rs crates/gc/src/classtable.rs crates/gc/src/freelist.rs crates/gc/src/heap.rs crates/gc/src/los.rs crates/gc/src/nursery.rs crates/gc/src/object.rs crates/gc/src/policy.rs crates/gc/src/raw.rs crates/gc/src/remset.rs crates/gc/src/semispace.rs crates/gc/src/stats.rs
+
+/root/repo/target/release/deps/libhpmopt_gc-80b6fd713f58744f.rmeta: crates/gc/src/lib.rs crates/gc/src/classtable.rs crates/gc/src/freelist.rs crates/gc/src/heap.rs crates/gc/src/los.rs crates/gc/src/nursery.rs crates/gc/src/object.rs crates/gc/src/policy.rs crates/gc/src/raw.rs crates/gc/src/remset.rs crates/gc/src/semispace.rs crates/gc/src/stats.rs
+
+crates/gc/src/lib.rs:
+crates/gc/src/classtable.rs:
+crates/gc/src/freelist.rs:
+crates/gc/src/heap.rs:
+crates/gc/src/los.rs:
+crates/gc/src/nursery.rs:
+crates/gc/src/object.rs:
+crates/gc/src/policy.rs:
+crates/gc/src/raw.rs:
+crates/gc/src/remset.rs:
+crates/gc/src/semispace.rs:
+crates/gc/src/stats.rs:

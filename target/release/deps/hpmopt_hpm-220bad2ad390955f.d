@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hpmopt_hpm-220bad2ad390955f.d: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs
+
+/root/repo/target/release/deps/libhpmopt_hpm-220bad2ad390955f.rlib: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs
+
+/root/repo/target/release/deps/libhpmopt_hpm-220bad2ad390955f.rmeta: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs
+
+crates/hpm/src/lib.rs:
+crates/hpm/src/collector.rs:
+crates/hpm/src/kernel.rs:
+crates/hpm/src/pebs.rs:
+crates/hpm/src/userlib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hpmopt_hpm-f03f35a0ae6a9197.d: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs
+
+/root/repo/target/release/deps/hpmopt_hpm-f03f35a0ae6a9197: crates/hpm/src/lib.rs crates/hpm/src/collector.rs crates/hpm/src/kernel.rs crates/hpm/src/pebs.rs crates/hpm/src/userlib.rs
+
+crates/hpm/src/lib.rs:
+crates/hpm/src/collector.rs:
+crates/hpm/src/kernel.rs:
+crates/hpm/src/pebs.rs:
+crates/hpm/src/userlib.rs:

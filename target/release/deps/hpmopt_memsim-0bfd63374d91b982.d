@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hpmopt_memsim-0bfd63374d91b982.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/release/deps/hpmopt_memsim-0bfd63374d91b982: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/prefetch.rs:
+crates/memsim/src/tlb.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hpmopt_memsim-7be5d8d64fd85060.d: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/release/deps/libhpmopt_memsim-7be5d8d64fd85060.rlib: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs
+
+/root/repo/target/release/deps/libhpmopt_memsim-7be5d8d64fd85060.rmeta: crates/memsim/src/lib.rs crates/memsim/src/cache.rs crates/memsim/src/config.rs crates/memsim/src/hierarchy.rs crates/memsim/src/prefetch.rs crates/memsim/src/tlb.rs
+
+crates/memsim/src/lib.rs:
+crates/memsim/src/cache.rs:
+crates/memsim/src/config.rs:
+crates/memsim/src/hierarchy.rs:
+crates/memsim/src/prefetch.rs:
+crates/memsim/src/tlb.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hpmopt_report-50149d111b6717e3.d: src/bin/report.rs
+
+/root/repo/target/release/deps/hpmopt_report-50149d111b6717e3: src/bin/report.rs
+
+src/bin/report.rs:

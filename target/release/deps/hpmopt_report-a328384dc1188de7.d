@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hpmopt_report-a328384dc1188de7.d: src/bin/report.rs
+
+/root/repo/target/release/deps/hpmopt_report-a328384dc1188de7: src/bin/report.rs
+
+src/bin/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hpmopt_telemetry-a2aab4e18316a8a0.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/hpmopt_telemetry-a2aab4e18316a8a0: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/overhead.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/trace.rs:

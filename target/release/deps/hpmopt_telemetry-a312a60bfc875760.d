@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hpmopt_telemetry-a312a60bfc875760.d: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libhpmopt_telemetry-a312a60bfc875760.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libhpmopt_telemetry-a312a60bfc875760.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/overhead.rs crates/telemetry/src/snapshot.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/overhead.rs:
+crates/telemetry/src/snapshot.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hpmopt_vm-c953288b81841692.d: crates/vm/src/lib.rs crates/vm/src/aos.rs crates/vm/src/compiler.rs crates/vm/src/config.rs crates/vm/src/hooks.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/methodtable.rs crates/vm/src/value.rs
+
+/root/repo/target/release/deps/libhpmopt_vm-c953288b81841692.rlib: crates/vm/src/lib.rs crates/vm/src/aos.rs crates/vm/src/compiler.rs crates/vm/src/config.rs crates/vm/src/hooks.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/methodtable.rs crates/vm/src/value.rs
+
+/root/repo/target/release/deps/libhpmopt_vm-c953288b81841692.rmeta: crates/vm/src/lib.rs crates/vm/src/aos.rs crates/vm/src/compiler.rs crates/vm/src/config.rs crates/vm/src/hooks.rs crates/vm/src/interp.rs crates/vm/src/machine.rs crates/vm/src/methodtable.rs crates/vm/src/value.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/aos.rs:
+crates/vm/src/compiler.rs:
+crates/vm/src/config.rs:
+crates/vm/src/hooks.rs:
+crates/vm/src/interp.rs:
+crates/vm/src/machine.rs:
+crates/vm/src/methodtable.rs:
+crates/vm/src/value.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/hpmopt_workloads-807dafddab49d3fa.d: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/compress.rs crates/workloads/src/db.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jack.rs crates/workloads/src/javac.rs crates/workloads/src/jess.rs crates/workloads/src/jython.rs crates/workloads/src/luindex.rs crates/workloads/src/lusearch.rs crates/workloads/src/mpegaudio.rs crates/workloads/src/mtrt.rs crates/workloads/src/pmd.rs crates/workloads/src/pseudojbb.rs
+
+/root/repo/target/release/deps/libhpmopt_workloads-807dafddab49d3fa.rlib: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/compress.rs crates/workloads/src/db.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jack.rs crates/workloads/src/javac.rs crates/workloads/src/jess.rs crates/workloads/src/jython.rs crates/workloads/src/luindex.rs crates/workloads/src/lusearch.rs crates/workloads/src/mpegaudio.rs crates/workloads/src/mtrt.rs crates/workloads/src/pmd.rs crates/workloads/src/pseudojbb.rs
+
+/root/repo/target/release/deps/libhpmopt_workloads-807dafddab49d3fa.rmeta: crates/workloads/src/lib.rs crates/workloads/src/framework.rs crates/workloads/src/antlr.rs crates/workloads/src/bloat.rs crates/workloads/src/compress.rs crates/workloads/src/db.rs crates/workloads/src/fop.rs crates/workloads/src/hsqldb.rs crates/workloads/src/jack.rs crates/workloads/src/javac.rs crates/workloads/src/jess.rs crates/workloads/src/jython.rs crates/workloads/src/luindex.rs crates/workloads/src/lusearch.rs crates/workloads/src/mpegaudio.rs crates/workloads/src/mtrt.rs crates/workloads/src/pmd.rs crates/workloads/src/pseudojbb.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/framework.rs:
+crates/workloads/src/antlr.rs:
+crates/workloads/src/bloat.rs:
+crates/workloads/src/compress.rs:
+crates/workloads/src/db.rs:
+crates/workloads/src/fop.rs:
+crates/workloads/src/hsqldb.rs:
+crates/workloads/src/jack.rs:
+crates/workloads/src/javac.rs:
+crates/workloads/src/jess.rs:
+crates/workloads/src/jython.rs:
+crates/workloads/src/luindex.rs:
+crates/workloads/src/lusearch.rs:
+crates/workloads/src/mpegaudio.rs:
+crates/workloads/src/mtrt.rs:
+crates/workloads/src/pmd.rs:
+crates/workloads/src/pseudojbb.rs:

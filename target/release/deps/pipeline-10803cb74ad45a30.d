@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-10803cb74ad45a30.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-10803cb74ad45a30: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-39fe55f6e2bd4cfa.d: crates/bytecode/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-39fe55f6e2bd4cfa: crates/bytecode/tests/proptests.rs
+
+crates/bytecode/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-7704239157903d5d.d: crates/gc/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-7704239157903d5d: crates/gc/tests/proptests.rs
+
+crates/gc/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-7aa144c9afa90131.d: crates/vm/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-7aa144c9afa90131: crates/vm/tests/proptests.rs
+
+crates/vm/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-9a250741f00711bf.d: crates/memsim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-9a250741f00711bf: crates/memsim/tests/proptests.rs
+
+crates/memsim/tests/proptests.rs:

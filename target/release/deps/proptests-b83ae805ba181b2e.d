@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-b83ae805ba181b2e.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-b83ae805ba181b2e: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

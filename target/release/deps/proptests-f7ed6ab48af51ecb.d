@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f7ed6ab48af51ecb.d: crates/hpm/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f7ed6ab48af51ecb: crates/hpm/tests/proptests.rs
+
+crates/hpm/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry-ba6e78ea6db65f82.d: crates/telemetry/tests/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-ba6e78ea6db65f82: crates/telemetry/tests/telemetry.rs
+
+crates/telemetry/tests/telemetry.rs:

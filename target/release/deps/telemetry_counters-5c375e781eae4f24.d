@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_counters-5c375e781eae4f24.d: crates/core/tests/telemetry_counters.rs
+
+/root/repo/target/release/deps/telemetry_counters-5c375e781eae4f24: crates/core/tests/telemetry_counters.rs
+
+crates/core/tests/telemetry_counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workloads_run-8abc69196ab280d4.d: tests/workloads_run.rs
+
+/root/repo/target/release/deps/workloads_run-8abc69196ab280d4: tests/workloads_run.rs
+
+tests/workloads_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/assembler-8f930e17c7520a8f.d: examples/assembler.rs
+
+/root/repo/target/release/examples/assembler-8f930e17c7520a8f: examples/assembler.rs
+
+examples/assembler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_workload-f944d694e0e43e04.d: examples/custom_workload.rs
+
+/root/repo/target/release/examples/custom_workload-f944d694e0e43e04: examples/custom_workload.rs
+
+examples/custom_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/db_coallocation-22608154fce8c955.d: examples/db_coallocation.rs
+
+/root/repo/target/release/examples/db_coallocation-22608154fce8c955: examples/db_coallocation.rs
+
+examples/db_coallocation.rs:

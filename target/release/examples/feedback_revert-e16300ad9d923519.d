@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/feedback_revert-e16300ad9d923519.d: examples/feedback_revert.rs
+
+/root/repo/target/release/examples/feedback_revert-e16300ad9d923519: examples/feedback_revert.rs
+
+examples/feedback_revert.rs:

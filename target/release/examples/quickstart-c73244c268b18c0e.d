@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c73244c268b18c0e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c73244c268b18c0e: examples/quickstart.rs
+
+examples/quickstart.rs:

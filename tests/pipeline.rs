@@ -8,13 +8,15 @@ use hpmopt::vm::{CompilationPlan, VmConfig};
 use hpmopt::workloads::{self, Size, Workload};
 
 fn base_config(w: &Workload) -> RunConfig {
-    let mut vm = VmConfig::default();
-    vm.heap = HeapConfig {
-        heap_bytes: w.min_heap_bytes * 4,
-        nursery_bytes: 256 * 1024,
-        los_bytes: 64 * 1024 * 1024,
-        collector: CollectorKind::GenMs,
-        cost: Default::default(),
+    let mut vm = VmConfig {
+        heap: HeapConfig {
+            heap_bytes: w.min_heap_bytes * 4,
+            nursery_bytes: 256 * 1024,
+            los_bytes: 64 * 1024 * 1024,
+            collector: CollectorKind::GenMs,
+            cost: Default::default(),
+        },
+        ..VmConfig::default()
     };
     vm.plan = Some(CompilationPlan::new(
         (0..w.program.methods().len() as u32)
@@ -114,8 +116,14 @@ fn collectors_compute_the_same_program_result() {
         let r = HpmRuntime::new(cfg).run(&w.program).unwrap();
         results.push(r.vm.bytecodes_executed);
     }
-    assert_eq!(results[0], results[1], "co-allocation changes placement only");
-    assert_eq!(results[0], results[2], "collector choice changes placement only");
+    assert_eq!(
+        results[0], results[1],
+        "co-allocation changes placement only"
+    );
+    assert_eq!(
+        results[0], results[2],
+        "collector choice changes placement only"
+    );
 }
 
 #[test]

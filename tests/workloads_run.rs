@@ -8,13 +8,15 @@ use hpmopt::vm::VmConfig;
 use hpmopt::workloads::{self, Size, Workload};
 
 fn config_for(w: &Workload, collector: CollectorKind, coalloc: bool) -> RunConfig {
-    let mut vm = VmConfig::default();
-    vm.heap = HeapConfig {
-        heap_bytes: w.min_heap_bytes * 4,
-        nursery_bytes: 256 * 1024,
-        los_bytes: 64 * 1024 * 1024,
-        collector,
-        cost: Default::default(),
+    let mut vm = VmConfig {
+        heap: HeapConfig {
+            heap_bytes: w.min_heap_bytes * 4,
+            nursery_bytes: 256 * 1024,
+            los_bytes: 64 * 1024 * 1024,
+            collector,
+            cost: Default::default(),
+        },
+        ..VmConfig::default()
     };
     vm.step_limit = Some(400_000_000);
     RunConfig {
