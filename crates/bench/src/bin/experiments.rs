@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [table1|table2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablations|all] [tiny|small|full]
+//! experiments [table1|table2|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablations|warmstart|all] [tiny|small|full]
 //! ```
 //!
 //! Defaults: `all small`. Output goes to stdout as aligned text tables;
@@ -9,7 +9,9 @@
 
 use std::time::Instant;
 
-use hpmopt_bench::{ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2};
+use hpmopt_bench::{
+    ablations, fig2, fig3, fig4, fig5, fig6, fig7, fig8, table1, table2, warmstart,
+};
 use hpmopt_workloads::Size;
 
 /// One runnable artifact: its CLI name and generator.
@@ -39,6 +41,7 @@ fn main() {
         ("fig7", fig7::run),
         ("fig8", fig8::run),
         ("ablations", ablations::run),
+        ("warmstart", warmstart::run),
     ];
 
     let selected: Vec<&Experiment> = if what == "all" {

@@ -58,7 +58,8 @@ pub fn measure(size: Size) -> Series {
     let decision_at = report.policy_events.first().map(|e| match e {
         hpmopt_core::policy::PolicyEvent::Enabled { cycles, .. }
         | hpmopt_core::policy::PolicyEvent::Pinned { cycles, .. }
-        | hpmopt_core::policy::PolicyEvent::Reverted { cycles, .. } => *cycles,
+        | hpmopt_core::policy::PolicyEvent::Reverted { cycles, .. }
+        | hpmopt_core::policy::PolicyEvent::WarmStarted { cycles, .. } => *cycles,
     });
     Series {
         cumulative,

@@ -81,7 +81,9 @@ pub fn measure(size: Size) -> Trajectory {
             {
                 reverted_at = Some(cycles);
             }
-            PolicyEvent::Enabled { .. } | PolicyEvent::Reverted { .. } => {}
+            PolicyEvent::Enabled { .. }
+            | PolicyEvent::Reverted { .. }
+            | PolicyEvent::WarmStarted { .. } => {}
         }
     }
     Trajectory {

@@ -16,6 +16,7 @@
 //! | [`fig7`]   | Figure 7 — per-field miss series for `db` |
 //! | [`fig8`]   | Figure 8 — bad placement detected and reverted |
 //! | [`ablations`] | beyond the paper: map extension, event choice, prefetcher |
+//! | [`warmstart`] | beyond the paper: profile-repository warm start on `db` |
 //!
 //! # Scaling
 //!
@@ -41,6 +42,7 @@ pub mod fmt;
 pub mod setup;
 pub mod table1;
 pub mod table2;
+pub mod warmstart;
 
 /// The simulated-scale sampling intervals standing in for the paper's
 /// 25 K / 50 K / 100 K, with their display labels.

@@ -22,6 +22,10 @@
 //!    tracing the nursery (Section 5.4).
 //! 6. [`feedback::Assessor`] watches post-decision miss rates and reverts
 //!    decisions that hurt (Section 6.4, Figure 8).
+//! 7. [`warmstart`] bridges the persistent profile repository
+//!    (`hpmopt-profile`): prior-run miss histograms seed the monitor and
+//!    policy at startup so decisions are in force from cycle 0 (a
+//!    deviation from the paper, which learns from scratch every run).
 //!
 //! [`runtime::HpmRuntime`] wires everything to the VM behind one call.
 //!
@@ -53,6 +57,7 @@ pub mod monitor;
 pub mod phases;
 pub mod policy;
 pub mod runtime;
+pub mod warmstart;
 
 pub use interest::InterestMap;
 pub use mapping::SampleResolver;
@@ -60,3 +65,4 @@ pub use monitor::OnlineMonitor;
 pub use phases::{PhaseChange, PhaseDetector};
 pub use policy::AdaptivePolicy;
 pub use runtime::{HpmRuntime, RunConfig, RunReport};
+pub use warmstart::ProfileOptions;

@@ -159,6 +159,53 @@ mod tests {
     }
 
     #[test]
+    fn empty_resolver_drops_everything_as_foreign() {
+        let r = SampleResolver::new();
+        assert!(r.is_empty());
+        for pc in [0, 0x4000_0000, u64::MAX] {
+            assert_eq!(r.resolve(pc).unwrap_err(), ResolveFailure::ForeignPc);
+        }
+    }
+
+    #[test]
+    fn pc_in_gap_between_artifacts_is_foreign() {
+        let p = program();
+        let id = p.entry();
+        let low = compile(&p, id, Tier::Baseline, 0x4000_0000, true);
+        // Leave a hole between the artifacts; a PC inside it belongs to
+        // neither (a stale or native code region).
+        let gap_start = low.code_end();
+        let high = compile(&p, id, Tier::Opt, gap_start + 0x1000, true);
+        let gap_pc = gap_start + 0x800;
+        let mut r = SampleResolver::new();
+        r.register(low);
+        r.register(high);
+        assert_eq!(r.resolve(gap_pc).unwrap_err(), ResolveFailure::ForeignPc);
+        assert!(r.resolve(gap_start + 0x1000).is_ok(), "gap end is mapped");
+    }
+
+    #[test]
+    fn overlapping_registration_resolves_deterministically() {
+        // Recompiling at an address that overlaps a stale artifact must
+        // not panic or make resolution ambiguous: the artifact whose
+        // range check passes first in address order wins, consistently.
+        let p = program();
+        let id = p.entry();
+        let stale = compile(&p, id, Tier::Baseline, 0x4000_0000, true);
+        let fresh = compile(&p, id, Tier::Opt, 0x4000_0000, true);
+        let pc = fresh.mem_pc(3);
+        let mut r = SampleResolver::new();
+        r.register(stale);
+        r.register(fresh);
+        assert_eq!(r.len(), 2);
+        let first = r.resolve(pc).unwrap();
+        for _ in 0..3 {
+            assert_eq!(r.resolve(pc).unwrap(), first, "stable across calls");
+        }
+        assert_eq!(first.method, id);
+    }
+
+    #[test]
     fn multiple_artifacts_resolve_independently() {
         let p = program();
         let id = p.entry();

@@ -195,6 +195,14 @@ impl OnlineMonitor {
         self.config.cycles_per_batch + samples.len() as u64 * self.config.cycles_per_sample
     }
 
+    /// Seed a field's cumulative miss count from a persisted profile
+    /// (warm start). Only the `total` is touched: the window counter
+    /// feeds the feedback assessor, which must judge decisions on
+    /// *this* run's behavior, not history.
+    pub fn seed_total(&mut self, field: FieldId, misses: u64) {
+        self.counters.entry(field).or_default().total += misses;
+    }
+
     /// Per-field sampled misses since the previous call; resets the
     /// window counters (the feedback period grain).
     pub fn take_window(&mut self) -> BTreeMap<FieldId, u64> {

@@ -44,6 +44,16 @@ pub enum PolicyEvent {
         /// Which class.
         class: ClassId,
     },
+    /// A decision was installed at startup from a persisted profile,
+    /// before any sample of this run was taken.
+    WarmStarted {
+        /// When (normally 0).
+        cycles: u64,
+        /// Which class.
+        class: ClassId,
+        /// Through which field.
+        field: FieldId,
+    },
 }
 
 /// Policy configuration.
@@ -111,6 +121,26 @@ impl AdaptivePolicy {
                 });
             }
         }
+    }
+
+    /// Install a decision from a persisted profile at startup. Skipped
+    /// if the class is blocked or already decided; the adaptive
+    /// `refresh` treats a warm-seeded `(class, field)` as current, so
+    /// it will not emit a duplicate `Enabled` event for the same pair.
+    pub fn warm_start(&mut self, program: &Program, class: ClassId, field: FieldId, cycles: u64) {
+        if self.blocked.contains(&class) || self.decisions.contains_key(&class) {
+            return;
+        }
+        let decision = CoallocDecision {
+            field_offset: program.field(field).offset,
+            gap_bytes: 0,
+        };
+        self.decisions.insert(class, (field, decision));
+        self.events.push(PolicyEvent::WarmStarted {
+            cycles,
+            class,
+            field,
+        });
     }
 
     /// Pin a decision that overrides the adaptive one (Figure 8's bad
@@ -280,6 +310,43 @@ mod tests {
         assert!(pol.coalloc_child(class).is_none());
         pol.refresh(&p, &mon, 2000);
         assert!(pol.coalloc_child(class).is_none(), "blocked after revert");
+    }
+
+    #[test]
+    fn warm_start_installs_before_any_sample() {
+        let (p, y, mon, _) = setup();
+        let class = p.field(y).class;
+        let mut pol = AdaptivePolicy::new(PolicyConfig::default());
+        pol.warm_start(&p, class, y, 0);
+        let d = pol.coalloc_child(class).expect("installed at cycle 0");
+        assert_eq!(d.field_offset, p.field(y).offset);
+        assert_eq!(
+            pol.events(),
+            &[PolicyEvent::WarmStarted {
+                cycles: 0,
+                class,
+                field: y
+            }]
+        );
+        // The adaptive refresh sees the same (class, field) as current
+        // and does not emit a duplicate Enabled event.
+        pol.refresh(&p, &mon, 100);
+        assert_eq!(pol.events().len(), 1);
+        // Re-seeding is a no-op once a decision exists.
+        pol.warm_start(&p, class, y, 0);
+        assert_eq!(pol.events().len(), 1);
+    }
+
+    #[test]
+    fn warm_start_respects_blocked_classes() {
+        let (p, y, mut mon, hot) = setup();
+        let class = p.field(y).class;
+        let mut pol = AdaptivePolicy::new(PolicyConfig::default());
+        feed(&mut mon, hot, 20);
+        pol.refresh(&p, &mon, 0);
+        pol.revert(class, 1000);
+        pol.warm_start(&p, class, y, 0);
+        assert!(pol.coalloc_child(class).is_none(), "blocked stays blocked");
     }
 
     #[test]

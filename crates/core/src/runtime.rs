@@ -10,10 +10,11 @@
 
 use std::collections::BTreeMap;
 
-use hpmopt_bytecode::{ClassId, Program};
+use hpmopt_bytecode::{ClassId, FieldId, Program};
 use hpmopt_gc::policy::{CoallocDecision, CoallocPolicy, NoCoalloc};
 use hpmopt_gc::GcStats;
 use hpmopt_hpm::{HpmConfig, HpmStats, HpmSystem};
+use hpmopt_profile::{ColdReason, LoadOutcome, Profile, ProfileStore};
 use hpmopt_telemetry::{CycleBuckets, MetricId, Telemetry, TraceKind};
 use hpmopt_vm::machine::{CompiledCode, Tier};
 use hpmopt_vm::{
@@ -24,6 +25,7 @@ use crate::feedback::{Assessor, FeedbackConfig, Verdict};
 use crate::monitor::{AttributionStats, MonitorConfig, OnlineMonitor, SeriesPoint};
 use crate::phases::{PhaseConfig, PhaseDetector};
 use crate::policy::{AdaptivePolicy, PolicyConfig, PolicyEvent};
+use crate::warmstart::{self, ProfileOptions, Seeds};
 
 /// The Figure 8 experiment: pin a deliberately bad placement (padding
 /// between parent and child) at a given time and let the feedback loop
@@ -62,6 +64,10 @@ pub struct RunConfig {
     pub watch_fields: Vec<(String, String)>,
     /// Optional Figure 8 forced bad placement.
     pub forced_bad: Option<ForcedBadPlacement>,
+    /// Persistent-profile repository settings (warm start + shutdown
+    /// save). Disabled by default: the paper's system has no
+    /// persistence.
+    pub profile: ProfileOptions,
     /// Telemetry sink shared by every pipeline layer. Disabled by
     /// default, in which case all recording is a no-op.
     pub telemetry: Telemetry,
@@ -79,6 +85,7 @@ impl Default for RunConfig {
             assess_adaptive: false,
             watch_fields: Vec::new(),
             forced_bad: None,
+            profile: ProfileOptions::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -108,6 +115,8 @@ pub struct RunReport {
     pub event_series: Vec<(u64, u64)>,
     /// The sampling interval in force at the end (after auto adaptation).
     pub final_interval: u64,
+    /// Whether a persisted profile warm-started this run.
+    pub warm_start: bool,
 }
 
 impl RunReport {
@@ -115,6 +124,22 @@ impl RunReport {
     #[must_use]
     pub fn gc(&self) -> &GcStats {
         &self.vm.gc
+    }
+
+    /// Simulated cycles until the first co-allocation decision was in
+    /// force (enabled, warm-started, or pinned) — the "cycles to first
+    /// optimization" metric. `None` when the run never decided.
+    #[must_use]
+    pub fn cycles_to_first_decision(&self) -> Option<u64> {
+        self.policy_events
+            .iter()
+            .filter_map(|e| match *e {
+                PolicyEvent::Enabled { cycles, .. }
+                | PolicyEvent::WarmStarted { cycles, .. }
+                | PolicyEvent::Pinned { cycles, .. } => Some(cycles),
+                PolicyEvent::Reverted { .. } => None,
+            })
+            .min()
     }
 
     /// Number of reverts the feedback loop performed.
@@ -195,6 +220,39 @@ impl HpmRuntime {
         let mut hpm = HpmSystem::new(self.config.hpm);
         hpm.set_telemetry(telemetry.clone());
 
+        // Warm start: consult the profile repository before the first
+        // bytecode runs. A load can only ever degrade to a cold start —
+        // a broken profile file must not break the run.
+        let repository = self.config.profile.path.as_ref().map(|path| {
+            let fp =
+                warmstart::fingerprint(program, &self.config.vm, &self.config.profile.workload);
+            (ProfileStore::new(path), fp)
+        });
+        let mut prior: Option<Profile> = None;
+        let mut seeds: Option<Seeds> = None;
+        if let Some((store, fp)) = &repository {
+            match store.load(fp) {
+                LoadOutcome::Warm(p) => {
+                    telemetry.incr(MetricId::ProfileWarmStarts);
+                    seeds = Some(warmstart::compute_seeds(
+                        program,
+                        &p,
+                        self.config.policy.min_field_misses,
+                    ));
+                    prior = Some(p);
+                }
+                LoadOutcome::Cold(reason) => {
+                    telemetry.incr(MetricId::ProfileColdStarts);
+                    telemetry.incr(match reason {
+                        ColdReason::Missing => MetricId::ProfileLoadMissing,
+                        ColdReason::Io(_) | ColdReason::Format(_) => MetricId::ProfileLoadCorrupt,
+                        ColdReason::FingerprintMismatch => MetricId::ProfileLoadMismatch,
+                    });
+                }
+            }
+        }
+        let warm_start = prior.is_some();
+
         let mut hooks = Hooks {
             hpm,
             monitor,
@@ -203,11 +261,13 @@ impl HpmRuntime {
             coalloc: self.config.coalloc,
             assess_adaptive: self.config.assess_adaptive,
             forced,
+            seeds,
+            seeded: Vec::new(),
             pinned: Vec::new(),
             rate_history: BTreeMap::new(),
             event_series: Vec::new(),
             last_period_cycles: 0,
-            telemetry,
+            telemetry: telemetry.clone(),
             phases: PhaseDetector::new(PhaseConfig::default()),
             policy_events_emitted: 0,
             gc_seen: GcStats::default(),
@@ -217,6 +277,34 @@ impl HpmRuntime {
         let mut vm = Vm::new(program, self.config.vm.clone());
         let summary = vm.run(&mut hooks)?;
         sync_final_counters(&hooks, &summary);
+
+        // Shutdown save: persist what *this* run measured (seeded
+        // history subtracted), decay-merged into the prior profile.
+        if let Some((store, fp)) = repository {
+            if self.config.profile.save {
+                let mut totals = hooks.monitor.field_totals();
+                for (f, n) in &mut totals {
+                    if let Some(&(_, s)) = hooks.seeded.iter().find(|(sf, _)| sf == f) {
+                        *n = n.saturating_sub(s);
+                    }
+                }
+                let fresh = warmstart::build_profile(program, fp, &totals, hooks.policy.events());
+                let merged = match prior {
+                    Some(mut p) => {
+                        p.merge_run(&fresh, self.config.profile.decay);
+                        p
+                    }
+                    None => fresh,
+                };
+                match store.save(&merged) {
+                    Ok(_) => {
+                        telemetry.incr(MetricId::ProfileSaves);
+                        telemetry.set_gauge(MetricId::ProfileRuns, u64::from(merged.runs));
+                    }
+                    Err(_) => telemetry.incr(MetricId::ProfileSaveErrors),
+                }
+            }
+        }
 
         let field_totals = hooks
             .monitor
@@ -245,6 +333,7 @@ impl HpmRuntime {
             series,
             event_series: hooks.event_series,
             final_interval: hooks.hpm.current_interval(),
+            warm_start,
             vm: summary,
         })
     }
@@ -322,6 +411,11 @@ struct Hooks {
     coalloc: bool,
     assess_adaptive: bool,
     forced: Option<PendingPin>,
+    /// Warm-start seed state, consumed by `on_startup`.
+    seeds: Option<Seeds>,
+    /// Counts actually seeded into the monitor, so the shutdown save
+    /// can subtract history from the totals.
+    seeded: Vec<(FieldId, u64)>,
     /// Classes whose active decision is a pin (revert = unpin).
     pinned: Vec<ClassId>,
     /// Recent per-class miss rates (misses per megacycle per period).
@@ -353,6 +447,37 @@ impl Hooks {
 }
 
 impl RuntimeHooks for Hooks {
+    fn on_startup(&mut self, program: &Program, cycles: u64) {
+        let Some(seeds) = self.seeds.take() else {
+            return;
+        };
+        for &(field, misses) in &seeds.counts {
+            self.monitor.seed_total(field, misses);
+        }
+        // Decisions only matter when co-allocation is active; a control
+        // run still seeds the monitor so its counters are comparable.
+        let installed = if self.coalloc {
+            for &(class, field) in &seeds.decisions {
+                self.policy.warm_start(program, class, field, cycles);
+            }
+            seeds.decisions.len() as u64
+        } else {
+            0
+        };
+        self.telemetry
+            .add(MetricId::ProfileSeededFields, seeds.counts.len() as u64);
+        self.telemetry
+            .add(MetricId::ProfileSeededDecisions, installed);
+        self.telemetry.record(
+            cycles,
+            TraceKind::WarmStart {
+                seeded_fields: seeds.counts.len() as u64,
+                seeded_decisions: installed,
+            },
+        );
+        self.seeded = seeds.counts;
+    }
+
     fn on_access(&mut self, ctx: &AccessContext) -> u64 {
         self.last_cycles = ctx.cycles;
         self.hpm
@@ -531,11 +656,20 @@ impl Hooks {
                     },
                     MetricId::CorePolicyReverted,
                 ),
+                PolicyEvent::WarmStarted { class, field, .. } => (
+                    TraceKind::CoallocDecision {
+                        class: class.0,
+                        field: field.0,
+                        action: "warm_start",
+                    },
+                    MetricId::CorePolicyWarmStarted,
+                ),
             };
             let at = match *event {
                 PolicyEvent::Enabled { cycles, .. }
                 | PolicyEvent::Pinned { cycles, .. }
-                | PolicyEvent::Reverted { cycles, .. } => cycles,
+                | PolicyEvent::Reverted { cycles, .. }
+                | PolicyEvent::WarmStarted { cycles, .. } => cycles,
             };
             self.telemetry.record(at, kind);
             self.telemetry.incr(metric);

@@ -1,0 +1,211 @@
+//! Human-readable rendering for the `hpmopt-profile` tool: inspect one
+//! profile, or diff two.
+
+use crate::{DecisionKind, Profile};
+
+fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(cell);
+            for _ in cell.len()..widths[i] {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    };
+    render(
+        &mut out,
+        &headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        render(&mut out, row);
+    }
+    out
+}
+
+fn weight(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Render one profile as aligned text: fingerprint, field histogram,
+/// decision log.
+#[must_use]
+pub fn render(p: &Profile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profile: workload={} runs={} fields={} decisions={}\n",
+        if p.fingerprint.workload.is_empty() {
+            "?"
+        } else {
+            &p.fingerprint.workload
+        },
+        p.runs,
+        p.fields.len(),
+        p.decisions.len()
+    ));
+    out.push_str(&format!(
+        "fingerprint: program={:016x} config={:016x}\n\n",
+        p.fingerprint.program_hash, p.fingerprint.config_hash
+    ));
+
+    let rows: Vec<Vec<String>> = p
+        .fields
+        .iter()
+        .map(|f| {
+            vec![
+                format!("{}::{}", f.class, f.field),
+                weight(f.weight),
+                f.last_run_misses.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str("field miss histogram (decayed weight, hottest first):\n");
+    out.push_str(&table(&["field", "weight", "last run"], &rows));
+
+    out.push_str("\ndecision log (most recent run):\n");
+    if p.decisions.is_empty() {
+        out.push_str("  (empty)\n");
+    } else {
+        let rows: Vec<Vec<String>> = p
+            .decisions
+            .iter()
+            .map(|d| {
+                vec![
+                    d.cycles.to_string(),
+                    d.kind.name().to_string(),
+                    if d.field.is_empty() {
+                        d.class.clone()
+                    } else {
+                        format!("{}::{}", d.class, d.field)
+                    },
+                ]
+            })
+            .collect();
+        out.push_str(&table(&["cycles", "action", "target"], &rows));
+    }
+    let reverted = p.reverted_classes();
+    if !reverted.is_empty() {
+        out.push_str(&format!(
+            "\nclasses blocked from re-seeding (last action = revert): {}\n",
+            reverted.join(", ")
+        ));
+    }
+    out
+}
+
+/// Render the differences between two profiles: fingerprint deltas and
+/// per-field weight changes.
+#[must_use]
+pub fn diff(a: &Profile, b: &Profile) -> String {
+    let mut out = String::new();
+    if a.fingerprint != b.fingerprint {
+        out.push_str("fingerprints differ:\n");
+        out.push_str(&format!(
+            "  a: workload={} program={:016x} config={:016x}\n",
+            a.fingerprint.workload, a.fingerprint.program_hash, a.fingerprint.config_hash
+        ));
+        out.push_str(&format!(
+            "  b: workload={} program={:016x} config={:016x}\n\n",
+            b.fingerprint.workload, b.fingerprint.program_hash, b.fingerprint.config_hash
+        ));
+    }
+    out.push_str(&format!("runs: {} -> {}\n\n", a.runs, b.runs));
+
+    let mut names: Vec<(String, String)> = Vec::new();
+    for f in a.fields.iter().chain(&b.fields) {
+        let key = (f.class.clone(), f.field.clone());
+        if !names.contains(&key) {
+            names.push(key);
+        }
+    }
+    let mut rows = Vec::new();
+    for (class, field) in &names {
+        let wa = a.field_weight(class, field);
+        let wb = b.field_weight(class, field);
+        if (wa - wb).abs() < f64::EPSILON {
+            continue;
+        }
+        rows.push(vec![
+            format!("{class}::{field}"),
+            weight(wa),
+            weight(wb),
+            format!("{:+.1}", wb - wa),
+        ]);
+    }
+    if rows.is_empty() {
+        out.push_str("field weights: identical\n");
+    } else {
+        out.push_str("field weight changes:\n");
+        out.push_str(&table(&["field", "a", "b", "delta"], &rows));
+    }
+
+    let enables = |p: &Profile| {
+        p.decisions
+            .iter()
+            .filter(|d| matches!(d.kind, DecisionKind::Enabled | DecisionKind::WarmStarted))
+            .count()
+    };
+    out.push_str(&format!(
+        "\ndecisions (enabled or warm-started): {} -> {}\n",
+        enables(a),
+        enables(b)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fingerprint;
+
+    fn sample() -> Profile {
+        let mut p = Profile::new(Fingerprint::new(0xabc, 0xdef, "db"));
+        p.record_field("String", "value", 80);
+        p.record_field("Node", "next", 3);
+        p.record_decision("String", "value", DecisionKind::Enabled, 5_000);
+        p.seal_run();
+        p
+    }
+
+    #[test]
+    fn render_shows_fields_and_log() {
+        let text = render(&sample());
+        assert!(text.contains("workload=db"));
+        assert!(text.contains("String::value"));
+        assert!(text.contains("enabled"));
+        assert!(text.contains("runs=1"));
+    }
+
+    #[test]
+    fn render_flags_reverted_classes() {
+        let mut p = sample();
+        p.record_decision("String", "", DecisionKind::Reverted, 9_000);
+        assert!(render(&p).contains("blocked from re-seeding"));
+    }
+
+    #[test]
+    fn diff_reports_weight_deltas() {
+        let a = sample();
+        let mut b = a.clone();
+        b.merge_run(&a, 0.5);
+        let text = diff(&a, &b);
+        assert!(text.contains("runs: 1 -> 2"));
+        assert!(text.contains("String::value"));
+        assert!(!text.contains("fingerprints differ"));
+    }
+
+    #[test]
+    fn diff_of_identical_profiles_is_quiet() {
+        let a = sample();
+        let text = diff(&a, &a);
+        assert!(text.contains("field weights: identical"));
+    }
+}

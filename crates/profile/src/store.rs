@@ -1,0 +1,199 @@
+//! The on-disk repository: load-with-validation and atomic save.
+//!
+//! [`ProfileStore::load`] is the warm-start gate: it returns
+//! [`LoadOutcome::Warm`] only for a structurally valid, checksummed
+//! profile whose fingerprint matches the current run. Everything else —
+//! missing file, I/O error, corruption, version skew, fingerprint
+//! mismatch — is a [`LoadOutcome::Cold`] with the reason attached, so
+//! the runtime can count *why* warm starts fail without ever failing
+//! the run itself.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::format::ProfileError;
+use crate::{Fingerprint, Profile};
+
+/// Why a load degraded to a cold start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColdReason {
+    /// No profile file exists yet (the first run of a workload).
+    Missing,
+    /// The file exists but could not be read.
+    Io(io::ErrorKind),
+    /// The file was read but could not be decoded.
+    Format(ProfileError),
+    /// The file decoded but was measured on a different program or
+    /// machine configuration.
+    FingerprintMismatch,
+}
+
+impl std::fmt::Display for ColdReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColdReason::Missing => f.write_str("no profile file"),
+            ColdReason::Io(kind) => write!(f, "i/o error: {kind}"),
+            ColdReason::Format(e) => write!(f, "{e}"),
+            ColdReason::FingerprintMismatch => f.write_str("fingerprint mismatch"),
+        }
+    }
+}
+
+/// Result of a warm-start load attempt. Never an error: a profile
+/// repository must not be able to break the run it is accelerating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadOutcome {
+    /// A valid prior profile for this exact (program, config).
+    Warm(Profile),
+    /// Start from scratch; the reason is for telemetry.
+    Cold(ColdReason),
+}
+
+/// Path-addressed profile repository.
+#[derive(Debug, Clone)]
+pub struct ProfileStore {
+    path: PathBuf,
+}
+
+impl ProfileStore {
+    /// A store at `path` (conventionally `<name>.hpmprof`).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        ProfileStore { path: path.into() }
+    }
+
+    /// The backing file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Load and decode the profile without fingerprint validation (the
+    /// inspect/diff/merge tool works on any valid file).
+    ///
+    /// # Errors
+    ///
+    /// [`ColdReason`] describing why the file is unusable.
+    pub fn load_any(&self) -> Result<Profile, ColdReason> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(ColdReason::Missing),
+            Err(e) => return Err(ColdReason::Io(e.kind())),
+        };
+        Profile::decode(&bytes).map_err(ColdReason::Format)
+    }
+
+    /// Load for warm start: decode plus fingerprint validation.
+    pub fn load(&self, expected: &Fingerprint) -> LoadOutcome {
+        match self.load_any() {
+            Ok(p) if p.fingerprint == *expected => LoadOutcome::Warm(p),
+            Ok(_) => LoadOutcome::Cold(ColdReason::FingerprintMismatch),
+            Err(reason) => LoadOutcome::Cold(reason),
+        }
+    }
+
+    /// Persist `profile`, creating parent directories as needed. The
+    /// write goes through a sibling temp file and a rename, so a crash
+    /// mid-save leaves the previous profile intact (a torn write would
+    /// otherwise be caught by the checksum and cost one warm start).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying I/O error.
+    pub fn save(&self, profile: &Profile) -> io::Result<u64> {
+        let bytes = profile.encode();
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = self.path.with_extension("hpmprof.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecisionKind;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "hpmopt-store-test-{}-{tag}-{n}.hpmprof",
+            std::process::id()
+        ))
+    }
+
+    fn sample(fp: Fingerprint) -> Profile {
+        let mut p = Profile::new(fp);
+        p.record_field("String", "value", 50);
+        p.record_decision("String", "value", DecisionKind::Enabled, 1000);
+        p.seal_run();
+        p
+    }
+
+    #[test]
+    fn save_then_load_is_warm() {
+        let fp = Fingerprint::new(7, 8, "db");
+        let store = ProfileStore::new(temp_path("warm"));
+        let p = sample(fp.clone());
+        store.save(&p).unwrap();
+        assert_eq!(store.load(&fp), LoadOutcome::Warm(p));
+        std::fs::remove_file(store.path()).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_cold() {
+        let store = ProfileStore::new(temp_path("missing"));
+        assert_eq!(
+            store.load(&Fingerprint::new(1, 2, "x")),
+            LoadOutcome::Cold(ColdReason::Missing)
+        );
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_cold() {
+        let store = ProfileStore::new(temp_path("mismatch"));
+        store.save(&sample(Fingerprint::new(7, 8, "db"))).unwrap();
+        for other in [
+            Fingerprint::new(9, 8, "db"),   // different program
+            Fingerprint::new(7, 9, "db"),   // different config
+            Fingerprint::new(7, 8, "jess"), // different workload label
+        ] {
+            assert_eq!(
+                store.load(&other),
+                LoadOutcome::Cold(ColdReason::FingerprintMismatch)
+            );
+        }
+        std::fs::remove_file(store.path()).unwrap();
+    }
+
+    #[test]
+    fn garbage_file_is_cold_format() {
+        let store = ProfileStore::new(temp_path("garbage"));
+        std::fs::write(store.path(), b"this is not a profile").unwrap();
+        assert_eq!(
+            store.load(&Fingerprint::new(1, 2, "x")),
+            LoadOutcome::Cold(ColdReason::Format(ProfileError::BadMagic))
+        );
+        std::fs::remove_file(store.path()).unwrap();
+    }
+
+    #[test]
+    fn save_overwrites_atomically() {
+        let fp = Fingerprint::new(7, 8, "db");
+        let store = ProfileStore::new(temp_path("overwrite"));
+        let mut p = sample(fp.clone());
+        store.save(&p).unwrap();
+        p.record_field("Node", "next", 5);
+        p.seal_run();
+        store.save(&p).unwrap();
+        assert_eq!(store.load(&fp), LoadOutcome::Warm(p));
+        assert!(!store.path().with_extension("hpmprof.tmp").exists());
+        std::fs::remove_file(store.path()).unwrap();
+    }
+}

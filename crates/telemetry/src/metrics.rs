@@ -9,7 +9,8 @@
 //! Namespaces mirror the crate layout:
 //! `hpm.*` (sampling unit), `memsim.*` (cache/TLB hierarchy),
 //! `gc.*` (collector), `vm.*` (compiler tiers), `core.*` (attribution
-//! and the co-allocation policy).
+//! and the co-allocation policy), `profile.*` (the persistent profile
+//! repository and warm-start outcomes).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -99,7 +100,21 @@ metrics! {
     CorePolicyEnabled => ("core.policy.enabled", Counter);
     CorePolicyPinned => ("core.policy.pinned", Counter);
     CorePolicyReverted => ("core.policy.reverted", Counter);
+    CorePolicyWarmStarted => ("core.policy.warm_started", Counter);
     CorePhaseChanges => ("core.phase_changes", Counter);
+
+    // profile.*: the persistent profile repository (load outcomes at
+    // startup, save outcomes at shutdown).
+    ProfileWarmStarts => ("profile.warm_starts", Counter);
+    ProfileColdStarts => ("profile.cold_starts", Counter);
+    ProfileLoadMissing => ("profile.load.missing", Counter);
+    ProfileLoadCorrupt => ("profile.load.corrupt", Counter);
+    ProfileLoadMismatch => ("profile.load.mismatch", Counter);
+    ProfileSeededFields => ("profile.seeded_fields", Counter);
+    ProfileSeededDecisions => ("profile.seeded_decisions", Counter);
+    ProfileSaves => ("profile.saves", Counter);
+    ProfileSaveErrors => ("profile.save_errors", Counter);
+    ProfileRuns => ("profile.runs", Gauge);
 }
 
 /// Fixed-size table of atomics, one per [`MetricId`]. All operations
@@ -163,7 +178,7 @@ mod tests {
             assert!(seen.insert(id.name()), "duplicate metric {}", id.name());
             let ns = id.name().split('.').next().unwrap();
             assert!(
-                matches!(ns, "hpm" | "memsim" | "gc" | "vm" | "core"),
+                matches!(ns, "hpm" | "memsim" | "gc" | "vm" | "core" | "profile"),
                 "unknown namespace in {}",
                 id.name()
             );

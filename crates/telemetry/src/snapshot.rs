@@ -173,6 +173,13 @@ fn write_event(w: &mut JsonWriter, event: &TraceEvent) {
         TraceKind::PhaseChange { miss_rate_ppm } => {
             w.field_u64("miss_rate_ppm", *miss_rate_ppm);
         }
+        TraceKind::WarmStart {
+            seeded_fields,
+            seeded_decisions,
+        } => {
+            w.field_u64("seeded_fields", *seeded_fields);
+            w.field_u64("seeded_decisions", *seeded_decisions);
+        }
     }
     w.end_object();
 }
@@ -203,6 +210,12 @@ fn describe_event(kind: &TraceKind) -> String {
         } => format!("coalloc_decision class={class} field={field} action={action}"),
         TraceKind::PhaseChange { miss_rate_ppm } => {
             format!("phase_change miss_rate_ppm={miss_rate_ppm}")
+        }
+        TraceKind::WarmStart {
+            seeded_fields,
+            seeded_decisions,
+        } => {
+            format!("warm_start seeded_fields={seeded_fields} seeded_decisions={seeded_decisions}")
         }
     }
 }

@@ -31,6 +31,13 @@ pub enum TraceKind {
     },
     /// The phase detector saw the miss-rate regime shift.
     PhaseChange { miss_rate_ppm: u64 },
+    /// A persisted profile warm-started this run: prior-run miss
+    /// history was seeded into the monitor and co-allocation decisions
+    /// were installed before the first sample arrived.
+    WarmStart {
+        seeded_fields: u64,
+        seeded_decisions: u64,
+    },
 }
 
 impl TraceKind {
@@ -43,6 +50,7 @@ impl TraceKind {
             TraceKind::Recompilation { .. } => "recompilation",
             TraceKind::CoallocDecision { .. } => "coalloc_decision",
             TraceKind::PhaseChange { .. } => "phase_change",
+            TraceKind::WarmStart { .. } => "warm_start",
         }
     }
 }

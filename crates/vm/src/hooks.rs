@@ -40,6 +40,14 @@ pub struct AccessContext {
 /// VM adds to the global clock — this is how sampling cost shows up in
 /// execution time (Figure 2).
 pub trait RuntimeHooks {
+    /// The VM is about to execute its first bytecode. The monitoring
+    /// module seeds warm-start state here (prior-run profile data), so
+    /// optimization decisions can be in place before the first sample
+    /// arrives.
+    fn on_startup(&mut self, program: &Program, cycles: u64) {
+        let _ = (program, cycles);
+    }
+
     /// A heap data access completed. Returns overhead cycles (e.g. the
     /// PEBS microcode cost when the access was sampled).
     fn on_access(&mut self, ctx: &AccessContext) -> u64 {

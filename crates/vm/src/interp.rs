@@ -209,6 +209,7 @@ impl<'p> Vm<'p> {
     /// Returns the first [`VmError`] raised (null dereference, division by
     /// zero, index error, out of memory, step limit, ...).
     pub fn run<H: RuntimeHooks>(&mut self, hooks: &mut H) -> Result<RunSummary, VmError> {
+        hooks.on_startup(self.program, self.cycles);
         let entry = self.program.entry();
         self.ensure_compiled(entry, hooks);
         self.push_frame(entry, 0)?;

@@ -77,6 +77,12 @@ fn main() {
                     *cycles as f64 / 1e6
                 );
             }
+            PolicyEvent::WarmStarted { cycles, .. } => {
+                println!(
+                    "  {:>7.1}M cycles  co-allocation seeded from a saved profile",
+                    *cycles as f64 / 1e6
+                );
+            }
         }
     }
 

@@ -14,7 +14,17 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q --workspace --release
 
-echo "==> smoke: hpmopt-report db"
+echo "==> profile round-trip tests"
+cargo test -q -p hpmopt-profile --release
+cargo test -q --release --test profile_warm_start
+
+echo "==> smoke: hpmopt-report db (fails on nonzero telemetry perturbation)"
 cargo run --release --bin hpmopt-report -- db -o target/ci-report-db.json >/dev/null
+
+echo "==> smoke: warm-start a profile and inspect it"
+rm -f target/ci-db.hpmprof
+cargo run --release --bin hpmopt-report -- db --profile target/ci-db.hpmprof \
+    -o target/ci-report-db-warm.json >/dev/null
+cargo run --release -p hpmopt-profile -- inspect target/ci-db.hpmprof >/dev/null
 
 echo "CI OK"

@@ -2,19 +2,28 @@
 //! account for where the simulated cycles went.
 //!
 //! ```text
-//! cargo run --release --bin hpmopt-report -- [workload] [size] [-o out.json]
+//! cargo run --release --bin hpmopt-report -- [workload] [size] [-o out.json] [--profile FILE]
 //! ```
 //!
 //! Runs the workload twice — once with telemetry disabled, once
-//! enabled — prints the metric table, retained event trace, and cycle
-//! buckets, and writes the same data as JSON. The enabled/disabled
-//! cycle comparison is part of the report: telemetry observes the
-//! simulated clock without advancing it, so the delta must be zero.
+//! enabled — prints the metric table, retained event trace, cycle
+//! buckets, and the cycles-to-first-optimization metric, and writes the
+//! same data as JSON. The enabled/disabled cycle comparison is part of
+//! the report: telemetry observes the simulated clock without advancing
+//! it, so the delta must be zero — a nonzero delta is a perturbation
+//! bug and fails the process (nonzero exit), which is what lets CI gate
+//! on it.
+//!
+//! With `--profile FILE`, both runs warm-start from `FILE` (identically,
+//! so the perturbation check still holds) and the enabled run persists
+//! its merged measurements back at exit. The disabled control runs
+//! first and never saves, so the two runs always load the same bytes.
 
 use std::process::ExitCode;
 
 use hpmopt::core::policy::PolicyConfig;
 use hpmopt::core::runtime::{HpmRuntime, RunConfig, RunReport};
+use hpmopt::core::ProfileOptions;
 use hpmopt::gc::{CollectorKind, HeapConfig};
 use hpmopt::hpm::{HpmConfig, SamplingInterval};
 use hpmopt::telemetry::json::{number, JsonWriter};
@@ -33,7 +42,7 @@ const BUFFER_CAPACITY: usize = 256;
 const AUTO_TARGET_PER_SEC: u64 = 1_000;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: hpmopt-report [workload] [tiny|small|full] [-o FILE.json]");
+    eprintln!("usage: hpmopt-report [workload] [tiny|small|full] [-o FILE.json] [--profile FILE]");
     eprintln!("workloads: {}", names().join(", "));
     ExitCode::FAILURE
 }
@@ -42,12 +51,17 @@ fn main() -> ExitCode {
     let mut workload_name = String::from("db");
     let mut size = Size::Tiny;
     let mut out_path: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut positional = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-o" | "--out" => match args.next() {
                 Some(p) => out_path = Some(p),
+                None => return usage(),
+            },
+            "--profile" => match args.next() {
+                Some(p) => profile_path = Some(p),
                 None => return usage(),
             },
             "-h" | "--help" => return usage(),
@@ -67,13 +81,22 @@ fn main() -> ExitCode {
         return usage();
     };
     let out_path = out_path.unwrap_or_else(|| format!("target/hpmopt-report-{workload_name}.json"));
+    let profile_opts = |save: bool| match &profile_path {
+        Some(p) => {
+            let mut opts = ProfileOptions::at(p, &workload_name);
+            opts.save = save;
+            opts
+        }
+        None => ProfileOptions::default(),
+    };
 
     // Two identical configurations, differing only in the telemetry
     // handle. The disabled run is the control for the zero-perturbation
-    // claim below.
+    // claim below; it runs first and never saves, so both runs load the
+    // exact same profile state.
+    let disabled = run(&workload, Telemetry::disabled(), profile_opts(false));
     let telemetry = Telemetry::enabled(DEFAULT_TRACE_CAPACITY);
-    let enabled = run(&workload, telemetry.clone());
-    let disabled = run(&workload, Telemetry::disabled());
+    let enabled = run(&workload, telemetry.clone(), profile_opts(true));
 
     let snapshot = telemetry.snapshot(enabled.cycles);
     let delta_pct = cycle_delta_pct(enabled.cycles, disabled.cycles);
@@ -83,6 +106,18 @@ fn main() -> ExitCode {
     print!("{}", snapshot.render_text());
     println!();
     print!("{}", enabled.cycle_buckets().render_text());
+    println!();
+    println!("  optimization latency");
+    println!(
+        "    start                   {:>14}",
+        if enabled.warm_start { "warm" } else { "cold" }
+    );
+    println!(
+        "    first decision (cycles) {:>14}",
+        enabled
+            .cycles_to_first_decision()
+            .map_or_else(|| "never".to_string(), |c| c.to_string())
+    );
     println!();
     println!("  telemetry perturbation check");
     println!("    cycles (telemetry on)   {:>14}", enabled.cycles);
@@ -104,6 +139,10 @@ fn main() -> ExitCode {
     }
     println!();
     println!("  wrote {out_path}");
+    if delta_pct != 0.0 {
+        eprintln!("FAIL: telemetry perturbed the simulated clock by {delta_pct}%");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -111,7 +150,7 @@ fn main() -> ExitCode {
 /// Mirrors the experiment configuration in `hpmopt-bench`, plus
 /// nonzero compile costs and a live AOS so the recompilation bucket
 /// is exercised.
-fn run(workload: &Workload, telemetry: Telemetry) -> RunReport {
+fn run(workload: &Workload, telemetry: Telemetry, profile: ProfileOptions) -> RunReport {
     let mut vm = VmConfig {
         heap: HeapConfig {
             heap_bytes: workload.min_heap_bytes * 4,
@@ -142,6 +181,7 @@ fn run(workload: &Workload, telemetry: Telemetry) -> RunReport {
         policy: PolicyConfig {
             min_field_misses: 4,
         },
+        profile,
         telemetry,
         ..RunConfig::default()
     };
@@ -170,6 +210,13 @@ fn render_json(
     w.begin_object();
     w.field_str("workload", workload);
     w.field_str("size", &size.to_string());
+    w.key("optimization_latency").object_value();
+    w.field_str("start", if enabled.warm_start { "warm" } else { "cold" });
+    match enabled.cycles_to_first_decision() {
+        Some(c) => w.field_u64("first_decision_cycles", c),
+        None => w.field_str("first_decision_cycles", "never"),
+    };
+    w.end_object();
     w.key("perturbation").object_value();
     w.field_u64("cycles_enabled", enabled.cycles);
     w.field_u64("cycles_disabled", disabled.cycles);

@@ -19,6 +19,8 @@
 //! - [`workloads`] — the 16 synthetic benchmark programs of Table 1
 //! - [`telemetry`] — metrics registry, event trace, and the overhead
 //!   accountant behind the `hpmopt-report` binary
+//! - [`profile`] — persistent profile repository: versioned on-disk
+//!   miss histograms + decision logs that warm-start later runs
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@ pub use hpmopt_core as core;
 pub use hpmopt_gc as gc;
 pub use hpmopt_hpm as hpm;
 pub use hpmopt_memsim as memsim;
+pub use hpmopt_profile as profile;
 pub use hpmopt_telemetry as telemetry;
 pub use hpmopt_vm as vm;
 pub use hpmopt_workloads as workloads;
