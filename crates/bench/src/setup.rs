@@ -68,7 +68,7 @@ pub fn heap_config(w: &Workload, num: u64, den: u64, collector: CollectorKind) -
         nursery_bytes: 256 * 1024,
         los_bytes: 64 * 1024 * 1024,
         collector,
-        cost: Default::default(),
+        ..Default::default()
     }
 }
 

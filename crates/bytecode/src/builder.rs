@@ -503,7 +503,16 @@ impl ProgramBuilder {
     /// Reserve a method id before its body exists, enabling (mutual)
     /// recursion. The body must later be supplied with
     /// [`ProgramBuilder::define_method`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a method with the same name already exists (declared or
+    /// complete).
     pub fn declare_method(&mut self, name: &str, params: u16, returns_value: bool) -> MethodId {
+        assert!(
+            !self.method_names.contains_key(name),
+            "duplicate method {name}"
+        );
         let id = MethodId(self.methods.len() as u32);
         // Placeholder body, replaced by `define_method`.
         self.methods.push(MethodDef::new(
@@ -652,6 +661,14 @@ mod tests {
         pb.set_entry(id);
         let p = pb.finish().expect("verifies");
         assert_eq!(p.method(id).body()[1], Instr::JumpIf(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate method")]
+    fn duplicate_declared_method_names_rejected() {
+        let mut pb = ProgramBuilder::new();
+        pb.declare_method("m", 0, false);
+        pb.declare_method("m", 0, false);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Negative verification cases built with raw instruction emission.
+//!
+//! The builder's typed emitters make most malformed programs hard to
+//! express, so these tests drop to [`MethodBuilder::emit`] to construct
+//! exactly the dangling references and broken control flow the verifier
+//! exists to reject — the shapes a buggy program *generator* (or a
+//! future bytecode loader) could produce.
+
+use hpmopt_bytecode::builder::{MethodBuilder, ProgramBuilder};
+use hpmopt_bytecode::{ClassId, FieldId, FieldType, Instr, MethodId, StaticId, VerifyError};
+
+/// Wrap one raw-emitted body as the entry method and verify the program.
+fn single(mb: MethodBuilder) -> Result<hpmopt_bytecode::Program, VerifyError> {
+    let mut pb = ProgramBuilder::new();
+    let id = pb.add_method(mb);
+    pb.set_entry(id);
+    pb.finish()
+}
+
+#[test]
+fn dangling_class_id_rejected() {
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    m.emit(Instr::New(ClassId(7)));
+    m.pop();
+    m.ret();
+    assert!(
+        matches!(
+            single(m),
+            Err(VerifyError::BadId {
+                at: 0,
+                what: "class",
+                ..
+            })
+        ),
+        "New of an undeclared class must not verify"
+    );
+}
+
+#[test]
+fn dangling_field_id_rejected() {
+    let mut pb = ProgramBuilder::new();
+    let point = pb.add_class("Point", &[("x", FieldType::Int)]);
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    m.new_object(point);
+    m.emit(Instr::GetField(FieldId(9)));
+    m.pop();
+    m.ret();
+    let id = pb.add_method(m);
+    pb.set_entry(id);
+    assert!(matches!(
+        pb.finish(),
+        Err(VerifyError::BadId {
+            at: 1,
+            what: "field",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn dangling_put_field_rejected() {
+    let mut pb = ProgramBuilder::new();
+    let point = pb.add_class("Point", &[("x", FieldType::Int)]);
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    m.new_object(point);
+    m.const_i(1);
+    m.emit(Instr::PutField(FieldId(1)));
+    m.ret();
+    let id = pb.add_method(m);
+    pb.set_entry(id);
+    assert!(matches!(
+        pb.finish(),
+        Err(VerifyError::BadId { what: "field", .. })
+    ));
+}
+
+#[test]
+fn dangling_method_id_rejected() {
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    m.emit(Instr::Call(MethodId(3)));
+    m.ret();
+    assert!(matches!(
+        single(m),
+        Err(VerifyError::BadId {
+            at: 0,
+            what: "method",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn dangling_static_ids_rejected() {
+    let mut read = MethodBuilder::new("main", 0, 0, false);
+    read.emit(Instr::GetStatic(StaticId(0)));
+    read.pop();
+    read.ret();
+    assert!(matches!(
+        single(read),
+        Err(VerifyError::BadId { what: "static", .. })
+    ));
+
+    let mut write = MethodBuilder::new("main", 0, 0, false);
+    write.const_i(1);
+    write.emit(Instr::PutStatic(StaticId(4)));
+    write.ret();
+    assert!(matches!(
+        single(write),
+        Err(VerifyError::BadId {
+            at: 1,
+            what: "static",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn branch_target_past_end_rejected() {
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    m.emit(Instr::Jump(99));
+    m.ret();
+    assert!(matches!(
+        single(m),
+        Err(VerifyError::BadBranchTarget {
+            at: 0,
+            target: 99,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn conditional_branch_target_past_end_rejected() {
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    m.const_i(1);
+    m.emit(Instr::JumpIfNot(50));
+    m.ret();
+    assert!(matches!(
+        single(m),
+        Err(VerifyError::BadBranchTarget {
+            at: 1,
+            target: 50,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn declared_but_never_defined_method_rejected() {
+    // `declare_method` installs an empty placeholder body; forgetting the
+    // matching `define_method` must fail verification, not crash the VM.
+    let mut pb = ProgramBuilder::new();
+    pb.declare_method("helper", 0, false);
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    m.ret();
+    let id = pb.add_method(m);
+    pb.set_entry(id);
+    assert!(matches!(pb.finish(), Err(VerifyError::EmptyBody { method }) if method == "helper"));
+}
+
+#[test]
+fn infinite_loop_without_return_is_accepted_but_stackless_fall_off_is_not() {
+    // A self-loop never falls off the end — legal (the VM's step limit
+    // guards it). Dropping the loop makes the same body fall off.
+    let mut looping = MethodBuilder::new("main", 0, 0, false);
+    looping.emit(Instr::Jump(0));
+    assert!(single(looping).is_ok());
+
+    let mut falls = MethodBuilder::new("main", 0, 0, false);
+    falls.const_i(1);
+    falls.pop();
+    assert!(matches!(
+        single(falls),
+        Err(VerifyError::FallsOffEnd { .. })
+    ));
+}
+
+#[test]
+fn underflow_via_raw_swap_rejected() {
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    m.const_i(1);
+    m.emit(Instr::Swap);
+    m.pop();
+    m.pop();
+    m.ret();
+    assert!(matches!(
+        single(m),
+        Err(VerifyError::StackUnderflow { at: 1, .. })
+    ));
+}
+
+#[test]
+fn arity_mismatch_surfaces_as_underflow() {
+    // Calling a 2-parameter method with one argument on the stack.
+    let mut pb = ProgramBuilder::new();
+    let mut callee = MethodBuilder::new("two_args", 2, 0, false);
+    callee.ret();
+    let callee_id = pb.add_method(callee);
+    let mut m = MethodBuilder::new("main", 0, 0, false);
+    m.const_i(1);
+    m.call(callee_id);
+    m.ret();
+    let id = pb.add_method(m);
+    pb.set_entry(id);
+    assert!(matches!(
+        pb.finish(),
+        Err(VerifyError::StackUnderflow { .. })
+    ));
+}

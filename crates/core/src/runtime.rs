@@ -117,6 +117,12 @@ pub struct RunReport {
     pub final_interval: u64,
     /// Whether a persisted profile warm-started this run.
     pub warm_start: bool,
+    /// Placement-independent digest of the program-visible end state
+    /// (statics plus reachable heap contents,
+    /// [`hpmopt_vm::Vm::state_digest`]). The stress engine's
+    /// zero-perturbation oracle compares this between monitored and
+    /// unmonitored runs.
+    pub result_digest: u64,
 }
 
 impl RunReport {
@@ -276,6 +282,7 @@ impl HpmRuntime {
 
         let mut vm = Vm::new(program, self.config.vm.clone());
         let summary = vm.run(&mut hooks)?;
+        let result_digest = vm.state_digest();
         sync_final_counters(&hooks, &summary);
 
         // Shutdown save: persist what *this* run measured (seeded
@@ -334,6 +341,7 @@ impl HpmRuntime {
             event_series: hooks.event_series,
             final_interval: hooks.hpm.current_interval(),
             warm_start,
+            result_digest,
             vm: summary,
         })
     }
@@ -792,7 +800,7 @@ mod tests {
             nursery_bytes: 64 * 1024,
             los_bytes: 8 * 1024 * 1024,
             collector: CollectorKind::GenMs,
-            cost: Default::default(),
+            ..Default::default()
         };
         RunConfig {
             vm,

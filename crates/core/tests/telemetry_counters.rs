@@ -84,7 +84,7 @@ fn config(telemetry: Telemetry) -> RunConfig {
         nursery_bytes: 64 * 1024,
         los_bytes: 8 * 1024 * 1024,
         collector: CollectorKind::GenMs,
-        cost: Default::default(),
+        ..Default::default()
     };
     RunConfig {
         vm,

@@ -51,6 +51,11 @@ pub struct HeapConfig {
     pub collector: CollectorKind,
     /// Cycle costs charged for collections.
     pub cost: GcCostModel,
+    /// Fault injection: skip zeroing of freshly allocated objects and
+    /// arrays. Recreates the historical stale-nursery-reference bug (see
+    /// DESIGN.md "Calibration notes") so the stress engine's oracles can
+    /// prove they detect it. Never enable outside tests.
+    pub fault_skip_zeroing: bool,
 }
 
 impl HeapConfig {
@@ -63,6 +68,7 @@ impl HeapConfig {
             los_bytes: 1024 * 1024,
             collector: CollectorKind::GenMs,
             cost: GcCostModel::default(),
+            fault_skip_zeroing: false,
         }
     }
 
@@ -75,6 +81,7 @@ impl HeapConfig {
             los_bytes: 64 * 1024 * 1024,
             collector: CollectorKind::GenMs,
             cost: GcCostModel::default(),
+            fault_skip_zeroing: false,
         }
     }
 
@@ -152,6 +159,7 @@ pub struct Heap {
     remset: RememberedSet,
     stats: GcStats,
     cost: GcCostModel,
+    fault_skip_zeroing: bool,
     /// GenMS cells holding a co-allocated pair: cell (parent) address →
     /// child address within the same cell. Needed by the sweep to keep a
     /// cell whose parent died but whose child is still live.
@@ -184,6 +192,7 @@ impl Heap {
             remset: RememberedSet::new(),
             stats: GcStats::default(),
             cost: config.cost,
+            fault_skip_zeroing: config.fault_skip_zeroing,
             coalloc_children: HashMap::new(),
             mature_start,
         }
@@ -204,8 +213,10 @@ impl Heap {
         // region, and a collection between this allocation and the
         // program's own field initialization would otherwise trace stale
         // reference bytes left by the previous generation.
-        self.raw
-            .zero(obj.offset(OBJECT_HEADER_BYTES), size - OBJECT_HEADER_BYTES);
+        if !self.fault_skip_zeroing {
+            self.raw
+                .zero(obj.offset(OBJECT_HEADER_BYTES), size - OBJECT_HEADER_BYTES);
+        }
         self.stats.objects_allocated += 1;
         self.stats.bytes_allocated += size;
         Ok(obj)
@@ -220,8 +231,10 @@ impl Heap {
         let size = ObjectModel::array_size(kind, len);
         let obj = self.alloc_raw(size)?;
         ObjectModel::init_header(&mut self.raw, obj, TypeTag::Array(kind), size, len);
-        self.raw
-            .zero(obj.offset(OBJECT_HEADER_BYTES), size - OBJECT_HEADER_BYTES);
+        if !self.fault_skip_zeroing {
+            self.raw
+                .zero(obj.offset(OBJECT_HEADER_BYTES), size - OBJECT_HEADER_BYTES);
+        }
         self.stats.objects_allocated += 1;
         self.stats.bytes_allocated += size;
         Ok(obj)

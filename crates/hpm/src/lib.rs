@@ -114,6 +114,19 @@ impl Default for HpmConfig {
     }
 }
 
+impl HpmConfig {
+    /// Monitoring switched off entirely: no events counted, no samples
+    /// captured, no overhead charged. The control arm of every
+    /// zero-perturbation comparison (stress oracles, `hpmopt-report`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        HpmConfig {
+            interval: SamplingInterval::Off,
+            ..HpmConfig::default()
+        }
+    }
+}
+
 /// Aggregate monitoring statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HpmStats {

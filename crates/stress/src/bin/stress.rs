@@ -1,0 +1,198 @@
+//! `hpmopt-stress` — drive the stress engine from the command line.
+//!
+//! ```text
+//! hpmopt-stress run [--seeds N] [--start S] [--workers W]
+//!                   [--time-budget SECS] [--fault-skip-zeroing]
+//!                   [--case-dir DIR]
+//! hpmopt-stress replay FILE...
+//! hpmopt-stress shrink FILE [-o OUT]
+//! ```
+//!
+//! `run` exits 1 when any seed fails an oracle (and, with `--case-dir`,
+//! writes each failure as a shrunk case file). `replay` exits 1 when any
+//! case's outcome differs from its `expect` line. `shrink` minimizes a
+//! failing case and prints (or writes) the reproducer.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use hpmopt_stress::{run_scenario, run_shards, shrink, RunnerConfig, Scenario};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hpmopt-stress run [--seeds N] [--start S] [--workers W] \
+         [--time-budget SECS] [--fault-skip-zeroing] [--case-dir DIR]\n\
+         hpmopt-stress replay FILE...\n\
+         hpmopt-stress shrink FILE [-o OUT]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("shrink") => cmd_shrink(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// Parse `--flag VALUE` pairs; returns `None` on malformed input.
+fn take_value<'a>(args: &'a [String], i: &mut usize) -> Option<&'a str> {
+    *i += 1;
+    args.get(*i).map(String::as_str)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut config = RunnerConfig {
+        workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        ..RunnerConfig::default()
+    };
+    let mut case_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => config.seeds = n,
+                None => return usage(),
+            },
+            "--start" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => config.start_seed = n,
+                None => return usage(),
+            },
+            "--workers" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => config.workers = n,
+                None => return usage(),
+            },
+            "--time-budget" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(secs) => config.time_budget = Some(Duration::from_secs(secs)),
+                None => return usage(),
+            },
+            "--fault-skip-zeroing" => config.fault_skip_zeroing = true,
+            "--case-dir" => match take_value(args, &mut i) {
+                Some(dir) => case_dir = Some(dir.to_string()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let report = run_shards(&config);
+    print!("{}", report.summary());
+
+    let mut wrote_err = false;
+    if let Some(dir) = case_dir {
+        for outcome in report.failures() {
+            let shrunk = shrink(&outcome.scenario).map_or(outcome.scenario, |r| r.scenario);
+            let mut case = shrunk;
+            case.expect = hpmopt_stress::Expect::Fail;
+            let path = format!("{dir}/seed-{}.case", outcome.scenario.seed);
+            if let Err(e) = std::fs::write(&path, case.to_case_string()) {
+                eprintln!("error: cannot write {path}: {e}");
+                wrote_err = true;
+            } else {
+                println!("wrote {path}");
+            }
+        }
+    }
+
+    if report.failures().next().is_some() || wrote_err {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_case(path: &str) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Scenario::from_case_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage();
+    }
+    let mut bad = false;
+    for path in args {
+        match load_case(path) {
+            Ok(scenario) => {
+                let outcome = run_scenario(&scenario);
+                let verdict = if outcome.pass { "pass" } else { "fail" };
+                if outcome.matches_expectation() {
+                    println!("{path}: {verdict} (as expected)");
+                } else {
+                    bad = true;
+                    println!("{path}: {verdict}, expected {}", scenario.expect.as_str());
+                    for line in &outcome.failures {
+                        println!("  - {line}");
+                    }
+                }
+            }
+            Err(e) => {
+                bad = true;
+                eprintln!("error: {e}");
+            }
+        }
+    }
+    if bad {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_shrink(args: &[String]) -> ExitCode {
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => match take_value(args, &mut i) {
+                Some(path) => output = Some(path),
+                None => return usage(),
+            },
+            path if input.is_none() => input = Some(path),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(input) = input else { return usage() };
+    let scenario = match load_case(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match shrink(&scenario) {
+        None => {
+            println!("{input}: passes all oracles; nothing to shrink");
+            ExitCode::SUCCESS
+        }
+        Some(result) => {
+            let mut minimal = result.scenario;
+            minimal.expect = hpmopt_stress::Expect::Fail;
+            println!(
+                "shrunk after {} oracle evaluations; failures of the minimal case:",
+                result.attempts
+            );
+            for line in &result.failures {
+                println!("  - {line}");
+            }
+            let text = minimal.to_case_string();
+            match output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, text) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {path}");
+                }
+                None => print!("{text}"),
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}

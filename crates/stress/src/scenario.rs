@@ -1,0 +1,193 @@
+//! Scenario description and the replayable `key = value` case format.
+//!
+//! A [`Scenario`] is everything the engine needs to reproduce one check:
+//! the seed, the shape knobs, whether the skip-zeroing fault is injected,
+//! and the expected outcome. Case files are deliberately trivial text so
+//! a failing seed can be committed to `tests/corpus/` and inspected in a
+//! diff.
+
+use std::fmt::Write as _;
+
+use crate::genprog::ShapeKnobs;
+
+/// Expected outcome recorded in a case file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// All oracles must hold.
+    Pass,
+    /// At least one oracle must flag the scenario (fault-injection cases).
+    Fail,
+}
+
+impl Expect {
+    /// Case-file spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Expect::Pass => "pass",
+            Expect::Fail => "fail",
+        }
+    }
+}
+
+/// One fully-specified, replayable stress scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Seed for both knob derivation (when knobs are not overridden) and
+    /// program-content randomness.
+    pub seed: u64,
+    /// Program shape.
+    pub knobs: ShapeKnobs,
+    /// Inject the allocation-zeroing fault ([`hpmopt_gc::HeapConfig::fault_skip_zeroing`]).
+    pub fault_skip_zeroing: bool,
+    /// Expected outcome when replayed.
+    pub expect: Expect,
+}
+
+impl Scenario {
+    /// The scenario a bare seed denotes: derived knobs, no fault, must
+    /// pass.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Scenario {
+            seed,
+            knobs: ShapeKnobs::from_seed(seed),
+            fault_skip_zeroing: false,
+            expect: Expect::Pass,
+        }
+    }
+
+    /// Serialize to the case-file format.
+    #[must_use]
+    pub fn to_case_string(&self) -> String {
+        let k = &self.knobs;
+        let mut s = String::new();
+        let _ = writeln!(s, "# hpmopt-stress case file");
+        let _ = writeln!(s, "seed = {}", self.seed);
+        let _ = writeln!(s, "classes = {}", k.classes);
+        let _ = writeln!(s, "int_fields = {}", k.int_fields);
+        let _ = writeln!(s, "chase_depth = {}", k.chase_depth);
+        let _ = writeln!(s, "list_len = {}", k.list_len);
+        let _ = writeln!(s, "array_mask = {}", k.array_mask);
+        let _ = writeln!(s, "large_array_pct = {}", k.large_array_pct);
+        let _ = writeln!(s, "call_depth = {}", k.call_depth);
+        let _ = writeln!(s, "rounds = {}", k.rounds);
+        let _ = writeln!(s, "churn_units = {}", k.churn_units);
+        let _ = writeln!(s, "fault_skip_zeroing = {}", self.fault_skip_zeroing);
+        let _ = writeln!(s, "expect = {}", self.expect.as_str());
+        s
+    }
+
+    /// Parse the case-file format.
+    ///
+    /// Unknown keys are rejected (a typo must not silently change the
+    /// scenario); missing keys fall back to the seed-derived defaults, so
+    /// shrunk cases stay minimal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn from_case_str(text: &str) -> Result<Self, String> {
+        let mut seed: Option<u64> = None;
+        let mut overrides: Vec<(String, u64)> = Vec::new();
+        let mut fault = false;
+        let mut expect = Expect::Pass;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let key = key.trim();
+            let value = value.trim();
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("line {}: `{key}` wants an integer", lineno + 1))
+            };
+            match key {
+                "seed" => seed = Some(parse_u64(value)?),
+                "fault_skip_zeroing" => {
+                    fault = match value {
+                        "true" => true,
+                        "false" => false,
+                        _ => {
+                            return Err(format!(
+                                "line {}: `fault_skip_zeroing` wants true/false",
+                                lineno + 1
+                            ))
+                        }
+                    };
+                }
+                "expect" => {
+                    expect = match value {
+                        "pass" => Expect::Pass,
+                        "fail" => Expect::Fail,
+                        _ => return Err(format!("line {}: `expect` wants pass/fail", lineno + 1)),
+                    };
+                }
+                "classes" | "int_fields" | "chase_depth" | "list_len" | "array_mask"
+                | "large_array_pct" | "call_depth" | "rounds" | "churn_units" => {
+                    overrides.push((key.to_string(), parse_u64(value)?));
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+            }
+        }
+        let seed = seed.ok_or("case file missing `seed`")?;
+        let mut knobs = ShapeKnobs::from_seed(seed);
+        for (key, v) in overrides {
+            match key.as_str() {
+                "classes" => knobs.classes = v,
+                "int_fields" => knobs.int_fields = v,
+                "chase_depth" => knobs.chase_depth = v,
+                "list_len" => knobs.list_len = v,
+                "array_mask" => knobs.array_mask = v,
+                "large_array_pct" => knobs.large_array_pct = v,
+                "call_depth" => knobs.call_depth = v,
+                "rounds" => knobs.rounds = v,
+                "churn_units" => knobs.churn_units = v,
+                _ => unreachable!("filtered above"),
+            }
+        }
+        Ok(Scenario {
+            seed,
+            knobs: knobs.clamped(),
+            fault_skip_zeroing: fault,
+            expect,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_round_trips() {
+        let mut s = Scenario::from_seed(1234);
+        s.knobs.rounds = 3;
+        s.fault_skip_zeroing = true;
+        s.expect = Expect::Fail;
+        let text = s.to_case_string();
+        let back = Scenario::from_case_str(&text).expect("parses");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn missing_knobs_default_from_seed() {
+        let s = Scenario::from_case_str("seed = 77\n").expect("parses");
+        assert_eq!(s, Scenario::from_seed(77));
+    }
+
+    #[test]
+    fn unknown_keys_and_garbage_rejected() {
+        assert!(Scenario::from_case_str("seed = 1\nbogus = 2\n").is_err());
+        assert!(Scenario::from_case_str("no equals sign\n").is_err());
+        assert!(
+            Scenario::from_case_str("classes = 2\n").is_err(),
+            "seed is mandatory"
+        );
+        assert!(Scenario::from_case_str("seed = 1\nexpect = maybe\n").is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Greedy scenario shrinking.
+//!
+//! Given a failing scenario, repeatedly halve each shape knob toward its
+//! minimum, keeping a change only when the shrunk scenario still fails
+//! the oracles, until no single halving reproduces the failure (a
+//! fixpoint). The walk is a fixed knob order with deterministic oracles,
+//! so the same failure always shrinks to the same minimal reproducer.
+
+use crate::genprog::ShapeKnobs;
+use crate::oracles::run_scenario;
+use crate::scenario::Scenario;
+
+/// Hard cap on oracle evaluations during a shrink (each evaluation runs
+/// the five arms, so this bounds shrink time at roughly a minute).
+const MAX_ATTEMPTS: usize = 200;
+
+/// Shrinkable knobs in shrink order (cheapest structural reductions
+/// first), as `(name, floor)`.
+const KNOBS: [(&str, u64); 9] = [
+    ("rounds", 1),
+    ("call_depth", 1),
+    ("classes", 1),
+    ("int_fields", 0),
+    ("chase_depth", 1),
+    ("churn_units", 0),
+    ("large_array_pct", 0),
+    ("array_mask", 1),
+    ("list_len", 1),
+];
+
+fn get(k: &ShapeKnobs, i: usize) -> u64 {
+    match i {
+        0 => k.rounds,
+        1 => k.call_depth,
+        2 => k.classes,
+        3 => k.int_fields,
+        4 => k.chase_depth,
+        5 => k.churn_units,
+        6 => k.large_array_pct,
+        7 => k.array_mask,
+        _ => k.list_len,
+    }
+}
+
+fn set(k: &mut ShapeKnobs, i: usize, v: u64) {
+    match i {
+        0 => k.rounds = v,
+        1 => k.call_depth = v,
+        2 => k.classes = v,
+        3 => k.int_fields = v,
+        4 => k.chase_depth = v,
+        5 => k.churn_units = v,
+        6 => k.large_array_pct = v,
+        7 => k.array_mask = v,
+        _ => k.list_len = v,
+    }
+}
+
+/// Result of a shrink.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The smallest still-failing scenario found.
+    pub scenario: Scenario,
+    /// Oracle evaluations spent.
+    pub attempts: usize,
+    /// Failure lines of the minimal reproducer.
+    pub failures: Vec<String>,
+}
+
+/// Shrink `scenario` to a minimal still-failing reproducer.
+///
+/// Returns `None` when the input does not fail in the first place (there
+/// is nothing to shrink).
+#[must_use]
+pub fn shrink(scenario: &Scenario) -> Option<ShrinkResult> {
+    let first = run_scenario(scenario);
+    if first.pass {
+        return None;
+    }
+    let mut best = *scenario;
+    let mut best_failures = first.failures;
+    let mut attempts = 1;
+
+    let mut progressed = true;
+    while progressed && attempts < MAX_ATTEMPTS {
+        progressed = false;
+        for (i, &(_name, floor)) in KNOBS.iter().enumerate() {
+            while attempts < MAX_ATTEMPTS {
+                let current = get(&best.knobs, i);
+                if current <= floor {
+                    break;
+                }
+                // Halve toward the floor (never skipping it).
+                let mut candidate = best;
+                set(&mut candidate.knobs, i, (current / 2).max(floor));
+                candidate.knobs = candidate.knobs.clamped();
+                attempts += 1;
+                let out = run_scenario(&candidate);
+                if out.pass {
+                    break; // this knob is load-bearing at its current value
+                }
+                best = candidate;
+                best_failures = out.failures;
+                progressed = true;
+            }
+        }
+    }
+
+    Some(ShrinkResult {
+        scenario: best,
+        attempts,
+        failures: best_failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Total knob mass, a crude size measure for "did it get smaller".
+    fn mass(k: &ShapeKnobs) -> u64 {
+        (0..KNOBS.len()).map(|i| get(k, i)).sum()
+    }
+
+    #[test]
+    fn passing_scenarios_do_not_shrink() {
+        assert!(shrink(&Scenario::from_seed(0)).is_none());
+    }
+
+    #[test]
+    fn injected_fault_shrinks_and_still_fails() {
+        // Find a seed whose faulted scenario fails, then shrink it.
+        let failing = (0..8).map(Scenario::from_seed).find_map(|mut s| {
+            s.fault_skip_zeroing = true;
+            (!run_scenario(&s).pass).then_some(s)
+        });
+        let failing = failing.expect("some faulted seed fails");
+        let result = shrink(&failing).expect("failing scenario shrinks");
+        assert!(!result.failures.is_empty());
+        assert!(
+            mass(&result.scenario.knobs) <= mass(&failing.knobs),
+            "shrinking must not grow the scenario"
+        );
+        // The reproducer must still fail when replayed from scratch.
+        assert!(!run_scenario(&result.scenario).pass);
+        // And shrinking is deterministic.
+        let again = shrink(&failing).expect("still fails");
+        assert_eq!(result.scenario, again.scenario);
+    }
+}

@@ -43,6 +43,12 @@ pub struct VmConfig {
     /// compilation. Zero by default; see
     /// [`VmConfig::baseline_compile_cycles_per_bc`].
     pub opt_compile_cycles_per_bc: u64,
+    /// Run [`hpmopt_gc::Heap::verify`] over the live object graph after
+    /// every collection, failing the run with
+    /// [`crate::VmError::HeapCorrupt`] at the collection that caused the
+    /// damage. Off by default (it walks the whole live heap); the stress
+    /// engine and the tier-1 pipeline tests enable it.
+    pub verify_heap_every_gc: bool,
 }
 
 impl Default for VmConfig {
@@ -59,6 +65,7 @@ impl Default for VmConfig {
             issue_width: 3,
             baseline_compile_cycles_per_bc: 0,
             opt_compile_cycles_per_bc: 0,
+            verify_heap_every_gc: false,
         }
     }
 }
@@ -84,6 +91,7 @@ impl VmConfig {
             issue_width: 3,
             baseline_compile_cycles_per_bc: 0,
             opt_compile_cycles_per_bc: 0,
+            verify_heap_every_gc: false,
         }
     }
 

@@ -202,6 +202,17 @@ impl<'p> Vm<'p> {
         self.heap.verify(&self.gather_roots())
     }
 
+    /// Canonical, placement-independent digest of the program-visible
+    /// state: static values plus the contents and shape of every object
+    /// reachable from them (see [`crate::digest`]). Meaningful after
+    /// [`Vm::run`] returns, when the statics are the only roots; the
+    /// stress engine's differential oracles compare this across runtime
+    /// configurations.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        crate::digest::state_digest(self.program, &self.heap, &self.statics)
+    }
+
     /// Run the program to completion.
     ///
     /// # Errors
@@ -392,6 +403,9 @@ impl<'p> Vm<'p> {
             }
         }
         self.scatter_roots(&roots);
+        if self.config.verify_heap_every_gc && self.heap.verify(&roots).is_err() {
+            return Err(VmError::HeapCorrupt);
+        }
         // A collection walks the whole live heap: model its cache and TLB
         // pollution by flushing the hierarchy.
         self.mem.flush();

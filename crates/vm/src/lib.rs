@@ -50,6 +50,7 @@
 pub mod aos;
 pub mod compiler;
 pub mod config;
+pub mod digest;
 pub mod hooks;
 pub mod interp;
 pub mod machine;

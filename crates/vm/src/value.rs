@@ -83,6 +83,10 @@ pub enum VmError {
     StackOverflow,
     /// The configured step limit was reached (runaway-guard for tests).
     StepLimit,
+    /// Post-collection heap verification found a corrupt object graph
+    /// (only raised when [`crate::VmConfig::verify_heap_every_gc`] is
+    /// set). Call [`crate::Vm::verify_heap`] for the detailed diagnosis.
+    HeapCorrupt,
 }
 
 impl std::fmt::Display for VmError {
@@ -95,6 +99,7 @@ impl std::fmt::Display for VmError {
             VmError::OutOfMemory => "out of memory",
             VmError::StackOverflow => "call stack overflow",
             VmError::StepLimit => "execution step limit reached",
+            VmError::HeapCorrupt => "post-collection heap verification failed",
         };
         f.write_str(s)
     }

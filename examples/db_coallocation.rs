@@ -20,7 +20,7 @@ fn run_db(coalloc: bool, sampling: SamplingInterval) -> RunReport {
             nursery_bytes: 256 * 1024,
             los_bytes: 64 * 1024 * 1024,
             collector: CollectorKind::GenMs,
-            cost: Default::default(),
+            ..Default::default()
         },
         ..VmConfig::default()
     };

@@ -29,7 +29,7 @@ fn main() {
             nursery_bytes: 256 * 1024,
             los_bytes: 64 * 1024 * 1024,
             collector: CollectorKind::GenMs,
-            cost: Default::default(),
+            ..Default::default()
         },
         ..VmConfig::default()
     };

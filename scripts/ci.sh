@@ -27,4 +27,10 @@ cargo run --release --bin hpmopt-report -- db --profile target/ci-db.hpmprof \
     -o target/ci-report-db-warm.json >/dev/null
 cargo run --release -p hpmopt-profile -- inspect target/ci-db.hpmprof >/dev/null
 
+echo "==> smoke: bounded stress run (differential oracles over fresh seeds)"
+cargo run --release -p hpmopt-stress -- run --seeds 25 --time-budget 60
+
+echo "==> smoke: stress corpus replays as recorded"
+cargo run --release -p hpmopt-stress -- replay tests/corpus/*.case
+
 echo "CI OK"

@@ -157,7 +157,7 @@ fn run(workload: &Workload, telemetry: Telemetry, profile: ProfileOptions) -> Ru
             nursery_bytes: 256 * 1024,
             los_bytes: 64 * 1024 * 1024,
             collector: CollectorKind::GenMs,
-            cost: Default::default(),
+            ..Default::default()
         },
         ..VmConfig::default()
     };

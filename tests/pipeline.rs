@@ -14,7 +14,7 @@ fn base_config(w: &Workload) -> RunConfig {
             nursery_bytes: 256 * 1024,
             los_bytes: 64 * 1024 * 1024,
             collector: CollectorKind::GenMs,
-            cost: Default::default(),
+            ..Default::default()
         },
         ..VmConfig::default()
     };
@@ -24,6 +24,9 @@ fn base_config(w: &Workload) -> RunConfig {
             .collect(),
     ));
     vm.aos.enabled = false;
+    // Walk the live graph after every collection: any pipeline test that
+    // triggers GC also proves heap integrity at each collection point.
+    vm.verify_heap_every_gc = true;
     RunConfig {
         vm,
         hpm: HpmConfig {

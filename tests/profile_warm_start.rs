@@ -30,7 +30,7 @@ fn config(w: &Workload, profile: ProfileOptions, telemetry: Telemetry) -> RunCon
             nursery_bytes: 256 * 1024,
             los_bytes: 64 * 1024 * 1024,
             collector: CollectorKind::GenMs,
-            cost: Default::default(),
+            ..Default::default()
         },
         ..VmConfig::default()
     };

@@ -1,0 +1,67 @@
+//! Replay every committed case file in `tests/corpus/` through the full
+//! oracle suite and assert each behaves as its `expect` line records.
+//!
+//! Pass-cases are regression guards for historically delicate shapes
+//! (the parent-then-child allocation window, LOS churn); the fail-case
+//! proves the oracles still detect the injected skip-zeroing fault —
+//! i.e. that the safety net itself has not rotted.
+
+use std::path::PathBuf;
+
+use hpmopt_stress::{run_scenario, Scenario};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_cases() -> Vec<(String, Scenario)> {
+    let mut cases: Vec<(String, Scenario)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable case file");
+            let scenario = Scenario::from_case_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, scenario)
+        })
+        .collect();
+    cases.sort_by(|a, b| a.0.cmp(&b.0));
+    cases
+}
+
+#[test]
+fn corpus_is_present_and_covers_both_expectations() {
+    let cases = corpus_cases();
+    assert!(cases.len() >= 3, "corpus unexpectedly small: {cases:?}");
+    assert!(
+        cases
+            .iter()
+            .any(|(_, s)| s.expect == hpmopt_stress::Expect::Fail),
+        "corpus needs at least one fault-injection case proving detection"
+    );
+    assert!(
+        cases
+            .iter()
+            .any(|(_, s)| s.expect == hpmopt_stress::Expect::Pass),
+        "corpus needs at least one regression pass-case"
+    );
+}
+
+#[test]
+fn corpus_cases_replay_as_recorded() {
+    for (name, scenario) in corpus_cases() {
+        let outcome = run_scenario(&scenario);
+        assert!(
+            outcome.matches_expectation(),
+            "{name}: expected {}, observed {} — failures: {:?}",
+            scenario.expect.as_str(),
+            if outcome.pass { "pass" } else { "fail" },
+            outcome.failures
+        );
+    }
+}

@@ -14,7 +14,7 @@ fn config_for(w: &Workload, collector: CollectorKind, coalloc: bool) -> RunConfi
             nursery_bytes: 256 * 1024,
             los_bytes: 64 * 1024 * 1024,
             collector,
-            cost: Default::default(),
+            ..Default::default()
         },
         ..VmConfig::default()
     };
