@@ -1,0 +1,161 @@
+//! `hpmopt-bench` — measure the performance trajectory and gate it
+//! against the committed baseline.
+//!
+//! ```text
+//! hpmopt-bench --update [--out BENCH_trajectory.json]    # write a new baseline
+//! hpmopt-bench --check  [--baseline FILE] [--threshold-pct N]
+//! ```
+//!
+//! `--check` re-measures the fixed workload set and the pinned stress
+//! shard, compares the simulated-cycle costs against the baseline file,
+//! and exits nonzero when any workload or stress seed regressed beyond
+//! the threshold, when a stress digest changed, or when the telemetry
+//! perturbation delta is not exactly zero. Wall time is printed but
+//! never gated. `--update` writes the freshly measured trajectory out
+//! as the new baseline — commit the file to bank an improvement or to
+//! deliberately accept a behavior change.
+
+use std::process::ExitCode;
+
+use hpmopt_bench::trajectory::{
+    compare, measure, Trajectory, DEFAULT_STRESS_SEEDS, DEFAULT_WORKLOADS,
+};
+use hpmopt_workloads::Size;
+
+const DEFAULT_BASELINE: &str = "BENCH_trajectory.json";
+const DEFAULT_THRESHOLD_PCT: f64 = 5.0;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: hpmopt-bench (--check | --update)");
+    eprintln!("  --baseline FILE      baseline to gate against (default {DEFAULT_BASELINE})");
+    eprintln!("  --out FILE           where --update writes (default the baseline path)");
+    eprintln!("  --threshold-pct N    allowed cycle regression (default {DEFAULT_THRESHOLD_PCT})");
+    eprintln!(
+        "  --workloads a,b,c    workload set (default {})",
+        DEFAULT_WORKLOADS.join(",")
+    );
+    eprintln!("  --seeds N            pinned stress seeds 0..N (default {DEFAULT_STRESS_SEEDS})");
+    ExitCode::FAILURE
+}
+
+struct Args {
+    check: bool,
+    update: bool,
+    baseline: String,
+    out: Option<String>,
+    threshold_pct: f64,
+    workloads: Vec<String>,
+    seeds: u64,
+}
+
+fn parse_args() -> Result<Args, ()> {
+    let mut a = Args {
+        check: false,
+        update: false,
+        baseline: DEFAULT_BASELINE.to_string(),
+        out: None,
+        threshold_pct: DEFAULT_THRESHOLD_PCT,
+        workloads: DEFAULT_WORKLOADS.iter().map(ToString::to_string).collect(),
+        seeds: DEFAULT_STRESS_SEEDS,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => a.check = true,
+            "--update" => a.update = true,
+            "--baseline" => a.baseline = args.next().ok_or(())?,
+            "--out" => a.out = Some(args.next().ok_or(())?),
+            "--threshold-pct" => {
+                a.threshold_pct = args.next().ok_or(())?.parse().map_err(|_| ())?;
+            }
+            "--workloads" => {
+                a.workloads = args
+                    .next()
+                    .ok_or(())?
+                    .split(',')
+                    .map(ToString::to_string)
+                    .collect();
+            }
+            "--seeds" => a.seeds = args.next().ok_or(())?.parse().map_err(|_| ())?,
+            _ => return Err(()),
+        }
+    }
+    if a.check == a.update {
+        return Err(()); // exactly one mode
+    }
+    Ok(a)
+}
+
+fn print_trajectory(t: &Trajectory) {
+    println!("  workload       cycles    overhead%   perturb%   wall");
+    for p in &t.workloads {
+        println!(
+            "  {:<10} {:>12} {:>+10.2}% {:>+9.2}% {:>5}ms",
+            format!("{} {}", p.name, p.size),
+            p.cycles,
+            p.monitoring_overhead_pct,
+            p.perturbation_delta_pct,
+            p.wall_ms
+        );
+    }
+    for p in &t.stress {
+        println!(
+            "  stress seed {:<2} {:>10} cycles, {:>10} monitored",
+            p.seed, p.cycles, p.monitored_cycles
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let Ok(args) = parse_args() else {
+        return usage();
+    };
+
+    println!(
+        "hpmopt-bench: measuring {} workload(s) + {} stress seed(s)",
+        args.workloads.len(),
+        args.seeds
+    );
+    let current = measure(&args.workloads, Size::Tiny, args.seeds);
+    print_trajectory(&current);
+
+    if args.update {
+        let out = args.out.unwrap_or(args.baseline);
+        if let Err(e) = std::fs::write(&out, current.to_json()) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out}");
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&args.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {}: {e}", args.baseline);
+            eprintln!("(generate one with: hpmopt-bench --update)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match Trajectory::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("corrupt baseline {}: {e}", args.baseline);
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = compare(&current, &baseline, args.threshold_pct);
+    if violations.is_empty() {
+        println!(
+            "trajectory check passed against {} (threshold +{}%)",
+            args.baseline, args.threshold_pct
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("trajectory check FAILED against {}:", args.baseline);
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`fig8`]   | Figure 8 — bad placement detected and reverted |
 //! | [`ablations`] | beyond the paper: map extension, event choice, prefetcher |
 //! | [`warmstart`] | beyond the paper: profile-repository warm start on `db` |
+//! | [`trajectory`] | beyond the paper: perf-trajectory baseline + CI gate |
 //!
 //! # Scaling
 //!
@@ -42,6 +43,7 @@ pub mod fmt;
 pub mod setup;
 pub mod table1;
 pub mod table2;
+pub mod trajectory;
 pub mod warmstart;
 
 /// The simulated-scale sampling intervals standing in for the paper's

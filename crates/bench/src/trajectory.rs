@@ -1,0 +1,465 @@
+//! Performance trajectory: fixed workload + stress-shard measurements,
+//! a committable JSON baseline, and the regression gate behind
+//! `hpmopt-bench --check`.
+//!
+//! The trajectory records, for a fixed set of workloads, the simulated
+//! cycle cost of three arms — unmonitored baseline, monitored with
+//! telemetry disabled, monitored with telemetry enabled — plus a pinned
+//! stress-seed shard whose per-seed cycle counts come straight from the
+//! shard runner's summary data. Simulated cycles are deterministic, so
+//! the committed baseline (`BENCH_trajectory.json`) only changes when
+//! the code's cost model actually changes; wall time is recorded for
+//! context but never gated on.
+//!
+//! Two invariants are enforced at measurement time and again by
+//! [`compare`]:
+//!
+//! 1. **Zero perturbation**: the telemetry-enabled and telemetry-off
+//!    monitored runs must land on the same cycle, always.
+//! 2. **No silent drift**: per-seed stress digests must match the
+//!    baseline byte for byte; a digest change is a behavior change and
+//!    requires a deliberate `--update`.
+
+use std::time::Instant;
+
+use hpmopt_gc::CollectorKind;
+use hpmopt_hpm::SamplingInterval;
+use hpmopt_stress::{run_shards, RunnerConfig};
+use hpmopt_telemetry::json::JsonWriter;
+use hpmopt_telemetry::read::{self, Value};
+use hpmopt_telemetry::{Telemetry, DEFAULT_TRACE_CAPACITY};
+use hpmopt_workloads::{by_name, Size};
+
+use crate::setup::{auto_interval, heap_config, run, run_config};
+
+/// The fixed workload set a default trajectory measures.
+pub const DEFAULT_WORKLOADS: [&str; 3] = ["db", "fop", "jess"];
+
+/// Seeds in the pinned stress shard of a default trajectory.
+pub const DEFAULT_STRESS_SEEDS: u64 = 6;
+
+/// One workload's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPoint {
+    /// Workload name (`hpmopt_workloads::by_name`).
+    pub name: String,
+    /// Workload size the run used.
+    pub size: String,
+    /// Simulated cycles of the monitored, telemetry-enabled run — the
+    /// gated quantity.
+    pub cycles: u64,
+    /// Simulated cycles of the unmonitored baseline run.
+    pub baseline_cycles: u64,
+    /// Bytecodes the monitored run executed.
+    pub bytecodes: u64,
+    /// Bytecodes per simulated kilocycle of the monitored run.
+    pub throughput_bc_per_kcycle: f64,
+    /// Monitored-minus-baseline cycle cost relative to the baseline, in
+    /// percent (negative when co-allocation wins back more than
+    /// monitoring costs).
+    pub monitoring_overhead_pct: f64,
+    /// Cycle delta between the telemetry-enabled and telemetry-off
+    /// monitored runs, in percent. Must be exactly zero.
+    pub perturbation_delta_pct: f64,
+    /// L1 demand misses of the monitored run.
+    pub l1_misses: u64,
+    /// Wall-clock milliseconds of the telemetry-enabled run.
+    /// Informational only: never fingerprinted, never gated.
+    pub wall_ms: u64,
+}
+
+/// One stress seed's measurement, lifted from the shard runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StressPoint {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Arm-A (interpreter, unmonitored) simulated cycles.
+    pub cycles: u64,
+    /// Arm-D (monitored, co-allocating) simulated cycles — the gated
+    /// quantity.
+    pub monitored_cycles: u64,
+    /// Arm-A state digest; any change is a behavior change.
+    pub digest: u64,
+}
+
+/// A full trajectory: the committable measurement set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Per-workload points, in measurement order.
+    pub workloads: Vec<WorkloadPoint>,
+    /// Per-seed stress points, in seed order.
+    pub stress: Vec<StressPoint>,
+}
+
+fn delta_pct(current: u64, reference: u64) -> f64 {
+    if reference == 0 {
+        return 0.0;
+    }
+    (current as f64 - reference as f64) / reference as f64 * 100.0
+}
+
+/// Measure one workload at `size`: unmonitored baseline, then the two
+/// monitored arms (telemetry off, telemetry on).
+///
+/// # Panics
+///
+/// Panics on unknown workload names and when the telemetry-enabled run
+/// lands on a different cycle than the telemetry-off control — that is
+/// the zero-perturbation invariant failing, which must never reach a
+/// baseline file.
+#[must_use]
+pub fn measure_workload(name: &str, size: Size) -> WorkloadPoint {
+    let w = by_name(name, size).unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let heap = heap_config(&w, 2, 1, CollectorKind::GenMs);
+
+    let baseline = run(
+        &w,
+        run_config(&w, size, heap.clone(), SamplingInterval::Off, false),
+    );
+    let control = run(
+        &w,
+        run_config(&w, size, heap.clone(), auto_interval(), true),
+    );
+    let mut enabled_cfg = run_config(&w, size, heap, auto_interval(), true);
+    enabled_cfg.telemetry = Telemetry::enabled(DEFAULT_TRACE_CAPACITY);
+    let started = Instant::now();
+    let enabled = run(&w, enabled_cfg);
+    let wall_ms = started.elapsed().as_millis() as u64;
+
+    let perturbation = delta_pct(enabled.cycles, control.cycles);
+    assert!(
+        perturbation == 0.0,
+        "telemetry perturbed {name}: {} cycles enabled vs {} disabled",
+        enabled.cycles,
+        control.cycles
+    );
+    WorkloadPoint {
+        name: w.name.to_string(),
+        size: size.to_string(),
+        cycles: enabled.cycles,
+        baseline_cycles: baseline.cycles,
+        bytecodes: enabled.vm.bytecodes_executed,
+        throughput_bc_per_kcycle: enabled.vm.bytecodes_executed as f64 * 1000.0
+            / enabled.cycles as f64,
+        monitoring_overhead_pct: delta_pct(enabled.cycles, baseline.cycles),
+        perturbation_delta_pct: perturbation,
+        l1_misses: enabled.vm.mem.l1_misses,
+        wall_ms,
+    }
+}
+
+/// Measure a full trajectory: every named workload at `size`, then the
+/// pinned stress shard `0..seeds`.
+///
+/// # Panics
+///
+/// Panics when a stress seed fails its oracles — a failing seed has no
+/// meaningful cost to record, and the stress suite (not the perf gate)
+/// is the place to debug it.
+#[must_use]
+pub fn measure(workloads: &[String], size: Size, seeds: u64) -> Trajectory {
+    let points = workloads
+        .iter()
+        .map(|name| measure_workload(name, size))
+        .collect();
+    let shard = run_shards(&RunnerConfig {
+        start_seed: 0,
+        seeds,
+        workers: 1,
+        time_budget: None,
+        fault_skip_zeroing: false,
+    });
+    let stress = shard
+        .outcomes
+        .iter()
+        .map(|o| {
+            assert!(
+                o.pass,
+                "stress seed {} failed its oracles: {:?}",
+                o.scenario.seed, o.failures
+            );
+            StressPoint {
+                seed: o.scenario.seed,
+                cycles: o.cycles,
+                monitored_cycles: o.monitored_cycles,
+                digest: o.digest,
+            }
+        })
+        .collect();
+    Trajectory {
+        workloads: points,
+        stress,
+    }
+}
+
+impl Trajectory {
+    /// Serialize to the committed-baseline JSON format. Deterministic
+    /// except for the explicitly informational `wall_ms` fields.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("version", 1);
+        w.key("workloads").array_value();
+        for p in &self.workloads {
+            w.begin_object();
+            w.field_str("workload", &p.name);
+            w.field_str("size", &p.size);
+            w.field_u64("cycles", p.cycles);
+            w.field_u64("baseline_cycles", p.baseline_cycles);
+            w.field_u64("bytecodes", p.bytecodes);
+            w.field_f64("throughput_bc_per_kcycle", p.throughput_bc_per_kcycle);
+            w.field_f64("monitoring_overhead_pct", p.monitoring_overhead_pct);
+            w.field_f64("perturbation_delta_pct", p.perturbation_delta_pct);
+            w.field_u64("l1_misses", p.l1_misses);
+            w.field_u64("wall_ms", p.wall_ms);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("stress").array_value();
+        for p in &self.stress {
+            w.begin_object();
+            w.field_u64("seed", p.seed);
+            w.field_u64("cycles", p.cycles);
+            w.field_u64("monitored_cycles", p.monitored_cycles);
+            // Digests use the full u64 range; a JSON number would round
+            // through f64, so they travel as hex strings.
+            w.field_str("digest", &format!("{:#018x}", p.digest));
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
+
+    /// Parse a baseline produced by [`Trajectory::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed construct (parse errors
+    /// carry a byte offset; structural errors name the field).
+    pub fn parse(input: &str) -> Result<Trajectory, String> {
+        let doc = read::parse(input)?;
+        let version = need(&doc, "version")?.as_u64();
+        if version != 1 {
+            return Err(format!("unsupported trajectory version {version}"));
+        }
+        let mut workloads = Vec::new();
+        for p in need(&doc, "workloads")?.as_array() {
+            workloads.push(WorkloadPoint {
+                name: need(p, "workload")?.as_str().to_string(),
+                size: need(p, "size")?.as_str().to_string(),
+                cycles: need(p, "cycles")?.as_u64(),
+                baseline_cycles: need(p, "baseline_cycles")?.as_u64(),
+                bytecodes: need(p, "bytecodes")?.as_u64(),
+                throughput_bc_per_kcycle: need(p, "throughput_bc_per_kcycle")?.as_f64(),
+                monitoring_overhead_pct: need(p, "monitoring_overhead_pct")?.as_f64(),
+                perturbation_delta_pct: need(p, "perturbation_delta_pct")?.as_f64(),
+                l1_misses: need(p, "l1_misses")?.as_u64(),
+                wall_ms: need(p, "wall_ms")?.as_u64(),
+            });
+        }
+        let mut stress = Vec::new();
+        for p in need(&doc, "stress")?.as_array() {
+            let hex = need(p, "digest")?.as_str();
+            let digit = hex
+                .strip_prefix("0x")
+                .ok_or_else(|| format!("digest {hex:?} is not 0x-prefixed"))?;
+            stress.push(StressPoint {
+                seed: need(p, "seed")?.as_u64(),
+                cycles: need(p, "cycles")?.as_u64(),
+                monitored_cycles: need(p, "monitored_cycles")?.as_u64(),
+                digest: u64::from_str_radix(digit, 16)
+                    .map_err(|e| format!("bad digest {hex:?}: {e}"))?,
+            });
+        }
+        Ok(Trajectory { workloads, stress })
+    }
+}
+
+fn need<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.try_get(key)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+/// Gate `current` against a committed `baseline`: returns one line per
+/// violation (empty means the gate passes).
+///
+/// Cycle counts may regress up to `threshold_pct` percent before the
+/// gate trips (improvements never trip it — commit a new baseline with
+/// `--update` to bank them). Perturbation and stress digests have no
+/// tolerance at all.
+#[must_use]
+pub fn compare(current: &Trajectory, baseline: &Trajectory, threshold_pct: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let limit = |base: u64| base as f64 * (1.0 + threshold_pct / 100.0);
+
+    for b in &baseline.workloads {
+        let Some(c) = current
+            .workloads
+            .iter()
+            .find(|c| c.name == b.name && c.size == b.size)
+        else {
+            violations.push(format!("workload {} ({}) not measured", b.name, b.size));
+            continue;
+        };
+        if (c.cycles as f64) > limit(b.cycles) {
+            violations.push(format!(
+                "workload {} ({}): {} cycles vs baseline {} (+{:.2}% > +{threshold_pct}%)",
+                c.name,
+                c.size,
+                c.cycles,
+                b.cycles,
+                delta_pct(c.cycles, b.cycles)
+            ));
+        }
+        if c.perturbation_delta_pct != 0.0 {
+            violations.push(format!(
+                "workload {} ({}): telemetry perturbation {}% (must be exactly 0)",
+                c.name, c.size, c.perturbation_delta_pct
+            ));
+        }
+    }
+    for b in &baseline.stress {
+        let Some(c) = current.stress.iter().find(|c| c.seed == b.seed) else {
+            violations.push(format!("stress seed {} not measured", b.seed));
+            continue;
+        };
+        if c.digest != b.digest {
+            violations.push(format!(
+                "stress seed {}: digest {:#018x} != baseline {:#018x} (behavior change; \
+                 re-baseline deliberately with --update)",
+                b.seed, c.digest, b.digest
+            ));
+        }
+        if (c.monitored_cycles as f64) > limit(b.monitored_cycles) {
+            violations.push(format!(
+                "stress seed {}: {} monitored cycles vs baseline {} (+{:.2}% > +{threshold_pct}%)",
+                b.seed,
+                c.monitored_cycles,
+                b.monitored_cycles,
+                delta_pct(c.monitored_cycles, b.monitored_cycles)
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(name: &str, cycles: u64) -> WorkloadPoint {
+        WorkloadPoint {
+            name: name.to_string(),
+            size: "tiny".to_string(),
+            cycles,
+            baseline_cycles: cycles - cycles / 10,
+            bytecodes: 1000,
+            throughput_bc_per_kcycle: 1000.0 * 1000.0 / cycles as f64,
+            monitoring_overhead_pct: 11.1,
+            perturbation_delta_pct: 0.0,
+            l1_misses: 42,
+            wall_ms: 7,
+        }
+    }
+
+    fn stress_point(seed: u64, monitored: u64) -> StressPoint {
+        StressPoint {
+            seed,
+            cycles: monitored - 1,
+            monitored_cycles: monitored,
+            digest: 0xdead_beef_0000_0000 | seed,
+        }
+    }
+
+    fn sample() -> Trajectory {
+        Trajectory {
+            workloads: vec![point("db", 1_000_000), point("fop", 2_000_000)],
+            stress: vec![stress_point(0, 500_000), stress_point(1, 600_000)],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let t = sample();
+        let json = t.to_json();
+        let back = Trajectory::parse(&json).expect("parses");
+        assert_eq!(back, t);
+        assert_eq!(back.to_json(), json, "serialization is idempotent");
+    }
+
+    #[test]
+    fn identical_trajectories_pass_the_gate() {
+        let t = sample();
+        assert!(compare(&t, &t, 0.0).is_empty());
+    }
+
+    #[test]
+    fn cycle_regressions_trip_beyond_the_threshold() {
+        let base = sample();
+        let mut cur = sample();
+        cur.workloads[0].cycles = 1_040_000; // +4%
+        assert!(compare(&cur, &base, 5.0).is_empty(), "within threshold");
+        cur.workloads[0].cycles = 1_060_000; // +6%
+        let v = compare(&cur, &base, 5.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("workload db"));
+        // Improvements never trip.
+        cur.workloads[0].cycles = 500_000;
+        assert!(compare(&cur, &base, 5.0).is_empty());
+    }
+
+    #[test]
+    fn stress_digest_and_cycle_drift_are_caught() {
+        let base = sample();
+        let mut cur = sample();
+        cur.stress[1].digest ^= 1;
+        cur.stress[0].monitored_cycles *= 2;
+        let v = compare(&cur, &base, 5.0);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|l| l.contains("digest")));
+        assert!(v.iter().any(|l| l.contains("monitored cycles")));
+    }
+
+    #[test]
+    fn perturbation_and_missing_points_are_violations() {
+        let base = sample();
+        let mut cur = sample();
+        cur.workloads[1].perturbation_delta_pct = 0.5;
+        cur.stress.pop();
+        cur.workloads.remove(0);
+        let v = compare(&cur, &base, 100.0);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().any(|l| l.contains("not measured")));
+        assert!(v.iter().any(|l| l.contains("perturbation")));
+    }
+
+    #[test]
+    fn malformed_baselines_report_the_field() {
+        assert!(Trajectory::parse("{").is_err());
+        assert!(Trajectory::parse("{}").unwrap_err().contains("version"));
+        let err =
+            Trajectory::parse(r#"{"version": 2, "workloads": [], "stress": []}"#).unwrap_err();
+        assert!(err.contains("version 2"));
+        let err = Trajectory::parse(
+            r#"{"version": 1, "workloads": [], "stress": [{"seed": 0, "cycles": 1, "monitored_cycles": 1, "digest": "nope"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("digest"));
+    }
+
+    #[test]
+    fn measured_trajectory_is_deterministic_and_gate_clean() {
+        let names = vec!["fop".to_string()];
+        let a = measure(&names, Size::Tiny, 2);
+        let b = measure(&names, Size::Tiny, 2);
+        assert_eq!(a.workloads[0].cycles, b.workloads[0].cycles);
+        assert_eq!(a.workloads[0].perturbation_delta_pct, 0.0);
+        assert_eq!(a.stress, b.stress);
+        assert!(a.stress.iter().all(|p| p.monitored_cycles > 0));
+        assert!(compare(&a, &b, 0.0).is_empty());
+    }
+}

@@ -96,6 +96,24 @@ impl Assessor {
         self.tracks.contains_key(&class)
     }
 
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> FeedbackConfig {
+        self.config
+    }
+
+    /// The baseline rate captured when tracking of `class` began.
+    #[must_use]
+    pub fn baseline(&self, class: ClassId) -> Option<f64> {
+        self.tracks.get(&class).map(|t| t.baseline_rate)
+    }
+
+    /// Current regressing-period streak for `class`.
+    #[must_use]
+    pub fn streak(&self, class: ClassId) -> Option<usize> {
+        self.tracks.get(&class).map(|t| t.streak)
+    }
+
     /// Report one period: the class's sampled misses and the rate
     /// (misses per megacycle). Returns the verdict; on
     /// [`Verdict::Revert`] the caller reverts the decision and the track

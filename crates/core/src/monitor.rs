@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use hpmopt_bytecode::{ClassId, FieldId, MethodId, Program};
 use hpmopt_hpm::Sample;
-use hpmopt_telemetry::{MetricId, Telemetry};
+use hpmopt_telemetry::{MetricId, SampleWitness, Telemetry};
 use hpmopt_vm::machine::{CompiledCode, Tier};
 
 use crate::interest::{analyze_method, InterestMap};
@@ -169,6 +169,19 @@ impl OnlineMonitor {
                         Some(f) => {
                             self.attribution.attributed += 1;
                             self.telemetry.incr(MetricId::CoreSamplesAttributed);
+                            // The provenance evidence: this sample's PC
+                            // resolved through the MC map to this
+                            // `(method, bytecode)` site and incremented
+                            // this field's miss counter.
+                            self.telemetry.witness_sample(
+                                f.0,
+                                SampleWitness {
+                                    pc: s.pc,
+                                    method: r.method.0,
+                                    bytecode_index: r.bytecode_index,
+                                    cycle: s.cycles,
+                                },
+                            );
                             let c = self.counters.entry(f).or_default();
                             c.total += 1;
                             c.window += 1;

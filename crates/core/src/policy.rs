@@ -189,6 +189,13 @@ impl AdaptivePolicy {
         v
     }
 
+    /// The configuration in force (the provenance trail records its
+    /// threshold alongside each decision).
+    #[must_use]
+    pub fn config(&self) -> PolicyConfig {
+        self.config
+    }
+
     /// The decision log.
     #[must_use]
     pub fn events(&self) -> &[PolicyEvent] {

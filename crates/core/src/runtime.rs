@@ -15,7 +15,9 @@ use hpmopt_gc::policy::{CoallocDecision, CoallocPolicy, NoCoalloc};
 use hpmopt_gc::GcStats;
 use hpmopt_hpm::{HpmConfig, HpmStats, HpmSystem};
 use hpmopt_profile::{ColdReason, LoadOutcome, Profile, ProfileStore};
-use hpmopt_telemetry::{CycleBuckets, MetricId, Telemetry, TraceKind};
+use hpmopt_telemetry::{
+    CycleBuckets, DecisionRecord, FeedbackChain, HistogramId, MetricId, Telemetry, TraceKind,
+};
 use hpmopt_vm::machine::{CompiledCode, Tier};
 use hpmopt_vm::{
     AccessContext, CompilationPlan, NoHooks, RunSummary, RuntimeHooks, Vm, VmConfig, VmError,
@@ -278,6 +280,10 @@ impl HpmRuntime {
             policy_events_emitted: 0,
             gc_seen: GcStats::default(),
             last_cycles: 0,
+            baseline_cc: self.config.vm.baseline_compile_cycles_per_bc,
+            opt_cc: self.config.vm.opt_compile_cycles_per_bc,
+            last_poll_cycles: None,
+            revert_ctx: BTreeMap::new(),
         };
 
         let mut vm = Vm::new(program, self.config.vm.clone());
@@ -440,6 +446,16 @@ struct Hooks {
     gc_seen: GcStats,
     /// Most recent cycle stamp observed (for callbacks without a clock).
     last_cycles: u64,
+    /// Per-bytecode compile costs from the VM config, mirroring what
+    /// `Vm::install` charges (for the compile-cost histogram).
+    baseline_cc: u64,
+    opt_cc: u64,
+    /// Cycle stamp of the previous poll (poll-gap histogram).
+    last_poll_cycles: Option<u64>,
+    /// Feedback evidence captured when a revert verdict fires, consumed
+    /// when the matching `Reverted` policy event is exported into the
+    /// provenance trail.
+    revert_ctx: BTreeMap<ClassId, FeedbackChain>,
 }
 
 impl Hooks {
@@ -494,16 +510,21 @@ impl RuntimeHooks for Hooks {
 
     fn on_compile(&mut self, program: &Program, code: &CompiledCode) {
         self.monitor.register_artifact(program, code);
-        let tier = match code.tier {
+        let (tier, per_bc) = match code.tier {
             Tier::Baseline => {
                 self.telemetry.incr(MetricId::VmCompilesBaseline);
-                "baseline"
+                ("baseline", self.baseline_cc)
             }
             Tier::Opt => {
                 self.telemetry.incr(MetricId::VmCompilesOpt);
-                "opt"
+                ("opt", self.opt_cc)
             }
         };
+        // Mirror of what `Vm::install` charges for this compilation.
+        self.telemetry.observe(
+            HistogramId::VmCompileCostCycles,
+            per_bc * program.method(code.method).len() as u64,
+        );
         self.telemetry.record(
             self.last_cycles,
             TraceKind::Recompilation {
@@ -526,6 +547,16 @@ impl RuntimeHooks for Hooks {
         self.telemetry.add(
             MetricId::GcCoallocatedBytes,
             stats.bytes_coallocated - self.gc_seen.bytes_coallocated,
+        );
+        // Pause duration of the collection(s) this callback covers.
+        let pause = stats.gc_cycles - self.gc_seen.gc_cycles;
+        self.telemetry.observe(
+            if major > 0 {
+                HistogramId::GcMajorPauseCycles
+            } else {
+                HistogramId::GcMinorPauseCycles
+            },
+            pause,
         );
         self.telemetry.record(
             cycles,
@@ -563,6 +594,14 @@ impl RuntimeHooks for Hooks {
 impl Hooks {
     fn run_poll(&mut self, program: &Program, cycles: u64) -> u64 {
         self.last_cycles = cycles;
+        // Interpreter cycles between collector-thread polls. The span
+        // reads the simulated clock; it never advances it.
+        if let Some(last) = self.last_poll_cycles {
+            self.telemetry
+                .span_at(HistogramId::CorePollGapCycles, last)
+                .end(cycles);
+        }
+        self.last_poll_cycles = Some(cycles);
         let attributed_before = self.monitor.attribution().attributed;
         let (samples, copy_cost) = self.hpm.poll(cycles);
         let mut cost = copy_cost;
@@ -612,7 +651,20 @@ impl Hooks {
             }
             let n = class_misses.get(&class).copied().unwrap_or(0);
             let rate = n as f64 * 1_000_000.0 / dt as f64;
+            // Capture the evidence before `observe` mutates (and on a
+            // revert, drops) the track.
+            let baseline = self.assessor.baseline(class).unwrap_or(0.0);
+            let streak = self.assessor.streak(class).unwrap_or(0);
             if self.assessor.observe(class, n, rate) == Verdict::Revert {
+                self.revert_ctx.insert(
+                    class,
+                    FeedbackChain {
+                        baseline_rate: baseline,
+                        observed_rate: rate,
+                        tolerance: self.assessor.config().tolerance,
+                        regressing_periods: streak as u64 + 1,
+                    },
+                );
                 if self.pinned.contains(&class) {
                     self.policy.unpin(class, cycles);
                     self.pinned.retain(|&c| c != class);
@@ -636,10 +688,12 @@ impl Hooks {
             }
         }
 
-        // Export new policy decisions as trace events and counters.
+        // Export new policy decisions as trace events, counters, and
+        // provenance records carrying the full causal chain.
+        let threshold = self.policy.config().min_field_misses;
         let events = self.policy.events();
         for event in &events[self.policy_events_emitted..] {
-            let (kind, metric) = match *event {
+            let (kind, metric, action, field, gap_bytes) = match *event {
                 PolicyEvent::Enabled { class, field, .. } => (
                     TraceKind::CoallocDecision {
                         class: class.0,
@@ -647,14 +701,22 @@ impl Hooks {
                         action: "enabled",
                     },
                     MetricId::CorePolicyEnabled,
+                    "enabled",
+                    Some(field),
+                    0,
                 ),
-                PolicyEvent::Pinned { class, .. } => (
+                PolicyEvent::Pinned {
+                    class, gap_bytes, ..
+                } => (
                     TraceKind::CoallocDecision {
                         class: class.0,
                         field: u32::MAX,
                         action: "pinned",
                     },
                     MetricId::CorePolicyPinned,
+                    "pinned",
+                    None,
+                    gap_bytes,
                 ),
                 PolicyEvent::Reverted { class, .. } => (
                     TraceKind::CoallocDecision {
@@ -663,6 +725,9 @@ impl Hooks {
                         action: "reverted",
                     },
                     MetricId::CorePolicyReverted,
+                    "reverted",
+                    None,
+                    0,
                 ),
                 PolicyEvent::WarmStarted { class, field, .. } => (
                     TraceKind::CoallocDecision {
@@ -671,16 +736,44 @@ impl Hooks {
                         action: "warm_start",
                     },
                     MetricId::CorePolicyWarmStarted,
+                    "warm_start",
+                    Some(field),
+                    0,
                 ),
             };
-            let at = match *event {
-                PolicyEvent::Enabled { cycles, .. }
-                | PolicyEvent::Pinned { cycles, .. }
-                | PolicyEvent::Reverted { cycles, .. }
-                | PolicyEvent::WarmStarted { cycles, .. } => cycles,
+            let (at, class) = match *event {
+                PolicyEvent::Enabled { cycles, class, .. }
+                | PolicyEvent::Pinned { cycles, class, .. }
+                | PolicyEvent::Reverted { cycles, class, .. }
+                | PolicyEvent::WarmStarted { cycles, class, .. } => (cycles, class),
             };
             self.telemetry.record(at, kind);
             self.telemetry.incr(metric);
+            // Sample-to-decision latency: first witnessed sample on the
+            // decision's field to the policy action.
+            if action == "enabled" {
+                if let Some(first) = field.and_then(|f| self.telemetry.first_witness_cycle(f.0)) {
+                    self.telemetry
+                        .span_at(HistogramId::CoreDecisionLatencyCycles, first)
+                        .end(at);
+                }
+            }
+            let feedback = if action == "reverted" {
+                self.revert_ctx.remove(&class)
+            } else {
+                None
+            };
+            self.telemetry.record_decision(DecisionRecord {
+                cycle: at,
+                class: class.0,
+                field: field.map_or(u32::MAX, |f| f.0),
+                action,
+                field_misses: field.map_or(0, |f| self.monitor.total(f)),
+                threshold,
+                gap_bytes,
+                witnesses: Vec::new(),
+                feedback,
+            });
         }
         self.policy_events_emitted = events.len();
 

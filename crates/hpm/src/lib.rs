@@ -53,7 +53,7 @@ pub use pebs::{PebsUnit, Sample, SAMPLE_BYTES};
 pub use userlib::UserBuffer;
 
 use hpmopt_memsim::{AccessOutcome, EventKind};
-use hpmopt_telemetry::{MetricId, Telemetry, TraceKind};
+use hpmopt_telemetry::{HistogramId, MetricId, Telemetry, TraceKind};
 
 /// How the sampling interval is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +262,8 @@ impl HpmSystem {
         self.telemetry.incr(MetricId::HpmPolls);
         self.telemetry
             .add(MetricId::HpmSamplesDrained, copied as u64);
+        self.telemetry
+            .observe(HistogramId::HpmPollBatchSamples, copied as u64);
         let dropped_since = self.stats.dropped - self.dropped_at_last_poll;
         if dropped_since > 0 {
             self.telemetry.incr(MetricId::HpmBufferOverflows);

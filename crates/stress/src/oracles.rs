@@ -48,6 +48,12 @@ pub struct ScenarioOutcome {
     /// Digest of arm A (0 when arm A itself failed) — stable fingerprint
     /// for the deterministic summary.
     pub digest: u64,
+    /// Simulated cycles of arm A (0 when arm A failed) — the scenario's
+    /// deterministic baseline cost, the perf counterpart of `digest`.
+    pub cycles: u64,
+    /// Simulated cycles of the monitored arm D (0 when it failed);
+    /// `hpmopt-bench` consumes this as the pinned-shard perf arm.
+    pub monitored_cycles: u64,
 }
 
 impl ScenarioOutcome {
@@ -101,11 +107,11 @@ fn guarded<T>(arm: &str, body: impl FnOnce() -> Result<T, String>) -> Result<T, 
     }
 }
 
-fn vm_arm(arm: &str, gp: &GeneratedProgram, config: VmConfig) -> Result<u64, String> {
+fn vm_arm(arm: &str, gp: &GeneratedProgram, config: VmConfig) -> Result<(u64, u64), String> {
     guarded(arm, || {
         let mut vm = Vm::new(&gp.program, config);
-        vm.run(&mut NoHooks).map_err(|e| format!("VmError: {e}"))?;
-        Ok(vm.state_digest())
+        let summary = vm.run(&mut NoHooks).map_err(|e| format!("VmError: {e}"))?;
+        Ok((vm.state_digest(), summary.cycles))
     })
 }
 
@@ -173,15 +179,15 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
 
     let mut digests: Vec<(&str, u64)> = Vec::new();
     match &a {
-        Ok(d) => digests.push(("A", *d)),
+        Ok((d, _)) => digests.push(("A", *d)),
         Err(msg) => failures.push(msg.clone()),
     }
     match &b {
-        Ok(d) => digests.push(("B", *d)),
+        Ok((d, _)) => digests.push(("B", *d)),
         Err(msg) => failures.push(msg.clone()),
     }
     match &c {
-        Ok(d) => digests.push(("C", *d)),
+        Ok((d, _)) => digests.push(("C", *d)),
         Err(msg) => failures.push(msg.clone()),
     }
     match &d {
@@ -215,7 +221,9 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         scenario: *scenario,
         pass: failures.is_empty(),
         failures,
-        digest: a.ok().unwrap_or(0),
+        digest: a.as_ref().map_or(0, |&(d, _)| d),
+        cycles: a.as_ref().map_or(0, |&(_, c)| c),
+        monitored_cycles: d.as_ref().map_or(0, |(_, r)| r.cycles),
     }
 }
 

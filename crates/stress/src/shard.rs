@@ -87,11 +87,12 @@ impl ShardReport {
                 self.requested
             ));
         }
-        // A fingerprint over every (seed, digest) pair: two runs that
-        // print the same line really did compute the same results.
+        // A fingerprint over every (seed, digest, cycles) tuple: two runs
+        // that print the same line really did compute the same results —
+        // and the same simulated costs.
         let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
         for o in &self.outcomes {
-            for word in [o.scenario.seed, o.digest] {
+            for word in [o.scenario.seed, o.digest, o.cycles, o.monitored_cycles] {
                 for byte in word.to_le_bytes() {
                     fp ^= u64::from(byte);
                     fp = fp.wrapping_mul(0x0000_0100_0000_01b3);
@@ -99,6 +100,15 @@ impl ShardReport {
             }
         }
         s.push_str(&format!("digest-of-digests {fp:#018x}\n"));
+        // Per-seed simulated-cycle costs: the shard doubles as a pinned
+        // perf arm (`hpmopt-bench` parses these lines), so the summary
+        // carries the baseline and monitored cost of every seed.
+        for o in &self.outcomes {
+            s.push_str(&format!(
+                "seed {} cycles {} monitored {}\n",
+                o.scenario.seed, o.cycles, o.monitored_cycles
+            ));
+        }
         for o in &failed {
             s.push_str(&format!("FAIL seed {}\n", o.scenario.seed));
             for line in &o.failures {
@@ -175,6 +185,17 @@ mod tests {
         assert_eq!(solo.summary(), parallel.summary());
         assert!(!solo.truncated);
         assert_eq!(solo.outcomes.len(), 6);
+        for o in &solo.outcomes {
+            assert_ne!(o.cycles, 0, "seed {} has no baseline cost", o.scenario.seed);
+            assert_ne!(
+                o.monitored_cycles, 0,
+                "seed {} has no monitored cost",
+                o.scenario.seed
+            );
+            assert!(solo
+                .summary()
+                .contains(&format!("seed {} cycles {}", o.scenario.seed, o.cycles)));
+        }
     }
 
     #[test]

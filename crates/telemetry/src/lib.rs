@@ -1,6 +1,8 @@
 //! Workspace-wide telemetry: a metrics registry of cheap monotonic
-//! counters and gauges, a bounded structured event trace, snapshot
-//! diff/export, and the cycle-bucket overhead accountant.
+//! counters and gauges, log2-bucket histograms with a simulated-clock
+//! span API, a bounded structured event trace, a decision-provenance
+//! audit trail, snapshot diff/export (JSON and Prometheus text
+//! exposition), and the cycle-bucket overhead accountant.
 //!
 //! The entry point is the [`Telemetry`] handle. It is clone-cheap
 //! (an `Arc` internally), `Send + Sync`, and has two states:
@@ -32,17 +34,24 @@
 //! assert!(!off.is_enabled());
 //! ```
 
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod overhead;
+pub mod prom;
+pub mod provenance;
+pub mod read;
 pub mod snapshot;
 pub mod trace;
 
+pub use hist::{HistogramId, HistogramRegistry, HistogramSnapshot, HIST_BUCKETS};
 pub use metrics::{MetricId, MetricKind, MetricsRegistry};
 pub use overhead::CycleBuckets;
+pub use provenance::{DecisionRecord, FeedbackChain, ProvenanceLog, SampleWitness};
 pub use snapshot::TelemetrySnapshot;
 pub use trace::{TraceEvent, TraceKind, TraceRing};
 
+use provenance::DEFAULT_PROVENANCE_CAPACITY;
 use std::sync::{Arc, Mutex};
 
 /// Default number of trace events retained before drop-oldest kicks in.
@@ -50,7 +59,9 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
 
 struct Inner {
     registry: MetricsRegistry,
+    hists: HistogramRegistry,
     trace: Mutex<TraceRing>,
+    provenance: Mutex<ProvenanceLog>,
 }
 
 /// Shared handle to the telemetry sinks. See the crate docs.
@@ -82,7 +93,9 @@ impl Telemetry {
         Self {
             inner: Some(Arc::new(Inner {
                 registry: MetricsRegistry::new(),
+                hists: HistogramRegistry::new(),
                 trace: Mutex::new(TraceRing::new(trace_capacity)),
+                provenance: Mutex::new(ProvenanceLog::new(DEFAULT_PROVENANCE_CAPACITY)),
             })),
         }
     }
@@ -131,28 +144,108 @@ impl Telemetry {
     }
 
     /// Append a trace event stamped with the given simulated cycle.
+    /// A drop-oldest eviction is surfaced through the
+    /// [`MetricId::TelemetryTraceDropped`] counter.
     pub fn record(&self, cycle: u64, kind: TraceKind) {
         if let Some(inner) = &self.inner {
-            let mut ring = inner.trace.lock().unwrap();
-            ring.push(TraceEvent { cycle, kind });
+            let dropped = {
+                let mut ring = inner.trace.lock().unwrap();
+                ring.push(TraceEvent { cycle, kind })
+            };
+            if dropped {
+                inner.registry.add(MetricId::TelemetryTraceDropped, 1);
+            }
         }
     }
 
-    /// Freeze every metric and the retained trace at `at_cycle`.
-    /// Disabled handles return [`TelemetrySnapshot::empty`].
+    /// Record one observation into a histogram.
+    pub fn observe(&self, id: HistogramId, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.hists.observe(id, value);
+        }
+    }
+
+    /// Open a simulated-clock span against a histogram; close it with
+    /// [`Span::end`] to observe the elapsed cycles. Spans read the
+    /// clock the caller hands them — they never advance it.
+    #[must_use]
+    pub fn span_at(&self, id: HistogramId, start_cycle: u64) -> Span {
+        Span {
+            telemetry: self.clone(),
+            id,
+            start_cycle,
+        }
+    }
+
+    /// Retain an attributed sample as provenance evidence for later
+    /// decisions on `field`.
+    pub fn witness_sample(&self, field: u32, witness: SampleWitness) {
+        if let Some(inner) = &self.inner {
+            inner.provenance.lock().unwrap().witness(field, witness);
+        }
+    }
+
+    /// Cycle of the first witnessed sample for `field`, if any.
+    pub fn first_witness_cycle(&self, field: u32) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.provenance.lock().unwrap().first_witness_cycle(field))
+    }
+
+    /// Append a decision to the provenance audit trail. Field-specific
+    /// records with no witnesses attached pick up the field's retained
+    /// witness samples automatically.
+    pub fn record_decision(&self, record: DecisionRecord) {
+        if let Some(inner) = &self.inner {
+            inner.provenance.lock().unwrap().push(record);
+        }
+    }
+
+    /// Freeze every metric, histogram, the retained trace, and the
+    /// provenance log at `at_cycle`. Disabled handles return
+    /// [`TelemetrySnapshot::empty`].
     pub fn snapshot(&self, at_cycle: u64) -> TelemetrySnapshot {
         match &self.inner {
             Some(inner) => {
                 let ring = inner.trace.lock().unwrap();
+                let provenance = inner.provenance.lock().unwrap();
                 TelemetrySnapshot {
                     at_cycle,
                     values: inner.registry.read_all(),
+                    hists: inner.hists.read_all(),
                     events: ring.to_vec(),
                     dropped_events: ring.dropped(),
+                    decisions: provenance.records(),
+                    decisions_dropped: provenance.dropped(),
                 }
             }
             None => TelemetrySnapshot::empty(),
         }
+    }
+}
+
+/// An open simulated-clock interval against a histogram. Created by
+/// [`Telemetry::span_at`]; consumed by [`Span::end`], which observes
+/// the saturating cycle delta. Dropping a span without ending it
+/// observes nothing.
+#[derive(Debug)]
+pub struct Span {
+    telemetry: Telemetry,
+    id: HistogramId,
+    start_cycle: u64,
+}
+
+impl Span {
+    /// Simulated cycle at which the span opened.
+    #[must_use]
+    pub fn start_cycle(&self) -> u64 {
+        self.start_cycle
+    }
+
+    /// Close the span at `at_cycle`, observing the elapsed cycles.
+    pub fn end(self, at_cycle: u64) {
+        self.telemetry
+            .observe(self.id, at_cycle.saturating_sub(self.start_cycle));
     }
 }
 
@@ -184,5 +277,76 @@ mod tests {
     fn handle_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Telemetry>();
+    }
+
+    #[test]
+    fn span_observes_elapsed_cycles() {
+        let t = Telemetry::enabled(8);
+        let span = t.span_at(HistogramId::CorePollGapCycles, 1_000);
+        assert_eq!(span.start_cycle(), 1_000);
+        span.end(1_500);
+        // A span that ends "before" it started observes zero, not a
+        // wrapped huge value.
+        t.span_at(HistogramId::CorePollGapCycles, 700).end(600);
+        let snap = t.snapshot(1_500);
+        let h = &snap.hists[HistogramId::CorePollGapCycles as usize];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 500);
+    }
+
+    #[test]
+    fn trace_eviction_raises_dropped_counter() {
+        let t = Telemetry::enabled(2);
+        for c in 0..5 {
+            t.record(c, TraceKind::BufferOverflow { dropped: 0 });
+        }
+        assert_eq!(t.get(MetricId::TelemetryTraceDropped), 3);
+        let snap = t.snapshot(5);
+        assert_eq!(snap.dropped_events, 3);
+        assert_eq!(snap.get(MetricId::TelemetryTraceDropped), 3);
+    }
+
+    #[test]
+    fn provenance_round_trips_through_snapshot() {
+        let t = Telemetry::enabled(8);
+        t.witness_sample(
+            7,
+            SampleWitness {
+                pc: 0x4000_1234,
+                method: 2,
+                bytecode_index: 5,
+                cycle: 900,
+            },
+        );
+        assert_eq!(t.first_witness_cycle(7), Some(900));
+        t.record_decision(DecisionRecord {
+            cycle: 2_000,
+            class: 1,
+            field: 7,
+            action: "enabled",
+            field_misses: 12,
+            threshold: 4,
+            gap_bytes: 0,
+            witnesses: Vec::new(),
+            feedback: None,
+        });
+        let snap = t.snapshot(2_000);
+        assert_eq!(snap.decisions.len(), 1);
+        assert_eq!(snap.decisions[0].witnesses.len(), 1);
+        assert_eq!(snap.decisions[0].witnesses[0].pc, 0x4000_1234);
+        assert_eq!(snap.decisions_dropped, 0);
+
+        let off = Telemetry::disabled();
+        off.observe(HistogramId::GcMinorPauseCycles, 5);
+        off.witness_sample(
+            0,
+            SampleWitness {
+                pc: 0,
+                method: 0,
+                bytecode_index: 0,
+                cycle: 0,
+            },
+        );
+        assert_eq!(off.first_witness_cycle(0), None);
     }
 }

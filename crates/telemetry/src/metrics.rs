@@ -115,6 +115,9 @@ metrics! {
     ProfileSaves => ("profile.saves", Counter);
     ProfileSaveErrors => ("profile.save_errors", Counter);
     ProfileRuns => ("profile.runs", Gauge);
+
+    // telemetry.*: the telemetry layer watching itself.
+    TelemetryTraceDropped => ("telemetry.trace_dropped", Counter);
 }
 
 /// Fixed-size table of atomics, one per [`MetricId`]. All operations
@@ -178,7 +181,10 @@ mod tests {
             assert!(seen.insert(id.name()), "duplicate metric {}", id.name());
             let ns = id.name().split('.').next().unwrap();
             assert!(
-                matches!(ns, "hpm" | "memsim" | "gc" | "vm" | "core" | "profile"),
+                matches!(
+                    ns,
+                    "hpm" | "memsim" | "gc" | "vm" | "core" | "profile" | "telemetry"
+                ),
                 "unknown namespace in {}",
                 id.name()
             );

@@ -1,0 +1,186 @@
+//! Prometheus text exposition (version 0.0.4) for a telemetry
+//! snapshot.
+//!
+//! The exporter renders every declared metric and histogram — zeros
+//! included — in declaration order with deterministic label ordering,
+//! so two expositions of the same snapshot are byte-identical and CI
+//! can diff them. Counters get the conventional `_total` suffix,
+//! gauges are exported bare, and histograms expand into cumulative
+//! `_bucket{le="..."}` series plus `_sum` and `_count`.
+//!
+//! Dotted workspace names are mangled into the Prometheus grammar
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`) by prefixing `hpmopt_` and mapping
+//! every invalid character to `_`: `memsim.l1.misses` becomes
+//! `hpmopt_memsim_l1_misses_total`.
+
+use crate::hist::{bucket_le, HistogramId, HIST_BUCKETS};
+use crate::metrics::{MetricId, MetricKind};
+use crate::snapshot::TelemetrySnapshot;
+
+/// Mangle a dotted workspace metric name into a valid Prometheus
+/// metric name with the workspace prefix.
+#[must_use]
+pub fn mangle_name(dotted: &str) -> String {
+    let mut out = String::with_capacity(dotted.len() + 7);
+    out.push_str("hpmopt_");
+    for c in dotted.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped.
+#[must_use]
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn label_block_with_le(labels: &[(&str, &str)], le: &str) -> String {
+    let mut all: Vec<(&str, &str)> = labels.to_vec();
+    all.push(("le", le));
+    label_block(&all)
+}
+
+/// Render a snapshot in Prometheus text-exposition format.
+///
+/// `labels` are constant labels applied to every series (e.g.
+/// `[("workload", "db")]`); pass `&[]` for none. Output is fully
+/// deterministic: declaration order, every metric emitted even at
+/// zero, and a trailing `hpmopt_telemetry_at_cycle` gauge stamping
+/// the snapshot instant.
+#[must_use]
+pub fn render(snapshot: &TelemetrySnapshot, labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    let block = label_block(labels);
+
+    for &id in MetricId::ALL {
+        let (name, kind_str) = match id.kind() {
+            MetricKind::Counter => (format!("{}_total", mangle_name(id.name())), "counter"),
+            MetricKind::Gauge => (mangle_name(id.name()), "gauge"),
+        };
+        out.push_str(&format!("# HELP {name} hpmopt metric {}\n", id.name()));
+        out.push_str(&format!("# TYPE {name} {kind_str}\n"));
+        out.push_str(&format!("{name}{block} {}\n", snapshot.get(id)));
+    }
+
+    for &id in HistogramId::ALL {
+        let name = mangle_name(id.name());
+        let hist = &snapshot.hists[id as usize];
+        out.push_str(&format!("# HELP {name} hpmopt histogram {}\n", id.name()));
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &count) in hist.buckets.iter().enumerate() {
+            cumulative += count;
+            // Emit the buckets that carry information: every bucket
+            // with observations, plus the mandatory +Inf terminator.
+            // Skipping the long runs of empty buckets keeps the
+            // exposition readable and is still valid (buckets are
+            // cumulative).
+            if count > 0 || i == HIST_BUCKETS - 1 {
+                let lb = label_block_with_le(labels, &bucket_le(i));
+                out.push_str(&format!("{name}_bucket{lb} {cumulative}\n"));
+            }
+        }
+        out.push_str(&format!("{name}_sum{block} {}\n", hist.sum));
+        out.push_str(&format!("{name}_count{block} {}\n", hist.count()));
+    }
+
+    let at = mangle_name("telemetry.at_cycle");
+    out.push_str(&format!(
+        "# HELP {at} simulated cycle at which the snapshot was taken\n"
+    ));
+    out.push_str(&format!("# TYPE {at} gauge\n"));
+    out.push_str(&format!("{at}{block} {}\n", snapshot.at_cycle));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let t = Telemetry::enabled(8);
+        t.observe(HistogramId::GcMinorPauseCycles, 1); // bucket le=1
+        t.observe(HistogramId::GcMinorPauseCycles, 2); // bucket le=2
+        t.observe(HistogramId::GcMinorPauseCycles, 2);
+        t.observe(HistogramId::GcMinorPauseCycles, 1_000_000_000); // deep bucket
+        let text = render(&t.snapshot(10), &[]);
+        let name = mangle_name("gc.minor_pause_cycles");
+        let bucket = |le: &str| -> u64 {
+            let needle = format!("{name}_bucket{{le=\"{le}\"}} ");
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&needle))
+                .unwrap_or_else(|| panic!("no bucket le={le}"));
+            line.rsplit(' ').next().unwrap().parse().unwrap()
+        };
+        assert_eq!(bucket("1"), 1);
+        assert_eq!(bucket("2"), 3);
+        assert_eq!(bucket("1073741824"), 4);
+        assert_eq!(bucket("+Inf"), 4);
+        assert!(text.contains(&format!("{name}_count 4\n")));
+        assert!(text.contains(&format!("{name}_sum 1000000005\n")));
+    }
+
+    #[test]
+    fn mangles_dotted_names() {
+        assert_eq!(mangle_name("memsim.l1.misses"), "hpmopt_memsim_l1_misses");
+        assert_eq!(mangle_name("gc.minor-pause"), "hpmopt_gc_minor_pause");
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("x\ny"), "x\\ny");
+    }
+
+    #[test]
+    fn renders_every_metric_with_labels() {
+        let snap = TelemetrySnapshot::empty();
+        let text = render(&snap, &[("workload", "db")]);
+        for &id in MetricId::ALL {
+            assert!(
+                text.contains(&mangle_name(id.name())),
+                "missing {}",
+                id.name()
+            );
+        }
+        assert!(text.contains(r#"{workload="db"}"#));
+        assert!(text.contains(r#"workload="db",le="+Inf""#));
+        assert!(text.ends_with('\n'));
+    }
+}

@@ -1,0 +1,243 @@
+//! Decision provenance: a bounded audit trail of co-allocation
+//! decisions and the causal chain that produced each one.
+//!
+//! The monitoring pipeline is only trustworthy if every decision can
+//! be explained after the fact: which sampled PCs resolved (through
+//! the machine-code maps) to which `(method, bytecode)` sites, which
+//! reference-field miss counters those samples incremented, what
+//! threshold the counter crossed, and what the policy then did. The
+//! [`ProvenanceLog`] records exactly that chain per decision —
+//! installed, pinned, warm-started, or reverted — with reverts
+//! additionally carrying the feedback evidence (baseline vs. observed
+//! miss rate and the regressing-period streak).
+//!
+//! Everything here is bounded: the decision log is a drop-oldest ring
+//! with a dropped counter, witness samples are capped per field, and
+//! the witness map is capped in the number of fields it tracks. Like
+//! all telemetry, recording provenance never advances the simulated
+//! clock.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Witness samples retained per field (the most recent ones).
+pub const WITNESSES_PER_FIELD: usize = 4;
+
+/// Maximum distinct fields the witness store tracks; beyond this,
+/// samples for new fields are counted but not retained.
+pub const MAX_WITNESSED_FIELDS: usize = 512;
+
+/// Default bound on retained decision records.
+pub const DEFAULT_PROVENANCE_CAPACITY: usize = 256;
+
+/// One attributed sample, as evidence for a later decision: the
+/// sampled PC, the `(method, bytecode)` site the MC map resolved it
+/// to, and the simulated cycle of the sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleWitness {
+    /// Machine PC the PEBS unit captured.
+    pub pc: u64,
+    /// Method the PC resolved to.
+    pub method: u32,
+    /// Bytecode index within the method.
+    pub bytecode_index: u32,
+    /// Simulated cycle of the sampled access.
+    pub cycle: u64,
+}
+
+/// The feedback evidence attached to a revert decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedbackChain {
+    /// Pre-decision miss rate (sampled misses per megacycle).
+    pub baseline_rate: f64,
+    /// Miss rate observed in the period that triggered the revert.
+    pub observed_rate: f64,
+    /// A period regresses when its rate exceeds `baseline × tolerance`.
+    pub tolerance: f64,
+    /// Consecutive regressing periods that accumulated to the revert.
+    pub regressing_periods: u64,
+}
+
+/// One decision with its full causal chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Simulated cycle of the policy action.
+    pub cycle: u64,
+    /// Class the decision concerns.
+    pub class: u32,
+    /// Field the decision co-allocates through; `u32::MAX` when the
+    /// action is class-wide (pins and reverts).
+    pub field: u32,
+    /// `"enabled"`, `"pinned"`, `"reverted"`, or `"warm_start"`.
+    pub action: &'static str,
+    /// The field's cumulative sampled-miss counter at decision time.
+    pub field_misses: u64,
+    /// The policy's miss threshold in force.
+    pub threshold: u64,
+    /// Padding of a pinned placement (0 otherwise).
+    pub gap_bytes: u64,
+    /// Recent witness samples for the field (empty for class-wide
+    /// actions or when no sample was retained).
+    pub witnesses: Vec<SampleWitness>,
+    /// Feedback evidence (reverts only).
+    pub feedback: Option<FeedbackChain>,
+}
+
+#[derive(Debug)]
+struct FieldWitnesses {
+    first_cycle: u64,
+    recent: VecDeque<SampleWitness>,
+}
+
+/// Bounded store of decision records plus the per-field witness
+/// samples they draw from.
+#[derive(Debug)]
+pub struct ProvenanceLog {
+    records: VecDeque<DecisionRecord>,
+    capacity: usize,
+    dropped: u64,
+    witnesses: BTreeMap<u32, FieldWitnesses>,
+}
+
+impl ProvenanceLog {
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ProvenanceLog {
+            records: VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+            dropped: 0,
+            witnesses: BTreeMap::new(),
+        }
+    }
+
+    /// Record an attributed sample as potential evidence for a later
+    /// decision on `field`.
+    pub fn witness(&mut self, field: u32, w: SampleWitness) {
+        if !self.witnesses.contains_key(&field) && self.witnesses.len() >= MAX_WITNESSED_FIELDS {
+            return;
+        }
+        let e = self
+            .witnesses
+            .entry(field)
+            .or_insert_with(|| FieldWitnesses {
+                first_cycle: w.cycle,
+                recent: VecDeque::with_capacity(WITNESSES_PER_FIELD),
+            });
+        if e.recent.len() == WITNESSES_PER_FIELD {
+            e.recent.pop_front();
+        }
+        e.recent.push_back(w);
+    }
+
+    /// Cycle of the first attributed sample for `field` (for
+    /// sample-to-decision latency).
+    #[must_use]
+    pub fn first_witness_cycle(&self, field: u32) -> Option<u64> {
+        self.witnesses.get(&field).map(|e| e.first_cycle)
+    }
+
+    /// The retained witness samples for `field`, oldest first.
+    #[must_use]
+    pub fn witnesses_for(&self, field: u32) -> Vec<SampleWitness> {
+        self.witnesses
+            .get(&field)
+            .map(|e| e.recent.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Append a decision record, attaching the field's retained
+    /// witnesses if the record carries none. Drop-oldest when full.
+    pub fn push(&mut self, mut record: DecisionRecord) {
+        if record.witnesses.is_empty() && record.field != u32::MAX {
+            record.witnesses = self.witnesses_for(record.field);
+        }
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+
+    /// Retained records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<DecisionRecord> {
+        self.records.iter().cloned().collect()
+    }
+
+    /// Records lost to wraparound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn witness(cycle: u64) -> SampleWitness {
+        SampleWitness {
+            pc: 0x4000_0000 + cycle,
+            method: 1,
+            bytecode_index: 7,
+            cycle,
+        }
+    }
+
+    fn record(cycle: u64, field: u32) -> DecisionRecord {
+        DecisionRecord {
+            cycle,
+            class: 0,
+            field,
+            action: "enabled",
+            field_misses: 10,
+            threshold: 4,
+            gap_bytes: 0,
+            witnesses: Vec::new(),
+            feedback: None,
+        }
+    }
+
+    #[test]
+    fn witnesses_are_bounded_and_keep_first_cycle() {
+        let mut log = ProvenanceLog::new(8);
+        for c in 0..10 {
+            log.witness(3, witness(c));
+        }
+        assert_eq!(log.first_witness_cycle(3), Some(0));
+        let w = log.witnesses_for(3);
+        assert_eq!(w.len(), WITNESSES_PER_FIELD);
+        assert_eq!(w.last().unwrap().cycle, 9);
+        assert_eq!(log.first_witness_cycle(99), None);
+    }
+
+    #[test]
+    fn push_attaches_witnesses_and_drops_oldest() {
+        let mut log = ProvenanceLog::new(2);
+        log.witness(3, witness(5));
+        log.push(record(100, 3));
+        assert_eq!(log.records()[0].witnesses.len(), 1);
+        log.push(record(200, u32::MAX));
+        log.push(record(300, 3));
+        assert_eq!(log.dropped(), 1);
+        let r = log.records();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].cycle, 200);
+        assert!(r[0].witnesses.is_empty(), "class-wide records get none");
+    }
+
+    #[test]
+    fn field_cap_stops_retaining_new_fields() {
+        let mut log = ProvenanceLog::new(4);
+        for f in 0..(MAX_WITNESSED_FIELDS as u32 + 10) {
+            log.witness(f, witness(u64::from(f)));
+        }
+        assert_eq!(log.witnesses_for(0).len(), 1);
+        assert!(log
+            .witnesses_for(MAX_WITNESSED_FIELDS as u32 + 5)
+            .is_empty());
+    }
+}

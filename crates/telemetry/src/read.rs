@@ -1,0 +1,303 @@
+//! Minimal JSON reader for the workspace's own exports.
+//!
+//! The workspace has no JSON dependency, so this module carries a
+//! recursive-descent parser for the subset of JSON the
+//! [`crate::json::JsonWriter`] emits: objects, arrays, strings (with
+//! the writer's escapes), numbers, booleans, and null. It exists so
+//! tools like `hpmopt-bench --check` can read committed baselines
+//! (e.g. `BENCH_trajectory.json`) back, and so tests can round-trip
+//! exports through a real parser.
+//!
+//! Unlike a general-purpose parser it is strict about what it
+//! accepts, and errors are plain strings with a byte offset — good
+//! enough to point at a corrupt baseline file.
+
+use std::collections::BTreeMap;
+
+/// The subset of JSON values the workspace writers emit. `null`
+/// parses as `Number(NaN)`, matching how [`crate::json::number`]
+/// renders non-finite floats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Number(f64),
+    Bool(bool),
+    Str(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The value as a `u64`; panics when it is not a number (tests
+    /// and trusted-baseline readers want the loud failure).
+    #[must_use]
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            Value::Number(n) => *n as u64,
+            v => panic!("expected number, got {v:?}"),
+        }
+    }
+
+    /// The value as an `f64`; panics when it is not a number.
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Number(n) => *n,
+            v => panic!("expected number, got {v:?}"),
+        }
+    }
+
+    /// The value as a string slice; panics when it is not a string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            v => panic!("expected string, got {v:?}"),
+        }
+    }
+
+    /// The value as an array slice; panics when it is not an array.
+    #[must_use]
+    pub fn as_array(&self) -> &[Value] {
+        match self {
+            Value::Array(items) => items,
+            v => panic!("expected array, got {v:?}"),
+        }
+    }
+
+    /// Member of an object by key; panics on missing keys or
+    /// non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(map) => map
+                .get(key)
+                .unwrap_or_else(|| panic!("missing key {key:?}")),
+            v => panic!("expected object, got {v:?}"),
+        }
+    }
+
+    /// Member of an object by key, or `None` when absent or when the
+    /// value is not an object.
+    #[must_use]
+    pub fn try_get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document. Returns an error (with a byte offset)
+/// instead of panicking, so callers can report a corrupt input file.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| format!("unexpected end of input at byte {}", self.pos))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Number(f64::NAN)),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if !self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            return Err(format!("expected {lit:?} at byte {}", self.pos));
+        }
+        self.pos += lit.len();
+        Ok(v)
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.peek()?;
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                b => return Err(format!("unexpected {:?} in object", b as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                b => return Err(format!("unexpected {:?} in array", b as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string".to_string())?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape".to_string())?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint {code:#x}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        b => return Err(format!("unsupported escape \\{}", b as char)),
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through unescaped.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse()
+            .map(Value::Number)
+            .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": {"b": [1, 2.5, true, "x"]}, "n": null}"#).unwrap();
+        let arr = v.get("a").get("b").as_array();
+        assert_eq!(arr[0].as_u64(), 1);
+        assert_eq!(arr[1].as_f64(), 2.5);
+        assert_eq!(arr[2], Value::Bool(true));
+        assert_eq!(arr[3].as_str(), "x");
+        assert!(v.get("n").as_f64().is_nan());
+        assert!(v.try_get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn handles_escaped_strings() {
+        let v = parse(r#"{"a": "x\"y\\z\nA"}"#).unwrap();
+        assert_eq!(v.get("a").as_str(), "x\"y\\z\nA");
+    }
+}

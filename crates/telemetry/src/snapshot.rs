@@ -7,21 +7,30 @@
 //! hand-rolled JSON ([`TelemetrySnapshot::to_json`]) and a
 //! human-readable table ([`TelemetrySnapshot::render_text`]).
 
+use crate::hist::{bucket_le, HistogramId, HistogramSnapshot};
 use crate::json::JsonWriter;
 use crate::metrics::{MetricId, MetricKind};
+use crate::provenance::DecisionRecord;
 use crate::trace::{TraceEvent, TraceKind};
 
-/// Frozen copy of the registry and trace at one instant.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Frozen copy of the registry, histograms, trace, and provenance log
+/// at one instant.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TelemetrySnapshot {
     /// Simulated cycle at which the snapshot was taken.
     pub at_cycle: u64,
     /// Metric values, aligned with [`MetricId::ALL`].
     pub values: Vec<u64>,
+    /// Histogram states, aligned with [`HistogramId::ALL`].
+    pub hists: Vec<HistogramSnapshot>,
     /// Retained trace events, oldest first.
     pub events: Vec<TraceEvent>,
     /// Trace events lost to ring wraparound before this snapshot.
     pub dropped_events: u64,
+    /// Retained decision-provenance records, oldest first.
+    pub decisions: Vec<DecisionRecord>,
+    /// Provenance records lost to wraparound before this snapshot.
+    pub decisions_dropped: u64,
 }
 
 impl TelemetrySnapshot {
@@ -31,14 +40,22 @@ impl TelemetrySnapshot {
         Self {
             at_cycle: 0,
             values: vec![0; MetricId::COUNT],
+            hists: vec![HistogramSnapshot::empty(); HistogramId::COUNT],
             events: Vec::new(),
             dropped_events: 0,
+            decisions: Vec::new(),
+            decisions_dropped: 0,
         }
     }
 
     /// Value of one metric in this snapshot.
     pub fn get(&self, id: MetricId) -> u64 {
         self.values[id as usize]
+    }
+
+    /// One histogram's state in this snapshot.
+    pub fn hist(&self, id: HistogramId) -> &HistogramSnapshot {
+        &self.hists[id as usize]
     }
 
     /// Interval between `earlier` and `self`: counters become the
@@ -60,17 +77,37 @@ impl TelemetrySnapshot {
             .filter(|e| e.cycle > earlier.at_cycle)
             .cloned()
             .collect();
+        let hists = self
+            .hists
+            .iter()
+            .zip(&earlier.hists)
+            .map(|(late, early)| late.diff(early))
+            .collect();
+        let decisions = self
+            .decisions
+            .iter()
+            .filter(|d| d.cycle > earlier.at_cycle)
+            .cloned()
+            .collect();
         TelemetrySnapshot {
             at_cycle: self.at_cycle,
             values,
+            hists,
             events,
             dropped_events: self.dropped_events.saturating_sub(earlier.dropped_events),
+            decisions,
+            decisions_dropped: self
+                .decisions_dropped
+                .saturating_sub(earlier.decisions_dropped),
         }
     }
 
     /// Serialize the snapshot as a JSON object:
-    /// `{ "at_cycle", "metrics": {name: value, …}, "dropped_events",
-    /// "events": [{"cycle", "type", …payload}] }`.
+    /// `{ "at_cycle", "metrics": {name: value, …}, "histograms":
+    /// {name: {count, sum, buckets: [{le, count}, …]}, …},
+    /// "dropped_events", "events": [{"cycle", "type", …payload}],
+    /// "decisions_dropped", "decisions": […] }`. Key order follows
+    /// the static declaration tables, so output is byte-stable.
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         self.write_json(&mut w);
@@ -87,10 +124,37 @@ impl TelemetrySnapshot {
             w.field_u64(id.name(), self.get(id));
         }
         w.end_object();
+        w.key("histograms").object_value();
+        for &id in HistogramId::ALL {
+            let hist = &self.hists[id as usize];
+            w.key(id.name()).object_value();
+            w.field_u64("count", hist.count());
+            w.field_u64("sum", hist.sum);
+            w.key("buckets").array_value();
+            // Only buckets with observations; `le` makes each
+            // self-describing, and the export stays compact.
+            for (i, &count) in hist.buckets.iter().enumerate() {
+                if count > 0 {
+                    w.begin_object();
+                    w.field_str("le", &bucket_le(i));
+                    w.field_u64("count", count);
+                    w.end_object();
+                }
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
         w.field_u64("dropped_events", self.dropped_events);
         w.key("events").array_value();
         for event in &self.events {
             write_event(w, event);
+        }
+        w.end_array();
+        w.field_u64("decisions_dropped", self.decisions_dropped);
+        w.key("decisions").array_value();
+        for decision in &self.decisions {
+            write_decision(w, decision);
         }
         w.end_array();
         w.end_object();
@@ -119,6 +183,24 @@ impl TelemetrySnapshot {
                 width = width
             ));
         }
+        let live: Vec<HistogramId> = HistogramId::ALL
+            .iter()
+            .copied()
+            .filter(|&id| self.hists[id as usize].count() > 0)
+            .collect();
+        if !live.is_empty() {
+            out.push_str("  [histograms]\n");
+            for id in live {
+                let h = &self.hists[id as usize];
+                out.push_str(&format!(
+                    "    {:<width$}  count={} mean={:.1}\n",
+                    id.name(),
+                    h.count(),
+                    h.mean(),
+                    width = width
+                ));
+            }
+        }
         out.push_str(&format!(
             "  trace: {} event(s) retained, {} dropped\n",
             self.events.len(),
@@ -131,8 +213,49 @@ impl TelemetrySnapshot {
                 describe_event(&event.kind)
             ));
         }
+        if !self.decisions.is_empty() || self.decisions_dropped > 0 {
+            out.push_str(&format!(
+                "  provenance: {} decision(s) retained, {} dropped\n",
+                self.decisions.len(),
+                self.decisions_dropped
+            ));
+        }
         out
     }
+}
+
+fn write_decision(w: &mut JsonWriter, d: &DecisionRecord) {
+    w.begin_object();
+    w.field_u64("cycle", d.cycle);
+    w.field_u64("class", u64::from(d.class));
+    if d.field == u32::MAX {
+        w.key("field").str_value("*");
+    } else {
+        w.field_u64("field", u64::from(d.field));
+    }
+    w.field_str("action", d.action);
+    w.field_u64("field_misses", d.field_misses);
+    w.field_u64("threshold", d.threshold);
+    w.field_u64("gap_bytes", d.gap_bytes);
+    w.key("witnesses").array_value();
+    for wit in &d.witnesses {
+        w.begin_object();
+        w.field_u64("pc", wit.pc);
+        w.field_u64("method", u64::from(wit.method));
+        w.field_u64("bytecode_index", u64::from(wit.bytecode_index));
+        w.field_u64("cycle", wit.cycle);
+        w.end_object();
+    }
+    w.end_array();
+    if let Some(fb) = &d.feedback {
+        w.key("feedback").object_value();
+        w.field_f64("baseline_rate", fb.baseline_rate);
+        w.field_f64("observed_rate", fb.observed_rate);
+        w.field_f64("tolerance", fb.tolerance);
+        w.field_u64("regressing_periods", fb.regressing_periods);
+        w.end_object();
+    }
+    w.end_object();
 }
 
 fn write_event(w: &mut JsonWriter, event: &TraceEvent) {
@@ -254,5 +377,46 @@ mod tests {
         for ns in ["[hpm]", "[memsim]", "[gc]", "[vm]", "[core]"] {
             assert!(text.contains(ns), "missing {ns}");
         }
+    }
+
+    #[test]
+    fn json_includes_histograms_and_decisions() {
+        use crate::provenance::{DecisionRecord, FeedbackChain, SampleWitness};
+
+        let mut snap = TelemetrySnapshot::empty();
+        snap.hists[HistogramId::GcMinorPauseCycles as usize].buckets[3] = 2;
+        snap.hists[HistogramId::GcMinorPauseCycles as usize].sum = 13;
+        snap.decisions.push(DecisionRecord {
+            cycle: 500,
+            class: 1,
+            field: u32::MAX,
+            action: "reverted",
+            field_misses: 0,
+            threshold: 4,
+            gap_bytes: 0,
+            witnesses: vec![SampleWitness {
+                pc: 7,
+                method: 2,
+                bytecode_index: 9,
+                cycle: 100,
+            }],
+            feedback: Some(FeedbackChain {
+                baseline_rate: 1.0,
+                observed_rate: 2.5,
+                tolerance: 1.5,
+                regressing_periods: 3,
+            }),
+        });
+        let json = snap.to_json();
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"gc.minor_pause_cycles\""));
+        assert!(json.contains("\"le\": \"8\""));
+        assert!(json.contains("\"field\": \"*\""));
+        assert!(json.contains("\"observed_rate\": 2.5"));
+        assert!(json.contains("\"bytecode_index\": 9"));
+        // The decisions diff keeps only records after the cut.
+        let d = snap.diff(&TelemetrySnapshot::empty());
+        assert_eq!(d.decisions.len(), 1);
+        assert_eq!(d.hists[HistogramId::GcMinorPauseCycles as usize].count(), 2);
     }
 }

@@ -80,16 +80,22 @@ impl TraceRing {
     }
 
     /// Append an event, evicting the oldest entry if the ring is full.
-    pub fn push(&mut self, event: TraceEvent) {
+    /// Returns `true` when an event was dropped (either the evicted
+    /// one or, at zero capacity, the incoming one), so callers can
+    /// account for the loss in a visible counter.
+    pub fn push(&mut self, event: TraceEvent) -> bool {
         if self.capacity == 0 {
             self.dropped += 1;
-            return;
+            return true;
         }
+        let mut evicted = false;
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
             self.dropped += 1;
+            evicted = true;
         }
         self.buf.push_back(event);
+        evicted
     }
 
     /// Events currently retained, oldest first.
@@ -139,7 +145,8 @@ mod tests {
     fn drop_oldest_on_wrap() {
         let mut ring = TraceRing::new(3);
         for c in 0..5 {
-            ring.push(ev(c));
+            let dropped = ring.push(ev(c));
+            assert_eq!(dropped, c >= 3);
         }
         assert_eq!(ring.len(), 3);
         assert_eq!(ring.dropped(), 2);
@@ -150,7 +157,7 @@ mod tests {
     #[test]
     fn zero_capacity_counts_everything_dropped() {
         let mut ring = TraceRing::new(0);
-        ring.push(ev(1));
+        assert!(ring.push(ev(1)));
         assert!(ring.is_empty());
         assert_eq!(ring.dropped(), 1);
     }

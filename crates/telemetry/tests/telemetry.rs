@@ -1,11 +1,10 @@
-//! Integration tests: ring wraparound accounting, exact snapshot diffs
-//! across a poll boundary, and a JSON round-trip through a minimal
-//! parser written here (the workspace has no JSON dependency, so the
-//! test brings its own reader for the writer under test).
+//! Integration tests: ring wraparound accounting (including the
+//! `telemetry.trace_dropped` self-metric), exact snapshot diffs across
+//! a poll boundary, and a JSON round-trip through the crate's own
+//! reader ([`hpmopt_telemetry::read`]).
 
-use std::collections::BTreeMap;
-
-use hpmopt_telemetry::{MetricId, Telemetry, TraceKind};
+use hpmopt_telemetry::read::{parse, Value};
+use hpmopt_telemetry::{HistogramId, MetricId, Telemetry, TraceKind};
 
 // ---------------------------------------------------------------------
 // Ring wraparound
@@ -28,6 +27,12 @@ fn wraparound_reports_exact_drop_count() {
     let snap = telemetry.snapshot(pushed);
     assert_eq!(snap.events.len(), capacity);
     assert_eq!(snap.dropped_events, pushed - capacity as u64);
+    // The loss is visible as a regular metric too, so it survives into
+    // every export without special-casing.
+    assert_eq!(
+        snap.get(MetricId::TelemetryTraceDropped),
+        snap.dropped_events
+    );
     // The survivors are exactly the newest `capacity` events, in order.
     let cycles: Vec<u64> = snap.events.iter().map(|e| e.cycle).collect();
     let expected: Vec<u64> = (pushed - capacity as u64..pushed).collect();
@@ -46,6 +51,7 @@ fn diff_across_a_poll_boundary_is_exact() {
     telemetry.incr(MetricId::HpmPolls);
     telemetry.add(MetricId::HpmSamplesDrained, 7);
     telemetry.set_gauge(MetricId::HpmPollPeriodMs, 40);
+    telemetry.observe(HistogramId::HpmPollBatchSamples, 7);
     telemetry.record(
         1_000,
         TraceKind::PollCompleted {
@@ -59,6 +65,7 @@ fn diff_across_a_poll_boundary_is_exact() {
     telemetry.incr(MetricId::HpmPolls);
     telemetry.add(MetricId::HpmSamplesDrained, 11);
     telemetry.set_gauge(MetricId::HpmPollPeriodMs, 20);
+    telemetry.observe(HistogramId::HpmPollBatchSamples, 11);
     telemetry.record(
         2_000,
         TraceKind::PollCompleted {
@@ -74,6 +81,10 @@ fn diff_across_a_poll_boundary_is_exact() {
     assert_eq!(between.get(MetricId::HpmSamplesDrained), 11);
     // Gauges: the later reading, not a subtraction.
     assert_eq!(between.get(MetricId::HpmPollPeriodMs), 20);
+    // Histograms: only the second poll's observation.
+    let h = &between.hists[HistogramId::HpmPollBatchSamples as usize];
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum, 11);
     // Events: only those stamped after the earlier snapshot.
     assert_eq!(between.events.len(), 1);
     assert_eq!(between.events[0].cycle, 2_000);
@@ -82,185 +93,8 @@ fn diff_across_a_poll_boundary_is_exact() {
 }
 
 // ---------------------------------------------------------------------
-// JSON round-trip
+// JSON round-trip through the crate's own reader
 // ---------------------------------------------------------------------
-
-/// The subset of JSON the snapshot writer emits.
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Number(f64),
-    Bool(bool),
-    Str(String),
-    Array(Vec<Value>),
-    Object(BTreeMap<String, Value>),
-}
-
-impl Value {
-    fn as_u64(&self) -> u64 {
-        match self {
-            Value::Number(n) => *n as u64,
-            v => panic!("expected number, got {v:?}"),
-        }
-    }
-
-    fn get(&self, key: &str) -> &Value {
-        match self {
-            Value::Object(map) => &map[key],
-            v => panic!("expected object, got {v:?}"),
-        }
-    }
-}
-
-/// Minimal recursive-descent parser for the writer's output. Supports
-/// objects, arrays, strings (with the escapes the writer produces),
-/// numbers, booleans, and null — nothing more.
-fn parse(input: &str) -> Value {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-    };
-    let v = p.value();
-    p.skip_ws();
-    assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON value");
-    v
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> u8 {
-        self.skip_ws();
-        self.bytes[self.pos]
-    }
-
-    fn expect(&mut self, b: u8) {
-        assert_eq!(self.peek(), b, "at byte {}", self.pos);
-        self.pos += 1;
-    }
-
-    fn value(&mut self) -> Value {
-        match self.peek() {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Value::Str(self.string()),
-            b't' => self.literal("true", Value::Bool(true)),
-            b'f' => self.literal("false", Value::Bool(false)),
-            b'n' => self.literal("null", Value::Number(f64::NAN)),
-            _ => self.number(),
-        }
-    }
-
-    fn literal(&mut self, lit: &str, v: Value) -> Value {
-        assert!(self.bytes[self.pos..].starts_with(lit.as_bytes()));
-        self.pos += lit.len();
-        v
-    }
-
-    fn object(&mut self) -> Value {
-        self.expect(b'{');
-        let mut map = BTreeMap::new();
-        if self.peek() == b'}' {
-            self.pos += 1;
-            return Value::Object(map);
-        }
-        loop {
-            let key = self.string();
-            self.expect(b':');
-            map.insert(key, self.value());
-            match self.peek() {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Value::Object(map);
-                }
-                b => panic!("unexpected {:?} in object", b as char),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Value {
-        self.expect(b'[');
-        let mut items = Vec::new();
-        if self.peek() == b']' {
-            self.pos += 1;
-            return Value::Array(items);
-        }
-        loop {
-            items.push(self.value());
-            match self.peek() {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Value::Array(items);
-                }
-                b => panic!("unexpected {:?} in array", b as char),
-            }
-        }
-    }
-
-    fn string(&mut self) -> String {
-        self.expect(b'"');
-        let mut out = String::new();
-        loop {
-            match self.bytes[self.pos] {
-                b'"' => {
-                    self.pos += 1;
-                    return out;
-                }
-                b'\\' => {
-                    self.pos += 1;
-                    match self.bytes[self.pos] {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                .unwrap();
-                            let code = u32::from_str_radix(hex, 16).unwrap();
-                            out.push(char::from_u32(code).unwrap());
-                            self.pos += 4;
-                        }
-                        b => panic!("unsupported escape \\{}", b as char),
-                    }
-                    self.pos += 1;
-                }
-                _ => {
-                    // Multi-byte UTF-8 sequences pass through unescaped.
-                    let s = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Value {
-        self.skip_ws();
-        let start = self.pos;
-        while self.pos < self.bytes.len()
-            && matches!(
-                self.bytes[self.pos],
-                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
-            )
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        Value::Number(text.parse().unwrap())
-    }
-}
 
 #[test]
 fn snapshot_json_round_trips_through_a_real_parser() {
@@ -268,6 +102,7 @@ fn snapshot_json_round_trips_through_a_real_parser() {
     telemetry.add(MetricId::HpmSamplesGenerated, 566);
     telemetry.add(MetricId::MemsimL1Misses, 150_227);
     telemetry.set_gauge(MetricId::HpmPollPeriodMs, 160);
+    telemetry.observe(HistogramId::GcMinorPauseCycles, 2_048);
     telemetry.record(
         2_399_380,
         TraceKind::GcCollection {
@@ -292,7 +127,7 @@ fn snapshot_json_round_trips_through_a_real_parser() {
     );
     let snap = telemetry.snapshot(81_229_847);
 
-    let parsed = parse(&snap.to_json());
+    let parsed = parse(&snap.to_json()).expect("snapshot JSON must parse");
 
     assert_eq!(parsed.get("at_cycle").as_u64(), snap.at_cycle);
     assert_eq!(parsed.get("dropped_events").as_u64(), 0);
@@ -305,9 +140,13 @@ fn snapshot_json_round_trips_through_a_real_parser() {
             id.name()
         );
     }
-    let Value::Array(events) = parsed.get("events") else {
-        panic!("events must be an array");
-    };
+    let gc_hist = parsed.get("histograms").get("gc.minor_pause_cycles");
+    assert_eq!(gc_hist.get("count").as_u64(), 1);
+    assert_eq!(gc_hist.get("sum").as_u64(), 2_048);
+    let buckets = gc_hist.get("buckets").as_array();
+    assert_eq!(buckets.len(), 1);
+    assert_eq!(buckets[0].get("le").as_str(), "2048");
+    let events = parsed.get("events").as_array();
     assert_eq!(events.len(), 3);
     assert_eq!(events[0].get("type"), &Value::Str("gc_collection".into()));
     assert_eq!(events[0].get("major"), &Value::Bool(false));
@@ -316,15 +155,15 @@ fn snapshot_json_round_trips_through_a_real_parser() {
     assert_eq!(events[2].get("type"), &Value::Str("recompilation".into()));
     assert_eq!(events[2].get("tier"), &Value::Str("opt".into()));
     assert_eq!(events[2].get("cycle").as_u64(), 10_199_996);
+    assert_eq!(parsed.get("decisions_dropped").as_u64(), 0);
+    assert!(parsed.get("decisions").as_array().is_empty());
 }
 
 #[test]
 fn parser_handles_escaped_strings() {
-    let v = parse(r#"{"a": "x\"y\\z\n", "b": [1, 2.5, true]}"#);
+    let v = parse(r#"{"a": "x\"y\\z\n", "b": [1, 2.5, true]}"#).unwrap();
     assert_eq!(v.get("a"), &Value::Str("x\"y\\z\n".into()));
-    let Value::Array(items) = v.get("b") else {
-        panic!("expected array")
-    };
+    let items = v.get("b").as_array();
     assert_eq!(items[1], Value::Number(2.5));
     assert_eq!(items[2], Value::Bool(true));
 }

@@ -21,6 +21,16 @@ cargo test -q --release --test profile_warm_start
 echo "==> smoke: hpmopt-report db (fails on nonzero telemetry perturbation)"
 cargo run --release --bin hpmopt-report -- db -o target/ci-report-db.json >/dev/null
 
+echo "==> smoke: hpmopt-report --prom (deterministic Prometheus exposition)"
+cargo run --release --bin hpmopt-report -- fop --prom -o target/ci-report-fop-prom.json \
+    >target/ci-prom-a.txt 2>/dev/null
+cargo run --release --bin hpmopt-report -- fop --prom -o target/ci-report-fop-prom.json \
+    >target/ci-prom-b.txt 2>/dev/null
+cmp target/ci-prom-a.txt target/ci-prom-b.txt
+
+echo "==> perf trajectory gate: hpmopt-bench --check vs committed baseline"
+cargo run --release --bin hpmopt-bench -p hpmopt-bench -- --check
+
 echo "==> smoke: warm-start a profile and inspect it"
 rm -f target/ci-db.hpmprof
 cargo run --release --bin hpmopt-report -- db --profile target/ci-db.hpmprof \

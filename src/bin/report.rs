@@ -18,16 +18,33 @@
 //! so the perturbation check still holds) and the enabled run persists
 //! its merged measurements back at exit. The disabled control runs
 //! first and never saves, so the two runs always load the same bytes.
+//!
+//! Additional modes (the perturbation gate runs in all of them):
+//!
+//! - `--explain CLASS` replaces the metric report with the decision
+//!   provenance for `CLASS`: every retained co-allocation decision with
+//!   its causal chain — witnessed samples (PC → method/bytecode through
+//!   the MC maps), the miss counter against the policy threshold, and
+//!   for reverts the feedback evidence.
+//! - `--prom` replaces the report with the Prometheus text exposition
+//!   of the telemetry snapshot (deterministic; byte-identical across
+//!   runs of the same configuration).
+//! - `--forced-bad` pins the Figure 8 bad placement (`String` + 128-byte
+//!   gap on `db`) identically in both runs, so the provenance log
+//!   contains a feedback-driven revert to explain.
 
 use std::process::ExitCode;
 
+use hpmopt::bytecode::{FieldId, MethodId, Program};
 use hpmopt::core::policy::PolicyConfig;
-use hpmopt::core::runtime::{HpmRuntime, RunConfig, RunReport};
+use hpmopt::core::runtime::{ForcedBadPlacement, HpmRuntime, RunConfig, RunReport};
 use hpmopt::core::ProfileOptions;
 use hpmopt::gc::{CollectorKind, HeapConfig};
 use hpmopt::hpm::{HpmConfig, SamplingInterval};
 use hpmopt::telemetry::json::{number, JsonWriter};
-use hpmopt::telemetry::{Telemetry, TelemetrySnapshot, DEFAULT_TRACE_CAPACITY};
+use hpmopt::telemetry::{
+    prom, DecisionRecord, Telemetry, TelemetrySnapshot, DEFAULT_TRACE_CAPACITY,
+};
 use hpmopt::vm::VmConfig;
 use hpmopt::workloads::{by_name, names, Size, Workload};
 
@@ -43,6 +60,7 @@ const AUTO_TARGET_PER_SEC: u64 = 1_000;
 
 fn usage() -> ExitCode {
     eprintln!("usage: hpmopt-report [workload] [tiny|small|full] [-o FILE.json] [--profile FILE]");
+    eprintln!("                     [--explain CLASS] [--prom] [--forced-bad]");
     eprintln!("workloads: {}", names().join(", "));
     ExitCode::FAILURE
 }
@@ -52,6 +70,9 @@ fn main() -> ExitCode {
     let mut size = Size::Tiny;
     let mut out_path: Option<String> = None;
     let mut profile_path: Option<String> = None;
+    let mut explain: Option<String> = None;
+    let mut prom_mode = false;
+    let mut forced_bad = false;
     let mut positional = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,6 +85,12 @@ fn main() -> ExitCode {
                 Some(p) => profile_path = Some(p),
                 None => return usage(),
             },
+            "--explain" => match args.next() {
+                Some(c) => explain = Some(c),
+                None => return usage(),
+            },
+            "--prom" => prom_mode = true,
+            "--forced-bad" => forced_bad = true,
             "-h" | "--help" => return usage(),
             "tiny" => size = Size::Tiny,
             "small" => size = Size::Small,
@@ -94,35 +121,59 @@ fn main() -> ExitCode {
     // handle. The disabled run is the control for the zero-perturbation
     // claim below; it runs first and never saves, so both runs load the
     // exact same profile state.
-    let disabled = run(&workload, Telemetry::disabled(), profile_opts(false));
+    let disabled = run(
+        &workload,
+        Telemetry::disabled(),
+        profile_opts(false),
+        forced_bad,
+    );
     let telemetry = Telemetry::enabled(DEFAULT_TRACE_CAPACITY);
-    let enabled = run(&workload, telemetry.clone(), profile_opts(true));
+    let enabled = run(&workload, telemetry.clone(), profile_opts(true), forced_bad);
 
     let snapshot = telemetry.snapshot(enabled.cycles);
     let delta_pct = cycle_delta_pct(enabled.cycles, disabled.cycles);
 
-    println!("hpmopt-report: {} ({size})", workload.name);
-    println!();
-    print!("{}", snapshot.render_text());
-    println!();
-    print!("{}", enabled.cycle_buckets().render_text());
-    println!();
-    println!("  optimization latency");
-    println!(
-        "    start                   {:>14}",
-        if enabled.warm_start { "warm" } else { "cold" }
-    );
-    println!(
-        "    first decision (cycles) {:>14}",
-        enabled
-            .cycles_to_first_decision()
-            .map_or_else(|| "never".to_string(), |c| c.to_string())
-    );
-    println!();
-    println!("  telemetry perturbation check");
-    println!("    cycles (telemetry on)   {:>14}", enabled.cycles);
-    println!("    cycles (telemetry off)  {:>14}", disabled.cycles);
-    println!("    delta                   {:>13}%", number(delta_pct));
+    if prom_mode {
+        print!(
+            "{}",
+            prom::render(
+                &snapshot,
+                &[("workload", &workload_name), ("size", &size.to_string())]
+            )
+        );
+    } else if let Some(class_name) = &explain {
+        if workload.program.class_by_name(class_name).is_none() {
+            eprintln!("workload `{workload_name}` has no class `{class_name}`");
+            return ExitCode::FAILURE;
+        }
+        print!(
+            "{}",
+            render_explain(&workload.program, &snapshot, class_name)
+        );
+    } else {
+        println!("hpmopt-report: {} ({size})", workload.name);
+        println!();
+        print!("{}", snapshot.render_text());
+        println!();
+        print!("{}", enabled.cycle_buckets().render_text());
+        println!();
+        println!("  optimization latency");
+        println!(
+            "    start                   {:>14}",
+            if enabled.warm_start { "warm" } else { "cold" }
+        );
+        println!(
+            "    first decision (cycles) {:>14}",
+            enabled
+                .cycles_to_first_decision()
+                .map_or_else(|| "never".to_string(), |c| c.to_string())
+        );
+        println!();
+        println!("  telemetry perturbation check");
+        println!("    cycles (telemetry on)   {:>14}", enabled.cycles);
+        println!("    cycles (telemetry off)  {:>14}", disabled.cycles);
+        println!("    delta                   {:>13}%", number(delta_pct));
+    }
 
     let json = render_json(&workload_name, size, &snapshot, &enabled, &disabled);
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
@@ -137,8 +188,14 @@ fn main() -> ExitCode {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
-    println!();
-    println!("  wrote {out_path}");
+    if prom_mode || explain.is_some() {
+        // Keep stdout machine-readable (and byte-identical across runs)
+        // in the exposition modes.
+        eprintln!("wrote {out_path}");
+    } else {
+        println!();
+        println!("  wrote {out_path}");
+    }
     if delta_pct != 0.0 {
         eprintln!("FAIL: telemetry perturbed the simulated clock by {delta_pct}%");
         return ExitCode::FAILURE;
@@ -150,7 +207,17 @@ fn main() -> ExitCode {
 /// Mirrors the experiment configuration in `hpmopt-bench`, plus
 /// nonzero compile costs and a live AOS so the recompilation bucket
 /// is exercised.
-fn run(workload: &Workload, telemetry: Telemetry, profile: ProfileOptions) -> RunReport {
+///
+/// With `forced_bad`, the Figure 8 sabotage (a 128-byte gap pinned on
+/// `String` a third of the way in, with a tight feedback loop) is
+/// applied — identically for the control and enabled runs, so the
+/// zero-perturbation gate still holds.
+fn run(
+    workload: &Workload,
+    telemetry: Telemetry,
+    profile: ProfileOptions,
+    forced_bad: bool,
+) -> RunReport {
     let mut vm = VmConfig {
         heap: HeapConfig {
             heap_bytes: workload.min_heap_bytes * 4,
@@ -167,12 +234,20 @@ fn run(workload: &Workload, telemetry: Telemetry, profile: ProfileOptions) -> Ru
     vm.baseline_compile_cycles_per_bc = 3;
     vm.opt_compile_cycles_per_bc = 30;
     vm.step_limit = Some(3_000_000_000);
-    let config = RunConfig {
+    let interval = if forced_bad {
+        // The Figure 8 recipe: an aggressive fixed interval so the
+        // per-class miss-rate series has enough samples per period for
+        // the feedback loop to see the sabotage.
+        SamplingInterval::Fixed(256)
+    } else {
+        SamplingInterval::Auto {
+            target_per_sec: AUTO_TARGET_PER_SEC,
+        }
+    };
+    let mut config = RunConfig {
         vm,
         hpm: HpmConfig {
-            interval: SamplingInterval::Auto {
-                target_per_sec: AUTO_TARGET_PER_SEC,
-            },
+            interval,
             buffer_capacity: BUFFER_CAPACITY,
             cpu_hz: MONITOR_CPU_HZ,
             ..HpmConfig::default()
@@ -185,9 +260,90 @@ fn run(workload: &Workload, telemetry: Telemetry, profile: ProfileOptions) -> Ru
         telemetry,
         ..RunConfig::default()
     };
+    if forced_bad {
+        config.watch_fields = vec![("String".into(), "value".into())];
+        config.forced_bad = Some(ForcedBadPlacement {
+            class: "String".into(),
+            field: "value".into(),
+            gap_bytes: 128,
+            at_cycles: 25_000_000,
+        });
+        config.feedback = hpmopt::core::feedback::FeedbackConfig {
+            tolerance: 1.25,
+            revert_after_periods: 2,
+            min_period_misses: 6,
+        };
+    }
     HpmRuntime::new(config)
         .run(&workload.program)
         .unwrap_or_else(|e| panic!("workload {} failed: {e}", workload.name))
+}
+
+/// Render the decision-provenance chain for every retained decision on
+/// `class_name`: the witnessed samples (PC → method/bytecode via the
+/// machine-code maps), the per-field miss counter against the policy
+/// threshold, the action taken, and for reverts the feedback evidence.
+fn render_explain(program: &Program, snapshot: &TelemetrySnapshot, class_name: &str) -> String {
+    let class = program
+        .class_by_name(class_name)
+        .expect("checked by caller");
+    let decisions: Vec<&DecisionRecord> = snapshot
+        .decisions
+        .iter()
+        .filter(|d| d.class == class.0)
+        .collect();
+    let mut out = format!(
+        "decision provenance for class {class_name} — {} decision(s) retained",
+        decisions.len()
+    );
+    if snapshot.decisions_dropped > 0 {
+        out.push_str(&format!(
+            " ({} dropped ring-wide)",
+            snapshot.decisions_dropped
+        ));
+    }
+    out.push('\n');
+    for d in decisions {
+        let target = if d.field == u32::MAX {
+            format!("class {class_name}")
+        } else {
+            format!("field {}", program.field_name(FieldId(d.field)))
+        };
+        out.push_str(&format!("\n[{} cycles] {} — {target}\n", d.cycle, d.action));
+        if d.field != u32::MAX {
+            out.push_str(&format!(
+                "  miss counter {} >= threshold {} at decision time\n",
+                d.field_misses, d.threshold
+            ));
+        }
+        if d.gap_bytes > 0 {
+            out.push_str(&format!("  pinned gap: {} bytes\n", d.gap_bytes));
+        }
+        if d.witnesses.is_empty() {
+            if d.field != u32::MAX {
+                out.push_str("  (no witness samples retained)\n");
+            }
+        } else {
+            out.push_str("  witnessed samples (PC -> MC-map resolution):\n");
+            for w in &d.witnesses {
+                out.push_str(&format!(
+                    "    pc {:#014x} -> {} @ bytecode {} (cycle {})\n",
+                    w.pc,
+                    program.method_name(MethodId(w.method)),
+                    w.bytecode_index,
+                    w.cycle
+                ));
+            }
+        }
+        if let Some(f) = &d.feedback {
+            out.push_str(&format!(
+                "  feedback: observed {:.2} misses/Mcycle vs baseline {:.2} \
+                 (tolerance x{:.2}), {} regressing period(s)\n",
+                f.observed_rate, f.baseline_rate, f.tolerance, f.regressing_periods
+            ));
+        }
+    }
+    out
 }
 
 /// Cycle difference of the telemetry-enabled run relative to the
