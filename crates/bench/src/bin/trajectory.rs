@@ -106,6 +106,39 @@ fn print_trajectory(t: &Trajectory) {
     }
 }
 
+/// The throughput movement `--check` measured, workload by workload:
+/// baseline vs current bytecodes per simulated kilocycle. Informational
+/// (the gate acts on cycles, digests, and perturbation), but it makes a
+/// banked speedup — or an unbanked slowdown — visible at a glance.
+fn print_throughput_delta(current: &Trajectory, baseline: &Trajectory) {
+    println!("  throughput (bytecodes per kilocycle):");
+    println!(
+        "  {:<10} {:>10} {:>10} {:>8}",
+        "workload", "old", "new", "delta"
+    );
+    for b in &baseline.workloads {
+        let Some(c) = current
+            .workloads
+            .iter()
+            .find(|c| c.name == b.name && c.size == b.size)
+        else {
+            continue;
+        };
+        let delta = if b.throughput_bc_per_kcycle == 0.0 {
+            0.0
+        } else {
+            (c.throughput_bc_per_kcycle / b.throughput_bc_per_kcycle - 1.0) * 100.0
+        };
+        println!(
+            "  {:<10} {:>10.1} {:>10.1} {:>+7.1}%",
+            format!("{} {}", b.name, b.size),
+            b.throughput_bc_per_kcycle,
+            c.throughput_bc_per_kcycle,
+            delta
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let Ok(args) = parse_args() else {
         return usage();
@@ -144,6 +177,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    print_throughput_delta(&current, &baseline);
     let violations = compare(&current, &baseline, args.threshold_pct);
     if violations.is_empty() {
         println!(

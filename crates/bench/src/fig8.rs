@@ -40,12 +40,15 @@ pub fn measure(size: Size) -> Trajectory {
         true,
     );
     cfg.watch_fields = vec![("String".into(), "value".into())];
-    // Let the good configuration warm up, then sabotage it roughly a
-    // third of the way into the run (runs scale with the input size).
+    // Let the good configuration warm up past the enable decision, then
+    // sabotage it while the build phase is still allocating — objects
+    // copied after the pin get the bad layout, so the regression shows
+    // up in the very next periods (cut-over points scale with input
+    // size).
     let at_cycles = match size {
-        Size::Tiny => 25_000_000,
-        Size::Small => 60_000_000,
-        Size::Full => 150_000_000,
+        Size::Tiny => 6_000_000,
+        Size::Small => 15_000_000,
+        Size::Full => 36_000_000,
     };
     cfg.forced_bad = Some(ForcedBadPlacement {
         class: "String".into(),
@@ -56,7 +59,7 @@ pub fn measure(size: Size) -> Trajectory {
     cfg.feedback = hpmopt_core::feedback::FeedbackConfig {
         tolerance: 1.25,
         revert_after_periods: 2,
-        min_period_misses: 6,
+        min_period_misses: 25,
     };
     let report = setup::run(&w, cfg);
 

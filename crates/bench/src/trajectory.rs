@@ -54,10 +54,18 @@ pub struct WorkloadPoint {
     pub bytecodes: u64,
     /// Bytecodes per simulated kilocycle of the monitored run.
     pub throughput_bc_per_kcycle: f64,
-    /// Monitored-minus-baseline cycle cost relative to the baseline, in
-    /// percent (negative when co-allocation wins back more than
-    /// monitoring costs).
+    /// Cycles the hooks charged for monitoring work, as a percentage of
+    /// the unmonitored baseline. Computed from the VM's own
+    /// `monitor_cycles` counter, so it is non-negative by construction —
+    /// co-allocation savings land in
+    /// [`WorkloadPoint::optimization_delta_pct`] instead of silently
+    /// offsetting this figure.
     pub monitoring_overhead_pct: f64,
+    /// Net monitored-minus-baseline cycle delta relative to the
+    /// baseline, in percent: monitoring overhead and optimization wins
+    /// combined (negative when co-allocation wins back more than
+    /// monitoring costs).
+    pub optimization_delta_pct: f64,
     /// Cycle delta between the telemetry-enabled and telemetry-off
     /// monitored runs, in percent. Must be exactly zero.
     pub perturbation_delta_pct: f64,
@@ -141,7 +149,12 @@ pub fn measure_workload(name: &str, size: Size) -> WorkloadPoint {
         bytecodes: enabled.vm.bytecodes_executed,
         throughput_bc_per_kcycle: enabled.vm.bytecodes_executed as f64 * 1000.0
             / enabled.cycles as f64,
-        monitoring_overhead_pct: delta_pct(enabled.cycles, baseline.cycles),
+        monitoring_overhead_pct: if baseline.cycles == 0 {
+            0.0
+        } else {
+            enabled.vm.monitor_cycles as f64 / baseline.cycles as f64 * 100.0
+        },
+        optimization_delta_pct: delta_pct(enabled.cycles, baseline.cycles),
         perturbation_delta_pct: perturbation,
         l1_misses: enabled.vm.mem.l1_misses,
         wall_ms,
@@ -199,7 +212,7 @@ impl Trajectory {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_u64("version", 1);
+        w.field_u64("version", 2);
         w.key("workloads").array_value();
         for p in &self.workloads {
             w.begin_object();
@@ -210,6 +223,7 @@ impl Trajectory {
             w.field_u64("bytecodes", p.bytecodes);
             w.field_f64("throughput_bc_per_kcycle", p.throughput_bc_per_kcycle);
             w.field_f64("monitoring_overhead_pct", p.monitoring_overhead_pct);
+            w.field_f64("optimization_delta_pct", p.optimization_delta_pct);
             w.field_f64("perturbation_delta_pct", p.perturbation_delta_pct);
             w.field_u64("l1_misses", p.l1_misses);
             w.field_u64("wall_ms", p.wall_ms);
@@ -243,7 +257,7 @@ impl Trajectory {
     pub fn parse(input: &str) -> Result<Trajectory, String> {
         let doc = read::parse(input)?;
         let version = need(&doc, "version")?.as_u64();
-        if version != 1 {
+        if version != 2 {
             return Err(format!("unsupported trajectory version {version}"));
         }
         let mut workloads = Vec::new();
@@ -256,6 +270,7 @@ impl Trajectory {
                 bytecodes: need(p, "bytecodes")?.as_u64(),
                 throughput_bc_per_kcycle: need(p, "throughput_bc_per_kcycle")?.as_f64(),
                 monitoring_overhead_pct: need(p, "monitoring_overhead_pct")?.as_f64(),
+                optimization_delta_pct: need(p, "optimization_delta_pct")?.as_f64(),
                 perturbation_delta_pct: need(p, "perturbation_delta_pct")?.as_f64(),
                 l1_misses: need(p, "l1_misses")?.as_u64(),
                 wall_ms: need(p, "wall_ms")?.as_u64(),
@@ -360,6 +375,7 @@ mod tests {
             bytecodes: 1000,
             throughput_bc_per_kcycle: 1000.0 * 1000.0 / cycles as f64,
             monitoring_overhead_pct: 11.1,
+            optimization_delta_pct: -2.5,
             perturbation_delta_pct: 0.0,
             l1_misses: 42,
             wall_ms: 7,
@@ -442,10 +458,10 @@ mod tests {
         assert!(Trajectory::parse("{").is_err());
         assert!(Trajectory::parse("{}").unwrap_err().contains("version"));
         let err =
-            Trajectory::parse(r#"{"version": 2, "workloads": [], "stress": []}"#).unwrap_err();
-        assert!(err.contains("version 2"));
+            Trajectory::parse(r#"{"version": 1, "workloads": [], "stress": []}"#).unwrap_err();
+        assert!(err.contains("version 1"));
         let err = Trajectory::parse(
-            r#"{"version": 1, "workloads": [], "stress": [{"seed": 0, "cycles": 1, "monitored_cycles": 1, "digest": "nope"}]}"#,
+            r#"{"version": 2, "workloads": [], "stress": [{"seed": 0, "cycles": 1, "monitored_cycles": 1, "digest": "nope"}]}"#,
         )
         .unwrap_err();
         assert!(err.contains("digest"));
@@ -458,6 +474,11 @@ mod tests {
         let b = measure(&names, Size::Tiny, 2);
         assert_eq!(a.workloads[0].cycles, b.workloads[0].cycles);
         assert_eq!(a.workloads[0].perturbation_delta_pct, 0.0);
+        assert!(
+            a.workloads[0].monitoring_overhead_pct >= 0.0,
+            "monitoring overhead is non-negative by construction: {}",
+            a.workloads[0].monitoring_overhead_pct
+        );
         assert_eq!(a.stress, b.stress);
         assert!(a.stress.iter().all(|p| p.monitored_cycles > 0));
         assert!(compare(&a, &b, 0.0).is_empty());

@@ -284,6 +284,7 @@ impl HpmRuntime {
             opt_cc: self.config.vm.opt_compile_cycles_per_bc,
             last_poll_cycles: None,
             revert_ctx: BTreeMap::new(),
+            samples_scratch: Vec::with_capacity(self.config.hpm.buffer_capacity),
         };
 
         let mut vm = Vm::new(program, self.config.vm.clone());
@@ -456,6 +457,10 @@ struct Hooks {
     /// when the matching `Reverted` policy event is exported into the
     /// provenance trail.
     revert_ctx: BTreeMap<ClassId, FeedbackChain>,
+    /// Reusable poll-drain buffer: cleared and refilled by
+    /// `HpmSystem::poll_into` each poll, so the per-poll hot path never
+    /// allocates.
+    samples_scratch: Vec<hpmopt_hpm::Sample>,
 }
 
 impl Hooks {
@@ -603,13 +608,13 @@ impl Hooks {
         }
         self.last_poll_cycles = Some(cycles);
         let attributed_before = self.monitor.attribution().attributed;
-        let (samples, copy_cost) = self.hpm.poll(cycles);
-        let mut cost = copy_cost;
-        cost += self.monitor.process_batch(&samples, cycles);
+        self.samples_scratch.clear();
+        let mut cost = self.hpm.poll_into(cycles, &mut self.samples_scratch);
+        cost += self.monitor.process_batch(&self.samples_scratch, cycles);
         self.telemetry.record(
             cycles,
             TraceKind::PollCompleted {
-                samples: samples.len() as u64,
+                samples: self.samples_scratch.len() as u64,
                 attributed: self.monitor.attribution().attributed - attributed_before,
             },
         );

@@ -54,8 +54,9 @@ impl PerfmonModule {
     /// returns the number copied (bounded by the array's capacity — the
     /// library sizes it to the kernel buffer, so nothing is lost).
     pub fn read_samples(&mut self, user: &mut UserBuffer) -> usize {
-        let samples = self.unit.drain();
-        user.fill(samples)
+        let n = user.fill(self.unit.samples());
+        self.unit.clear();
+        n
     }
 }
 

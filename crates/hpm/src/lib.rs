@@ -248,9 +248,22 @@ impl HpmSystem {
     /// user-space array, adapt the polling period and (in auto mode) the
     /// sampling interval. Returns the drained samples and the cycles the
     /// copying cost.
+    ///
+    /// Convenience wrapper over [`HpmSystem::poll_into`]; hot loops
+    /// should hold a reusable scratch vector and call that instead.
     pub fn poll(&mut self, cycles: u64) -> (Vec<Sample>, u64) {
+        let mut out = Vec::new();
+        let cost = self.poll_into(cycles, &mut out);
+        (out, cost)
+    }
+
+    /// [`HpmSystem::poll`], appending the drained samples to `out`
+    /// instead of allocating. Every buffer on the path — the kernel
+    /// buffer, the user-space transfer array, and `out` — retains its
+    /// storage, so a steady-state poll loop is allocation-free.
+    pub fn poll_into(&mut self, cycles: u64, out: &mut Vec<Sample>) -> u64 {
         if !self.enabled() {
-            return (Vec::new(), 0);
+            return 0;
         }
         self.stats.polls += 1;
         let fill_pct = self.kernel.fill_pct();
@@ -294,7 +307,8 @@ impl HpmSystem {
         }
         self.telemetry
             .set_gauge(MetricId::HpmSamplingInterval, self.current_interval());
-        (self.user.take(), cost)
+        self.user.drain_into(out);
+        cost
     }
 
     /// The collector-thread timer (for period/next-deadline inspection).

@@ -139,9 +139,16 @@ impl PebsUnit {
         self.dropped
     }
 
-    /// Move all buffered samples out (kernel read).
-    pub fn drain(&mut self) -> Vec<Sample> {
-        std::mem::take(&mut self.buffer)
+    /// The buffered samples, in capture order (the kernel read window).
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.buffer
+    }
+
+    /// Clear the buffer after a kernel read. The backing storage is
+    /// retained, so steady-state sampling never reallocates.
+    pub fn clear(&mut self) {
+        self.buffer.clear();
     }
 }
 
@@ -211,8 +218,8 @@ mod tests {
         }
         assert_eq!(u.buffered(), 4);
         assert!(u.dropped() > 0);
-        let drained = u.drain();
-        assert_eq!(drained.len(), 4);
+        assert_eq!(u.samples().len(), 4);
+        u.clear();
         assert_eq!(u.buffered(), 0);
     }
 }

@@ -32,12 +32,13 @@ impl UserBuffer {
         }
     }
 
-    /// Receive a batch from the kernel; returns how many fit.
-    pub fn fill(&mut self, mut batch: Vec<Sample>) -> usize {
+    /// Receive a batch from the kernel (one bulk copy); returns how many
+    /// fit. Samples beyond the array's capacity are discarded, matching
+    /// the real library's fixed-size transfer array.
+    pub fn fill(&mut self, batch: &[Sample]) -> usize {
         let room = self.capacity - self.samples.len();
-        batch.truncate(room);
-        let n = batch.len();
-        self.samples.extend(batch);
+        let n = room.min(batch.len());
+        self.samples.extend_from_slice(&batch[..n]);
         n
     }
 
@@ -47,9 +48,13 @@ impl UserBuffer {
         POLL_BASE_CYCLES + n as u64 * SAMPLE_BYTES * COPY_CYCLES_PER_BYTE
     }
 
-    /// Take the buffered samples for processing.
-    pub fn take(&mut self) -> Vec<Sample> {
-        std::mem::take(&mut self.samples)
+    /// Move the buffered samples into `out` (appending) and clear the
+    /// array for the next poll. Both the transfer array and `out` keep
+    /// their backing storage, so a steady-state poll loop performs no
+    /// allocation at all.
+    pub fn drain_into(&mut self, out: &mut Vec<Sample>) {
+        out.extend_from_slice(&self.samples);
+        self.samples.clear();
     }
 
     /// Buffered sample count.
@@ -82,18 +87,25 @@ mod tests {
     #[test]
     fn fill_respects_capacity() {
         let mut u = UserBuffer::new(3);
-        let n = u.fill(vec![sample(1), sample(2), sample(3), sample(4)]);
+        let n = u.fill(&[sample(1), sample(2), sample(3), sample(4)]);
         assert_eq!(n, 3);
         assert_eq!(u.len(), 3);
     }
 
     #[test]
-    fn take_empties() {
+    fn drain_empties_without_reallocating() {
         let mut u = UserBuffer::new(4);
-        u.fill(vec![sample(1)]);
-        let got = u.take();
+        u.fill(&[sample(1)]);
+        let mut got = Vec::with_capacity(4);
+        u.drain_into(&mut got);
         assert_eq!(got.len(), 1);
         assert!(u.is_empty());
+        let ptr = got.as_ptr();
+        got.clear();
+        u.fill(&[sample(2), sample(3)]);
+        u.drain_into(&mut got);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got.as_ptr(), ptr, "scratch storage is reused");
     }
 
     #[test]

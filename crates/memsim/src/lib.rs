@@ -32,7 +32,7 @@ pub mod tlb;
 
 pub use cache::{Cache, CacheGeometry};
 pub use config::{LatencyModel, MemConfig};
-pub use hierarchy::{AccessKind, AccessOutcome, MemStats, MemoryHierarchy};
+pub use hierarchy::{AccessKind, AccessOutcome, BatchAccess, MemStats, MemoryHierarchy};
 pub use prefetch::StreamPrefetcher;
 pub use tlb::Tlb;
 

@@ -10,13 +10,16 @@
 //! | C   | interpreter     | GenCopy   | off                           |
 //! | D   | all-opt plan    | GenMS     | PEBS Fixed(512), co-alloc on  |
 //! | E   | all-opt plan    | GenMS     | [`HpmConfig::disabled`]       |
+//! | F   | all-opt, IC off | GenMS     | off                           |
 //!
 //! Invariants checked:
 //!
-//! 1. **Differential**: all five arms finish cleanly and produce the same
+//! 1. **Differential**: all six arms finish cleanly and produce the same
 //!    placement-independent state digest — compiled code agrees with the
-//!    interpreter, GenMS agrees with GenCopy, and monitoring (which may
-//!    move objects via co-allocation) perturbs nothing program-visible.
+//!    interpreter, GenMS agrees with GenCopy, monitoring (which may
+//!    move objects via co-allocation) perturbs nothing program-visible,
+//!    and inline caches ([`VmConfig::inline_caches`]) change only the
+//!    cost model, never program state.
 //! 2. **Heap integrity**: `Heap::verify` holds after every collection in
 //!    every arm (surfaced as [`VmError::HeapCorrupt`]).
 //! 3. **Attribution**: with full machine-code maps, no sample in the
@@ -176,6 +179,15 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     );
     let d = runtime_arm("D/monitored", &gp, monitored_hpm(), fault);
     let e = runtime_arm("E/monitor-off", &gp, HpmConfig::disabled(), fault);
+    let f = vm_arm("F/opt-ic-off", &gp, {
+        let mut vm = stress_vm(
+            CollectorKind::GenMs,
+            Some(CompilationPlan::new(gp.all_methods.clone())),
+            fault,
+        );
+        vm.inline_caches = false;
+        vm
+    });
 
     let mut digests: Vec<(&str, u64)> = Vec::new();
     match &a {
@@ -204,6 +216,10 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     }
     match &e {
         Ok((digest, _)) => digests.push(("E", *digest)),
+        Err(msg) => failures.push(msg.clone()),
+    }
+    match &f {
+        Ok((digest, _)) => digests.push(("F", *digest)),
         Err(msg) => failures.push(msg.clone()),
     }
 

@@ -100,13 +100,15 @@ impl ShardReport {
             }
         }
         s.push_str(&format!("digest-of-digests {fp:#018x}\n"));
-        // Per-seed simulated-cycle costs: the shard doubles as a pinned
-        // perf arm (`hpmopt-bench` parses these lines), so the summary
-        // carries the baseline and monitored cost of every seed.
+        // Per-seed simulated-cycle costs and state digests: the shard
+        // doubles as a pinned perf arm (`hpmopt-bench` lifts these values
+        // from the outcomes), and printing the digest per seed lets a
+        // cost-model change be diffed against an old summary — cycles may
+        // move, digests must not.
         for o in &self.outcomes {
             s.push_str(&format!(
-                "seed {} cycles {} monitored {}\n",
-                o.scenario.seed, o.cycles, o.monitored_cycles
+                "seed {} cycles {} monitored {} digest {:#018x}\n",
+                o.scenario.seed, o.cycles, o.monitored_cycles, o.digest
             ));
         }
         for o in &failed {

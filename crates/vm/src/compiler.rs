@@ -57,6 +57,29 @@ pub fn mach_instr_count(i: Instr, tier: Tier) -> u32 {
     }
 }
 
+/// Machine instructions retired at a monomorphic inline-cache *hit* for
+/// the cacheable sites (`GetField`/`PutField`/`Call`), or `None` when
+/// the instruction has no inline cache. A hit skips the class/
+/// method-table lookup the full sequence in [`mach_instr_count`]
+/// performs; a miss (including the first execution at a site) retires
+/// the full sequence and re-keys the cache. The *laid-out* code is
+/// unchanged — the fast path jumps over the slow-path tail — which is
+/// why code addresses, MC maps, and GC maps are identical with caches
+/// on or off; only the dynamic retired-instruction count changes.
+#[must_use]
+pub fn ic_hit_count(i: Instr, tier: Tier) -> Option<u32> {
+    let (baseline, opt) = match i {
+        Instr::GetField(_) => (2, 1),
+        Instr::PutField(_) => (3, 2),
+        Instr::Call(_) => (3, 2),
+        _ => return None,
+    };
+    Some(match tier {
+        Tier::Baseline => baseline,
+        Tier::Opt => opt,
+    })
+}
+
 /// Compile `method` at `tier`, placing the code at `code_start`.
 ///
 /// `full_maps` controls opt-tier mapping: `true` applies the paper's

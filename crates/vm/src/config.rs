@@ -29,6 +29,12 @@ pub struct VmConfig {
     /// Cycles charged per method call for frame setup (added to the
     /// callee's machine instructions).
     pub call_overhead_cycles: u64,
+    /// Frame-setup cycles for a call whose inline cache hit: the callee's
+    /// entry point, arity, and frame size were resolved when the site was
+    /// linked, so only the register save/restore remains. Charged by the
+    /// fast engine instead of [`VmConfig::call_overhead_cycles`] on a
+    /// cache hit.
+    pub linked_call_overhead_cycles: u64,
     /// Machine instructions retired per cycle for non-memory work. The
     /// P4 "can issue several instructions in parallel" (Section 6.1);
     /// memory latency is charged on top, so a higher width makes programs
@@ -43,6 +49,13 @@ pub struct VmConfig {
     /// compilation. Zero by default; see
     /// [`VmConfig::baseline_compile_cycles_per_bc`].
     pub opt_compile_cycles_per_bc: u64,
+    /// Enable monomorphic inline caches at `GetField`/`PutField`/`Call`
+    /// sites: a site whose receiver class (or callee artifact) matches
+    /// the cached key retires the fast-path machine-instruction count
+    /// (see [`crate::compiler::ic_hit_count`]). Purely a cost-model
+    /// lever — program semantics and state digests are identical with
+    /// caches on or off, which the stress oracles assert.
+    pub inline_caches: bool,
     /// Run [`hpmopt_gc::Heap::verify`] over the live object graph after
     /// every collection, failing the run with
     /// [`crate::VmError::HeapCorrupt`] at the collection that caused the
@@ -62,9 +75,11 @@ impl Default for VmConfig {
             step_limit: None,
             max_call_depth: 2048,
             call_overhead_cycles: 10,
+            linked_call_overhead_cycles: 4,
             issue_width: 3,
             baseline_compile_cycles_per_bc: 0,
             opt_compile_cycles_per_bc: 0,
+            inline_caches: true,
             verify_heap_every_gc: false,
         }
     }
@@ -88,9 +103,11 @@ impl VmConfig {
             step_limit: Some(50_000_000),
             max_call_depth: 512,
             call_overhead_cycles: 10,
+            linked_call_overhead_cycles: 4,
             issue_width: 3,
             baseline_compile_cycles_per_bc: 0,
             opt_compile_cycles_per_bc: 0,
+            inline_caches: true,
             verify_heap_every_gc: false,
         }
     }

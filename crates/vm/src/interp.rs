@@ -7,8 +7,8 @@
 //! its memory instruction — the raw feed a PEBS-style sampling unit sees.
 
 use hpmopt_bytecode::{ElemKind, Instr, MethodId, Program};
-use hpmopt_gc::{Address, GcNeeded, GcStats, Heap};
-use hpmopt_memsim::{AccessKind, MemStats, MemoryHierarchy};
+use hpmopt_gc::{Address, GcNeeded, GcStats, Heap, TypeTag};
+use hpmopt_memsim::{AccessKind, AccessOutcome, BatchAccess, MemStats, MemoryHierarchy};
 
 use crate::aos::Aos;
 use crate::compiler::compile;
@@ -16,6 +16,7 @@ use crate::config::VmConfig;
 use crate::hooks::{AccessContext, RuntimeHooks};
 use crate::machine::{CompiledCode, Tier};
 use crate::methodtable::{CodeRange, MethodTable};
+use crate::predecode::{decode, DecodedMethod, IcSlot, Op, IC_ARRAY_KEY};
 use crate::value::{Value, VmError};
 use crate::{CODE_BASE, STATICS_BASE};
 
@@ -87,6 +88,19 @@ struct Frame {
     stack_base: usize,
 }
 
+/// Attribution metadata for one queued heap access, carried alongside
+/// the [`BatchAccess`] it describes until the batch is flushed.
+#[derive(Debug, Clone, Copy)]
+struct PendingMeta {
+    mem_pc: u64,
+    method: MethodId,
+    bc: u32,
+    /// Block machine instructions retired before this access issued,
+    /// used to reconstruct the access's serial cycle stamp at flush
+    /// time.
+    mach_before: u64,
+}
+
 /// The virtual machine.
 ///
 /// See the [crate-level documentation](crate) for an example.
@@ -96,6 +110,8 @@ pub struct Vm<'p> {
     heap: Heap,
     mem: MemoryHierarchy,
     compiled: Vec<Option<CompiledCode>>,
+    decoded: Vec<Option<DecodedMethod>>,
+    generations: Vec<u32>,
     method_table: MethodTable,
     aos: Aos,
     code_cursor: u64,
@@ -108,10 +124,23 @@ pub struct Vm<'p> {
     locals: Vec<Value>,
     stack: Vec<Value>,
     frames: Vec<Frame>,
+    batch_reqs: Vec<BatchAccess>,
+    batch_meta: Vec<PendingMeta>,
+    batch_outcomes: Vec<AccessOutcome>,
+    /// Machine instructions retired by the current block, converted to
+    /// cycles (divided by [`Vm::batch_width`]) when the batch flushes.
+    batch_mach: u64,
+    /// Retirement width of the block's tier (set at frame entry; a batch
+    /// never spans a control transfer, so it is single-tier).
+    batch_width: u64,
+    roots_scratch: Vec<Address>,
 }
 
 /// How often (in bytecodes) the hooks' poll callback runs.
 const POLL_EVERY_BYTECODES: u64 = 4096;
+
+/// Maximum queued heap accesses before a batch is force-flushed.
+const BATCH_CAP: usize = 32;
 
 impl<'p> Vm<'p> {
     /// Create a VM for `program`.
@@ -132,6 +161,8 @@ impl<'p> Vm<'p> {
             heap: Heap::new(program, config.heap.clone()),
             mem: MemoryHierarchy::new(config.mem.clone()),
             compiled: vec![None; program.methods().len()],
+            decoded: vec![None; program.methods().len()],
+            generations: vec![0; program.methods().len()],
             method_table: MethodTable::new(),
             aos: Aos::new(config.aos.clone()),
             code_cursor: CODE_BASE,
@@ -144,6 +175,12 @@ impl<'p> Vm<'p> {
             locals: Vec::new(),
             stack: Vec::new(),
             frames: Vec::new(),
+            batch_reqs: Vec::with_capacity(BATCH_CAP),
+            batch_meta: Vec::with_capacity(BATCH_CAP),
+            batch_outcomes: Vec::with_capacity(BATCH_CAP),
+            batch_mach: 0,
+            batch_width: 1,
+            roots_scratch: Vec::with_capacity(64),
             program,
             config,
         }
@@ -215,6 +252,12 @@ impl<'p> Vm<'p> {
 
     /// Run the program to completion.
     ///
+    /// The default engine executes pre-decoded bodies with inline caches
+    /// and block-batched memory simulation; building with the
+    /// `slow-path` feature forces the legacy per-step engine instead
+    /// (same semantics and digests, unbatched cost accounting) for
+    /// differential debugging.
+    ///
     /// # Errors
     ///
     /// Returns the first [`VmError`] raised (null dereference, division by
@@ -223,7 +266,23 @@ impl<'p> Vm<'p> {
         hooks.on_startup(self.program, self.cycles);
         let entry = self.program.entry();
         self.ensure_compiled(entry, hooks);
-        self.push_frame(entry, 0)?;
+        self.push_frame(entry, 0, self.config.call_overhead_cycles)?;
+        if cfg!(feature = "slow-path") {
+            self.run_slow(hooks)?;
+        } else {
+            self.run_fast(hooks)?;
+        }
+        // Final drain so buffered samples are processed before reporting.
+        let overhead = hooks.on_exit(self.program, self.cycles);
+        self.cycles += overhead;
+        self.monitor_cycles += overhead;
+        Ok(self.summary())
+    }
+
+    /// The legacy per-step engine: re-decode and re-cost every bytecode
+    /// from the artifact on each step, play every heap access through
+    /// the hierarchy immediately.
+    fn run_slow<H: RuntimeHooks>(&mut self, hooks: &mut H) -> Result<(), VmError> {
         let mut next_poll = POLL_EVERY_BYTECODES;
         while !self.frames.is_empty() {
             self.step(hooks)?;
@@ -248,11 +307,479 @@ impl<'p> Vm<'p> {
                 self.monitor_cycles += overhead;
             }
         }
-        // Final drain so buffered samples are processed before reporting.
-        let overhead = hooks.on_exit(self.program, self.cycles);
-        self.cycles += overhead;
-        self.monitor_cycles += overhead;
-        Ok(self.summary())
+        Ok(())
+    }
+
+    /// The fast engine: dispatch pre-decoded ops and batch each basic
+    /// block's heap accesses through one hierarchy call.
+    fn run_fast<H: RuntimeHooks>(&mut self, hooks: &mut H) -> Result<(), VmError> {
+        let mut next_poll = POLL_EVERY_BYTECODES;
+        let r = self.exec_fast(hooks, &mut next_poll);
+        // Any exit — normal or error — drains the batch so the hooks see
+        // every access that architecturally completed before the stop
+        // point (an erroring op's dispatch cost is never charged, same
+        // as the per-step engine).
+        self.flush_batch(hooks);
+        r
+    }
+
+    /// The fast dispatch loop. One iteration of the outer loop pins one
+    /// frame's decoded body; the inner loop runs ops of that frame until
+    /// control transfers (call/return) or the body is recompiled.
+    #[allow(clippy::too_many_lines)]
+    fn exec_fast<H: RuntimeHooks>(
+        &mut self,
+        hooks: &mut H,
+        next_poll: &mut u64,
+    ) -> Result<(), VmError> {
+        'frames: while let Some(&frame) = self.frames.last() {
+            let mi = frame.method.0 as usize;
+            let method = frame.method;
+            let locals_base = frame.locals_base;
+            let mut pc = frame.pc;
+            let width = self.decoded[mi].as_ref().expect("decoded method").width;
+            self.batch_width = width;
+            loop {
+                // Mirror the frame pc eagerly so error paths and GC root
+                // scans observe the same frame state as the per-step
+                // engine.
+                self.frames.last_mut().expect("running frame").pc = pc;
+                let dop = self.decoded[mi].as_ref().expect("decoded method").ops[pc];
+                let mut cost = u64::from(dop.cost);
+                let mut next_pc = pc + 1;
+                let bc = pc as u32;
+
+                macro_rules! binop_int {
+                    ($f:expr) => {{
+                        let b = self.pop()?.as_int()?;
+                        let a = self.pop()?.as_int()?;
+                        #[allow(clippy::redundant_closure_call)]
+                        self.stack.push(Value::Int($f(a, b)));
+                    }};
+                }
+
+                match dop.op {
+                    Op::Const(v) => self.stack.push(Value::Int(v)),
+                    Op::ConstNull => self.stack.push(Value::null()),
+                    Op::Load(n) => {
+                        let v = self.locals[locals_base + n as usize];
+                        self.stack.push(v);
+                    }
+                    Op::Store(n) => {
+                        let v = self.pop()?;
+                        self.locals[locals_base + n as usize] = v;
+                    }
+                    Op::Dup => {
+                        let v = *self.stack.last().ok_or(VmError::TypeMismatch)?;
+                        self.stack.push(v);
+                    }
+                    Op::Pop => {
+                        self.pop()?;
+                    }
+                    Op::Swap => {
+                        let len = self.stack.len();
+                        self.stack.swap(len - 1, len - 2);
+                    }
+
+                    Op::Add => binop_int!(|a: i64, b: i64| a.wrapping_add(b)),
+                    Op::Sub => binop_int!(|a: i64, b: i64| a.wrapping_sub(b)),
+                    Op::Mul => binop_int!(|a: i64, b: i64| a.wrapping_mul(b)),
+                    Op::Div => {
+                        let b = self.pop()?.as_int()?;
+                        let a = self.pop()?.as_int()?;
+                        if b == 0 {
+                            return Err(VmError::DivisionByZero);
+                        }
+                        self.stack.push(Value::Int(a.wrapping_div(b)));
+                    }
+                    Op::Rem => {
+                        let b = self.pop()?.as_int()?;
+                        let a = self.pop()?.as_int()?;
+                        if b == 0 {
+                            return Err(VmError::DivisionByZero);
+                        }
+                        self.stack.push(Value::Int(a.wrapping_rem(b)));
+                    }
+                    Op::And => binop_int!(|a: i64, b: i64| a & b),
+                    Op::Or => binop_int!(|a: i64, b: i64| a | b),
+                    Op::Xor => binop_int!(|a: i64, b: i64| a ^ b),
+                    Op::Shl => binop_int!(|a: i64, b: i64| a.wrapping_shl(b as u32 & 63)),
+                    Op::Shr => binop_int!(|a: i64, b: i64| a.wrapping_shr(b as u32 & 63)),
+                    Op::UShr => {
+                        binop_int!(|a: i64, b: i64| ((a as u64) >> (b as u32 & 63)) as i64)
+                    }
+                    Op::Neg => {
+                        let a = self.pop()?.as_int()?;
+                        self.stack.push(Value::Int(a.wrapping_neg()));
+                    }
+
+                    Op::Eq => binop_int!(|a, b| i64::from(a == b)),
+                    Op::Ne => binop_int!(|a, b| i64::from(a != b)),
+                    Op::Lt => binop_int!(|a, b| i64::from(a < b)),
+                    Op::Le => binop_int!(|a, b| i64::from(a <= b)),
+                    Op::Gt => binop_int!(|a, b| i64::from(a > b)),
+                    Op::Ge => binop_int!(|a, b| i64::from(a >= b)),
+
+                    Op::Jump(t) => next_pc = t as usize,
+                    Op::JumpIf(t) => {
+                        if self.pop()?.as_int()? != 0 {
+                            next_pc = t as usize;
+                        }
+                    }
+                    Op::JumpIfNot(t) => {
+                        if self.pop()?.as_int()? == 0 {
+                            next_pc = t as usize;
+                        }
+                    }
+
+                    Op::New(class) => {
+                        // Allocation can trigger a collection, which
+                        // flushes the memory hierarchy: drain the batch
+                        // first so queued accesses replay against pre-GC
+                        // cache state and pre-GC object addresses.
+                        self.flush_batch(hooks);
+                        let obj = self.alloc_object_gc(class, hooks)?;
+                        // Initializing the header touches the first line.
+                        self.queue_access(hooks, obj, 8, AccessKind::Write, dop.mem_pc, method, bc);
+                        self.stack.push(Value::Ref(obj));
+                    }
+                    Op::NewArray(kind) => {
+                        let len = self.pop()?.as_int()?;
+                        if len < 0 {
+                            return Err(VmError::IndexOutOfBounds);
+                        }
+                        self.flush_batch(hooks);
+                        let obj = self.alloc_array_gc(kind, len as u64, hooks)?;
+                        self.queue_access(hooks, obj, 8, AccessKind::Write, dop.mem_pc, method, bc);
+                        self.stack.push(Value::Ref(obj));
+                    }
+                    Op::GetField { offset, is_ref, ic } => {
+                        let obj = self.pop()?.as_ref_addr()?;
+                        if obj.is_null() {
+                            return Err(VmError::NullPointer);
+                        }
+                        cost += self.field_ic_cost(mi, ic, dop.miss_extra, obj);
+                        let addr = self.heap.field_addr(obj, offset);
+                        self.queue_access(hooks, addr, 8, AccessKind::Read, dop.mem_pc, method, bc);
+                        let raw = self.heap.get_field(obj, offset);
+                        self.stack.push(if is_ref {
+                            Value::Ref(Address(raw))
+                        } else {
+                            Value::Int(raw as i64)
+                        });
+                    }
+                    Op::PutField { offset, is_ref, ic } => {
+                        let v = self.pop()?;
+                        let obj = self.pop()?.as_ref_addr()?;
+                        if obj.is_null() {
+                            return Err(VmError::NullPointer);
+                        }
+                        cost += self.field_ic_cost(mi, ic, dop.miss_extra, obj);
+                        let addr = self.heap.field_addr(obj, offset);
+                        self.queue_access(
+                            hooks,
+                            addr,
+                            8,
+                            AccessKind::Write,
+                            dop.mem_pc,
+                            method,
+                            bc,
+                        );
+                        let (raw, v_is_ref) = match v {
+                            Value::Ref(a) => (a.0, true),
+                            Value::Int(i) => (i as u64, false),
+                        };
+                        if v_is_ref != is_ref {
+                            return Err(VmError::TypeMismatch);
+                        }
+                        self.heap.set_field(obj, offset, raw, v_is_ref);
+                    }
+                    Op::GetStatic { index, addr } => {
+                        self.queue_access(
+                            hooks,
+                            Address(addr),
+                            8,
+                            AccessKind::Read,
+                            dop.mem_pc,
+                            method,
+                            bc,
+                        );
+                        self.stack.push(self.statics[index as usize]);
+                    }
+                    Op::PutStatic { index, addr } => {
+                        let v = self.pop()?;
+                        self.queue_access(
+                            hooks,
+                            Address(addr),
+                            8,
+                            AccessKind::Write,
+                            dop.mem_pc,
+                            method,
+                            bc,
+                        );
+                        self.statics[index as usize] = v;
+                    }
+                    Op::ArrayGet(kind) => {
+                        let idx = self.pop()?.as_int()?;
+                        let arr = self.pop()?.as_ref_addr()?;
+                        if arr.is_null() {
+                            return Err(VmError::NullPointer);
+                        }
+                        let len = self.heap.array_len(arr);
+                        if idx < 0 || idx as u64 >= len {
+                            return Err(VmError::IndexOutOfBounds);
+                        }
+                        let addr = self.heap.elem_addr(arr, kind, idx as u64);
+                        self.queue_access(
+                            hooks,
+                            addr,
+                            kind.width(),
+                            AccessKind::Read,
+                            dop.mem_pc,
+                            method,
+                            bc,
+                        );
+                        let raw = self.heap.array_get(arr, kind, idx as u64);
+                        self.stack.push(if kind.is_ref() {
+                            Value::Ref(Address(raw))
+                        } else {
+                            Value::Int(raw as i64)
+                        });
+                    }
+                    Op::ArraySet(kind) => {
+                        let v = self.pop()?;
+                        let idx = self.pop()?.as_int()?;
+                        let arr = self.pop()?.as_ref_addr()?;
+                        if arr.is_null() {
+                            return Err(VmError::NullPointer);
+                        }
+                        let len = self.heap.array_len(arr);
+                        if idx < 0 || idx as u64 >= len {
+                            return Err(VmError::IndexOutOfBounds);
+                        }
+                        let raw = match (kind.is_ref(), v) {
+                            (true, Value::Ref(a)) => a.0,
+                            (false, Value::Int(i)) => i as u64,
+                            _ => return Err(VmError::TypeMismatch),
+                        };
+                        let addr = self.heap.elem_addr(arr, kind, idx as u64);
+                        self.queue_access(
+                            hooks,
+                            addr,
+                            kind.width(),
+                            AccessKind::Write,
+                            dop.mem_pc,
+                            method,
+                            bc,
+                        );
+                        self.heap.array_set(arr, kind, idx as u64, raw);
+                    }
+                    Op::ArrayLen => {
+                        let arr = self.pop()?.as_ref_addr()?;
+                        if arr.is_null() {
+                            return Err(VmError::NullPointer);
+                        }
+                        // The length lives in the header line.
+                        self.queue_access(hooks, arr, 8, AccessKind::Read, dop.mem_pc, method, bc);
+                        self.stack.push(Value::Int(self.heap.array_len(arr) as i64));
+                    }
+                    Op::IsNull => {
+                        let a = self.pop()?.as_ref_addr()?;
+                        self.stack.push(Value::Int(i64::from(a.is_null())));
+                    }
+                    Op::RefEq => {
+                        let b = self.pop()?.as_ref_addr()?;
+                        let a = self.pop()?.as_ref_addr()?;
+                        self.stack.push(Value::Int(i64::from(a == b)));
+                    }
+
+                    Op::Call { callee, argc, ic } => {
+                        // A call ends the block: drain the batch so the
+                        // callee (and a possible first-call compile) see
+                        // a settled clock.
+                        self.flush_batch(hooks);
+                        self.ensure_compiled(callee, hooks);
+                        let mut frame_overhead = self.config.call_overhead_cycles;
+                        if self.config.inline_caches {
+                            let current = self.generations[callee.0 as usize];
+                            let slot = &mut self.decoded[mi].as_mut().expect("decoded method").ics
+                                [ic as usize];
+                            if let IcSlot::Call { generation } = slot {
+                                if *generation == current {
+                                    frame_overhead = self.config.linked_call_overhead_cycles;
+                                } else {
+                                    *generation = current;
+                                    cost += u64::from(dop.miss_extra);
+                                }
+                            }
+                        } else {
+                            cost += u64::from(dop.miss_extra);
+                        }
+                        self.cycles += cost.div_ceil(width);
+                        // Advance the caller's pc *before* pushing the
+                        // new frame.
+                        self.frames.last_mut().expect("caller frame").pc = next_pc;
+                        self.push_frame(callee, argc as usize, frame_overhead)?;
+                        self.epilogue(hooks, next_poll)?;
+                        continue 'frames;
+                    }
+                    Op::Return => {
+                        self.batch_mach += cost;
+                        self.flush_batch(hooks);
+                        self.pop_frame(None);
+                        self.epilogue(hooks, next_poll)?;
+                        continue 'frames;
+                    }
+                    Op::ReturnVal => {
+                        let v = self.pop()?;
+                        self.batch_mach += cost;
+                        self.flush_batch(hooks);
+                        self.pop_frame(Some(v));
+                        self.epilogue(hooks, next_poll)?;
+                        continue 'frames;
+                    }
+                }
+
+                self.batch_mach += cost;
+                pc = next_pc;
+                self.frames.last_mut().expect("running frame").pc = pc;
+                if self.epilogue(hooks, next_poll)? {
+                    // The running method was recompiled: refetch its
+                    // decoded body (same bytecode indices, new costs).
+                    continue 'frames;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-bytecode bookkeeping shared by every fast-path op: step
+    /// accounting, AOS sampling, and the poll timer. Returns `true` when
+    /// a recompilation replaced a decoded body and the caller must
+    /// refetch.
+    #[inline]
+    fn epilogue<H: RuntimeHooks>(
+        &mut self,
+        hooks: &mut H,
+        next_poll: &mut u64,
+    ) -> Result<bool, VmError> {
+        self.bytecodes += 1;
+        if let Some(limit) = self.config.step_limit {
+            if self.bytecodes > limit {
+                return Err(VmError::StepLimit);
+            }
+        }
+        let mut refetch = false;
+        let clock = self.cycles + self.batch_mach.div_ceil(self.batch_width);
+        if self.aos.should_sample(clock) {
+            if let Some(m) = self.frames.last().map(|f| f.method) {
+                if let Some(hot) = self.aos.sample(m, clock) {
+                    // Recompilation swaps the running artifact: settle
+                    // the batch so the install lands on an ordered clock.
+                    self.flush_batch(hooks);
+                    self.recompile(hot, hooks);
+                    refetch = true;
+                }
+            }
+        }
+        if self.bytecodes >= *next_poll {
+            *next_poll = self.bytecodes + POLL_EVERY_BYTECODES;
+            self.flush_batch(hooks);
+            let overhead = hooks.on_poll(self.program, self.cycles);
+            self.cycles += overhead;
+            self.monitor_cycles += overhead;
+        }
+        Ok(refetch)
+    }
+
+    /// Inline-cache lookup for a field site: returns the extra cycles to
+    /// charge (zero on a key hit) and re-keys the slot on a miss.
+    #[inline]
+    fn field_ic_cost(&mut self, mi: usize, ic: u32, miss_extra: u32, obj: Address) -> u64 {
+        if !self.config.inline_caches {
+            return u64::from(miss_extra);
+        }
+        let key = match self.heap.type_of(obj) {
+            TypeTag::Class(c) => c.0,
+            TypeTag::Array(_) => IC_ARRAY_KEY,
+        };
+        let slot = &mut self.decoded[mi].as_mut().expect("decoded method").ics[ic as usize];
+        match slot {
+            IcSlot::Field { class } if *class == key => 0,
+            other => {
+                *other = IcSlot::Field { class: key };
+                u64::from(miss_extra)
+            }
+        }
+    }
+
+    /// Queue a heap access for the current block's batch.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn queue_access<H: RuntimeHooks>(
+        &mut self,
+        hooks: &mut H,
+        addr: Address,
+        size: u64,
+        kind: AccessKind,
+        mem_pc: u64,
+        method: MethodId,
+        bc: u32,
+    ) {
+        if self.batch_reqs.len() >= BATCH_CAP {
+            self.flush_batch(hooks);
+        }
+        self.batch_reqs.push(BatchAccess {
+            addr: addr.0,
+            size,
+            kind,
+        });
+        self.batch_meta.push(PendingMeta {
+            mem_pc,
+            method,
+            bc,
+            mach_before: self.batch_mach,
+        });
+    }
+
+    /// Drain the pending batch: replay it through the hierarchy in one
+    /// call, report every access to the hooks with a reconstructed
+    /// serial cycle stamp (block start + compute before the access +
+    /// latency and overhead of earlier batch entries + its own latency,
+    /// exactly the stamp the per-step engine would have produced), and
+    /// settle the block's compute cycles into the clock.
+    fn flush_batch<H: RuntimeHooks>(&mut self, hooks: &mut H) {
+        let width = self.batch_width;
+        let block_cycles = self.batch_mach.div_ceil(width);
+        if self.batch_reqs.is_empty() {
+            self.cycles += block_cycles;
+            self.batch_mach = 0;
+            return;
+        }
+        self.batch_outcomes.clear();
+        self.mem
+            .access_batch(&self.batch_reqs, &mut self.batch_outcomes);
+        let base = self.cycles;
+        let mut extra = 0u64;
+        for i in 0..self.batch_reqs.len() {
+            let meta = self.batch_meta[i];
+            let outcome = self.batch_outcomes[i];
+            let ctx = AccessContext {
+                pc: meta.mem_pc,
+                addr: Address(self.batch_reqs[i].addr),
+                outcome,
+                cycles: base + meta.mach_before.div_ceil(width) + extra + outcome.cycles,
+                method: meta.method,
+                bytecode_index: meta.bc,
+            };
+            let overhead = hooks.on_access(&ctx);
+            self.monitor_cycles += overhead;
+            extra += outcome.cycles + overhead;
+        }
+        self.cycles += block_cycles + extra;
+        self.batch_mach = 0;
+        self.batch_reqs.clear();
+        self.batch_meta.clear();
     }
 
     /// Build the summary for the current state (used by `run`, callable
@@ -330,12 +857,17 @@ impl<'p> Vm<'p> {
             tier,
         });
         hooks.on_compile(self.program, &code);
+        // Re-decode against the new artifact: inline-cache slots start
+        // cold, and bumping the generation invalidates every call site
+        // linked to the previous artifact.
+        self.decoded[m.0 as usize] = Some(decode(self.program, &code, &self.config));
+        self.generations[m.0 as usize] = self.generations[m.0 as usize].wrapping_add(1);
         self.compiled[m.0 as usize] = Some(code);
     }
 
     // ----- frames ----------------------------------------------------------
 
-    fn push_frame(&mut self, m: MethodId, argc: usize) -> Result<(), VmError> {
+    fn push_frame(&mut self, m: MethodId, argc: usize, overhead: u64) -> Result<(), VmError> {
         if self.frames.len() >= self.config.max_call_depth {
             return Err(VmError::StackOverflow);
         }
@@ -353,7 +885,7 @@ impl<'p> Vm<'p> {
             locals_base,
             stack_base: self.stack.len(),
         });
-        self.cycles += self.config.call_overhead_cycles;
+        self.cycles += overhead;
         Ok(())
     }
 
@@ -370,12 +902,16 @@ impl<'p> Vm<'p> {
 
     fn gather_roots(&self) -> Vec<Address> {
         let mut roots = Vec::with_capacity(16);
+        self.collect_roots(&mut roots);
+        roots
+    }
+
+    fn collect_roots(&self, roots: &mut Vec<Address>) {
         for v in self.statics.iter().chain(&self.locals).chain(&self.stack) {
             if let Value::Ref(a) = v {
                 roots.push(*a);
             }
         }
-        roots
     }
 
     fn scatter_roots(&mut self, roots: &[Address]) {
@@ -393,19 +929,29 @@ impl<'p> Vm<'p> {
     }
 
     fn do_gc<H: RuntimeHooks>(&mut self, major: bool, hooks: &mut H) -> Result<(), VmError> {
-        let mut roots = self.gather_roots();
-        {
+        // Reuse one root buffer across collections so the GC entry path
+        // allocates nothing after warm-up.
+        let mut roots = std::mem::take(&mut self.roots_scratch);
+        roots.clear();
+        self.collect_roots(&mut roots);
+        let collected = {
             let policy = hooks.coalloc_policy();
             if major {
-                self.heap.collect_major(&mut roots, policy)?;
+                self.heap.collect_major(&mut roots, policy)
             } else {
-                self.heap.collect_minor(&mut roots, policy)?;
+                self.heap.collect_minor(&mut roots, policy)
             }
+        };
+        if let Err(e) = collected {
+            self.roots_scratch = roots;
+            return Err(e.into());
         }
         self.scatter_roots(&roots);
         if self.config.verify_heap_every_gc && self.heap.verify(&roots).is_err() {
+            self.roots_scratch = roots;
             return Err(VmError::HeapCorrupt);
         }
+        self.roots_scratch = roots;
         // A collection walks the whole live heap: model its cache and TLB
         // pollution by flushing the hierarchy.
         self.mem.flush();
@@ -731,7 +1277,7 @@ impl<'p> Vm<'p> {
                 // Advance the caller's pc *before* pushing the new frame.
                 self.frames.last_mut().expect("caller frame").pc = next_pc;
                 self.cycles += cycles;
-                self.push_frame(callee, argc)?;
+                self.push_frame(callee, argc, self.config.call_overhead_cycles)?;
                 return Ok(());
             }
             Instr::Return => {
@@ -1203,5 +1749,152 @@ mod tests {
         assert!(s.total_machine_code_bytes() > 0);
         assert!(s.total_mc_map_bytes() > s.total_gc_map_bytes());
         assert_eq!(s.gc.objects_allocated, 1);
+    }
+
+    /// A program whose `bump` helper has `GetField`/`PutField` sites
+    /// that see two different receiver classes on alternating calls.
+    /// The classes declare a field named `v` at *different* offsets, so
+    /// a correctness bug in inline-cache keying or invalidation (e.g.
+    /// serving the cached class's offset to the other class) would
+    /// change the computed values, not just the cycle count.
+    fn polymorphic_field_site_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let a = pb.add_class("A", &[("v", FieldType::Int), ("w", FieldType::Int)]);
+        let b = pb.add_class(
+            "B",
+            &[
+                ("pad0", FieldType::Int),
+                ("pad1", FieldType::Int),
+                ("v", FieldType::Int),
+            ],
+        );
+        let fa = pb.field_id(a, "v").unwrap();
+        let g = pb.add_static("acc", FieldType::Int);
+
+        // bump(o) -> int: o.{site} += 1 through one static field id;
+        // the receiver's class alternates between calls.
+        let mut bump = MethodBuilder::new("bump", 1, 0, true);
+        bump.load(0);
+        bump.load(0);
+        bump.get_field(fa);
+        bump.const_i(1);
+        bump.add();
+        bump.put_field(fa);
+        bump.load(0);
+        bump.get_field(fa);
+        bump.ret_val();
+        let bump_id = pb.add_method(bump);
+
+        let mut m = MethodBuilder::new("main", 0, 3, false);
+        m.new_object(a);
+        m.store(0);
+        m.new_object(b);
+        m.store(1);
+        m.for_loop(
+            2,
+            |m| {
+                m.const_i(100);
+            },
+            |m| {
+                m.load(0);
+                m.call(bump_id);
+                m.pop();
+                m.load(1);
+                m.call(bump_id);
+                m.pop();
+            },
+        );
+        m.load(0);
+        m.call(bump_id);
+        m.load(1);
+        m.call(bump_id);
+        m.add();
+        m.put_static(g);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn polymorphic_inline_cache_site_is_semantics_free() {
+        let p = polymorphic_field_site_program();
+        let run_with = |ic: bool| {
+            let mut cfg = VmConfig::test();
+            cfg.inline_caches = ic;
+            let mut vm = Vm::new(&p, cfg);
+            let s = vm.run(&mut NoHooks).unwrap();
+            let acc = vm.statics[0].as_int().unwrap();
+            (vm.state_digest(), acc, s.cycles, s.bytecodes_executed)
+        };
+        let (digest_on, acc_on, cycles_on, bc_on) = run_with(true);
+        let (digest_off, acc_off, cycles_off, bc_off) = run_with(false);
+
+        // 101 increments against each receiver; the A.v field id resolves
+        // to B's first padding slot on B receivers, which is fine — the
+        // offsets are static, only the IC key varies.
+        assert_eq!(acc_on, 202);
+        assert_eq!(acc_on, acc_off);
+        assert_eq!(
+            digest_on, digest_off,
+            "inline caches are a cost-model lever; state must be identical"
+        );
+        assert_eq!(bc_on, bc_off);
+        // The alternating field sites re-key every call (no hit to win),
+        // but the monomorphic call sites still link, so the cached run
+        // can never be slower.
+        assert!(
+            cycles_on <= cycles_off,
+            "IC on {cycles_on} vs off {cycles_off}"
+        );
+    }
+
+    #[test]
+    fn slow_and_fast_engines_agree_on_state() {
+        let programs = [
+            polymorphic_field_site_program(),
+            expr_program(|m| {
+                // Allocation churn so both engines cross GC and batching
+                // boundaries, not just arithmetic.
+                m.for_loop(
+                    1,
+                    |m| {
+                        m.const_i(500);
+                    },
+                    |m| {
+                        m.const_i(64);
+                        m.new_array(ElemKind::I64);
+                        m.pop();
+                    },
+                );
+                m.load(1);
+            }),
+        ];
+        for (i, p) in programs.iter().enumerate() {
+            let run_engine = |slow: bool| {
+                let mut vm = Vm::new(p, VmConfig::test());
+                vm.ensure_compiled(p.entry(), &mut NoHooks);
+                vm.push_frame(p.entry(), 0, vm.config.call_overhead_cycles)
+                    .unwrap();
+                if slow {
+                    vm.run_slow(&mut NoHooks).unwrap();
+                } else {
+                    vm.run_fast(&mut NoHooks).unwrap();
+                }
+                (vm.state_digest(), vm.bytecodes, vm.cycles)
+            };
+            let (slow_digest, slow_bc, slow_cycles) = run_engine(true);
+            let (fast_digest, fast_bc, fast_cycles) = run_engine(false);
+            assert_eq!(
+                slow_digest, fast_digest,
+                "program {i}: engines must agree on program state"
+            );
+            assert_eq!(slow_bc, fast_bc, "program {i}: bytecode counts agree");
+            assert!(
+                fast_cycles <= slow_cycles,
+                "program {i}: the flattened engine never charges more \
+                 ({fast_cycles} vs {slow_cycles})"
+            );
+        }
     }
 }

@@ -55,6 +55,7 @@ pub mod hooks;
 pub mod interp;
 pub mod machine;
 pub mod methodtable;
+mod predecode;
 pub mod value;
 
 pub use aos::{Aos, AosConfig, CompilationPlan};

@@ -14,6 +14,12 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q --workspace --release
 
+echo "==> slow-path escape hatch: vm suite under the legacy per-step engine"
+# Digest parity between the flattened and per-step engines is asserted
+# in-process by the default build; this run proves the legacy engine
+# still passes the full vm suite when forced via the feature flag.
+cargo test -q -p hpmopt-vm --release --features slow-path
+
 echo "==> profile round-trip tests"
 cargo test -q -p hpmopt-profile --release
 cargo test -q --release --test profile_warm_start
@@ -27,6 +33,10 @@ cargo run --release --bin hpmopt-report -- fop --prom -o target/ci-report-fop-pr
 cargo run --release --bin hpmopt-report -- fop --prom -o target/ci-report-fop-prom.json \
     >target/ci-prom-b.txt 2>/dev/null
 cmp target/ci-prom-a.txt target/ci-prom-b.txt
+
+echo "==> smoke: fast hpmopt-bench measurement (one workload, two seeds)"
+cargo run --release --bin hpmopt-bench -p hpmopt-bench -- --update \
+    --workloads fop --seeds 2 --out target/ci-bench-smoke.json >/dev/null
 
 echo "==> perf trajectory gate: hpmopt-bench --check vs committed baseline"
 cargo run --release --bin hpmopt-bench -p hpmopt-bench -- --check

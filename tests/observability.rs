@@ -57,12 +57,12 @@ fn forced_bad_config(w: &Workload, telemetry: Telemetry) -> RunConfig {
             class: "String".into(),
             field: "value".into(),
             gap_bytes: 128,
-            at_cycles: 25_000_000,
+            at_cycles: 6_000_000,
         }),
         feedback: FeedbackConfig {
             tolerance: 1.25,
             revert_after_periods: 2,
-            min_period_misses: 6,
+            min_period_misses: 25,
         },
         telemetry,
         ..RunConfig::default()
