@@ -135,6 +135,30 @@ pub fn baseline_report(w: &Workload, size: Size, num: u64, den: u64) -> RunRepor
     run(w, cfg)
 }
 
+/// Digest cache key: workload name + size + heap fraction.
+type DigestKey = (String, Size, u64, u64);
+
+fn digest_cache() -> &'static Mutex<HashMap<DigestKey, u64>> {
+    static CACHE: OnceLock<Mutex<HashMap<DigestKey, u64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Placement-independent state digest of the *unmonitored* run at this
+/// heap point, cached per process. Monitored runs of the same workload
+/// and heap must reproduce it exactly — the zero-perturbation oracle
+/// the stress engine checks per seed and the serve bench checks per
+/// job.
+#[must_use]
+pub fn baseline_digest(w: &Workload, size: Size, num: u64, den: u64) -> u64 {
+    let key = (w.name.to_string(), size, num, den);
+    if let Some(&d) = digest_cache().lock().unwrap().get(&key) {
+        return d;
+    }
+    let d = baseline_report(w, size, num, den).result_digest;
+    digest_cache().lock().unwrap().insert(key, d);
+    d
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -119,6 +119,11 @@ pub struct RunReport {
     pub final_interval: u64,
     /// Whether a persisted profile warm-started this run.
     pub warm_start: bool,
+    /// What *this* run measured (warm-start seeds subtracted), built
+    /// whenever profile persistence or a shared-repository checkout is
+    /// configured. A shared repository decay-merges this back on job
+    /// completion; `None` when the run used no profile machinery.
+    pub fresh_profile: Option<Profile>,
     /// Placement-independent digest of the program-visible end state
     /// (statics plus reachable heap contents,
     /// [`hpmopt_vm::Vm::state_digest`]). The stress engine's
@@ -230,16 +235,29 @@ impl HpmRuntime {
 
         // Warm start: consult the profile repository before the first
         // bytecode runs. A load can only ever degrade to a cold start —
-        // a broken profile file must not break the run.
-        let repository = self.config.profile.path.as_ref().map(|path| {
-            let fp =
-                warmstart::fingerprint(program, &self.config.vm, &self.config.profile.workload);
-            (ProfileStore::new(path), fp)
+        // a broken profile file (or a stale in-memory checkout) must
+        // not break the run.
+        let wants_profile = self.config.profile.path.is_some()
+            || self.config.profile.checkout.is_some()
+            || self.config.profile.report_fresh;
+        let fingerprint = wants_profile.then(|| {
+            warmstart::fingerprint(program, &self.config.vm, &self.config.profile.workload)
         });
+        let store = self.config.profile.path.as_ref().map(ProfileStore::new);
         let mut prior: Option<Profile> = None;
         let mut seeds: Option<Seeds> = None;
-        if let Some((store, fp)) = &repository {
-            match store.load(fp) {
+        if let Some(fp) = &fingerprint {
+            // An in-memory checkout (shared-repository mode) takes
+            // precedence over the disk store.
+            let outcome = match self.config.profile.checkout.clone() {
+                Some(p) if p.fingerprint == *fp => LoadOutcome::Warm(p),
+                Some(_) => LoadOutcome::Cold(ColdReason::FingerprintMismatch),
+                None => match &store {
+                    Some(s) => s.load(fp),
+                    None => LoadOutcome::Cold(ColdReason::Missing),
+                },
+            };
+            match outcome {
                 LoadOutcome::Warm(p) => {
                     telemetry.incr(MetricId::ProfileWarmStarts);
                     seeds = Some(warmstart::compute_seeds(
@@ -292,32 +310,38 @@ impl HpmRuntime {
         let result_digest = vm.state_digest();
         sync_final_counters(&hooks, &summary);
 
-        // Shutdown save: persist what *this* run measured (seeded
-        // history subtracted), decay-merged into the prior profile.
-        if let Some((store, fp)) = repository {
-            if self.config.profile.save {
-                let mut totals = hooks.monitor.field_totals();
-                for (f, n) in &mut totals {
-                    if let Some(&(_, s)) = hooks.seeded.iter().find(|(sf, _)| sf == f) {
-                        *n = n.saturating_sub(s);
-                    }
-                }
-                let fresh = warmstart::build_profile(program, fp, &totals, hooks.policy.events());
-                let merged = match prior {
-                    Some(mut p) => {
-                        p.merge_run(&fresh, self.config.profile.decay);
-                        p
-                    }
-                    None => fresh,
-                };
-                match store.save(&merged) {
-                    Ok(_) => {
-                        telemetry.incr(MetricId::ProfileSaves);
-                        telemetry.set_gauge(MetricId::ProfileRuns, u64::from(merged.runs));
-                    }
-                    Err(_) => telemetry.incr(MetricId::ProfileSaveErrors),
+        // Shutdown: build what *this* run measured (seeded history
+        // subtracted). In disk mode it is decay-merged into the prior
+        // profile and saved; in shared-repository mode the fresh
+        // profile rides back on the report and the repository merges.
+        let mut fresh_profile: Option<Profile> = None;
+        if let Some(fp) = fingerprint {
+            let mut totals = hooks.monitor.field_totals();
+            for (f, n) in &mut totals {
+                if let Some(&(_, s)) = hooks.seeded.iter().find(|(sf, _)| sf == f) {
+                    *n = n.saturating_sub(s);
                 }
             }
+            let fresh = warmstart::build_profile(program, fp, &totals, hooks.policy.events());
+            if self.config.profile.save {
+                if let Some(store) = &store {
+                    let merged = match prior {
+                        Some(mut p) => {
+                            p.merge_run(&fresh, self.config.profile.decay);
+                            p
+                        }
+                        None => fresh.clone(),
+                    };
+                    match store.save(&merged) {
+                        Ok(_) => {
+                            telemetry.incr(MetricId::ProfileSaves);
+                            telemetry.set_gauge(MetricId::ProfileRuns, u64::from(merged.runs));
+                        }
+                        Err(_) => telemetry.incr(MetricId::ProfileSaveErrors),
+                    }
+                }
+            }
+            fresh_profile = Some(fresh);
         }
 
         let field_totals = hooks
@@ -348,6 +372,7 @@ impl HpmRuntime {
             event_series: hooks.event_series,
             final_interval: hooks.hpm.current_interval(),
             warm_start,
+            fresh_profile,
             result_digest,
             vm: summary,
         })

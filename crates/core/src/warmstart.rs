@@ -34,6 +34,18 @@ pub struct ProfileOptions {
     pub save: bool,
     /// Workload label baked into the fingerprint.
     pub workload: String,
+    /// In-memory prior profile checked out from a shared repository
+    /// (the serve daemon's fleet-wide warm start). Takes precedence
+    /// over `path` for loading; a checkout whose fingerprint does not
+    /// match the run degrades to a cold start exactly like a stale
+    /// file. The run's own measurements come back in
+    /// [`crate::runtime::RunReport::fresh_profile`] for the caller to
+    /// merge, so the repository — not the run — owns the decay-merge.
+    pub checkout: Option<Profile>,
+    /// Build and report the run's fresh profile even with no `path`
+    /// and no `checkout` — a cold first job under a shared repository
+    /// still has to hand its measurements back for merging.
+    pub report_fresh: bool,
 }
 
 impl Default for ProfileOptions {
@@ -43,6 +55,8 @@ impl Default for ProfileOptions {
             decay: 0.5,
             save: true,
             workload: String::new(),
+            checkout: None,
+            report_fresh: false,
         }
     }
 }
@@ -54,6 +68,20 @@ impl ProfileOptions {
         ProfileOptions {
             path: Some(path.into()),
             workload: workload.to_string(),
+            ..ProfileOptions::default()
+        }
+    }
+
+    /// Warm-start from an in-memory checkout (possibly `None` for a
+    /// cold first run) and report the run's fresh profile back without
+    /// touching the filesystem — the serve daemon's configuration.
+    #[must_use]
+    pub fn from_checkout(checkout: Option<Profile>, workload: &str) -> Self {
+        ProfileOptions {
+            save: false,
+            workload: workload.to_string(),
+            checkout,
+            report_fresh: true,
             ..ProfileOptions::default()
         }
     }

@@ -40,10 +40,12 @@
 
 pub mod format;
 pub mod inspect;
+pub mod shared;
 pub mod store;
 pub mod wire;
 
 pub use format::{ProfileError, FORMAT_VERSION, MAGIC};
+pub use shared::{RepoStats, SharedProfileRepo};
 pub use store::{ColdReason, LoadOutcome, ProfileStore};
 
 /// Identity of the (program, machine) a profile was measured on.

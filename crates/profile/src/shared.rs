@@ -1,0 +1,292 @@
+//! Shared, concurrently updated in-process profile repository.
+//!
+//! The on-disk [`crate::store::ProfileStore`] persists one profile per
+//! path and serves one run at a time. A long-lived multi-tenant service
+//! needs the same repository semantics *in memory*, shared by many
+//! concurrent jobs: a job **checks out** a warm profile keyed by its
+//! program+config [`Fingerprint`] at admission, runs with the seeds,
+//! and **merges** its freshly measured results back on completion with
+//! the same exponential decay the file store uses
+//! ([`Profile::merge_run`]). One tenant's finished run is the next
+//! tenant's warm start, so cycles-to-first-decision drops fleet-wide as
+//! traffic flows.
+//!
+//! Concurrency model: a single mutex over a fingerprint-keyed map.
+//! Checkout clones the stored profile (jobs never hold the lock while
+//! running), merge mutates under the lock, and both are far off any hot
+//! path — a job performs exactly one checkout and at most one merge for
+//! an execution of millions of simulated cycles. Counters are relaxed
+//! atomics so stats reads never contend with the map.
+//!
+//! The repository can spill to / preload from a directory of
+//! `.hpmprof` files ([`SharedProfileRepo::persist`],
+//! [`SharedProfileRepo::preload`]), giving the daemon warm starts
+//! across restarts without putting disk I/O on the job path.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::store::ProfileStore;
+use crate::{Fingerprint, Profile};
+
+/// Map key: the fingerprint flattened into an orderable tuple so
+/// iteration (and therefore persistence and debug listings) is
+/// deterministic.
+type RepoKey = (u64, u64, String);
+
+fn key_of(fp: &Fingerprint) -> RepoKey {
+    (fp.program_hash, fp.config_hash, fp.workload.clone())
+}
+
+/// Monotonic activity counters of a [`SharedProfileRepo`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepoStats {
+    /// Checkout attempts.
+    pub checkouts: u64,
+    /// Checkouts that found a prior profile (warm).
+    pub warm_checkouts: u64,
+    /// Checkouts that found nothing (cold).
+    pub cold_checkouts: u64,
+    /// Completed-run merges.
+    pub merges: u64,
+}
+
+/// The shared in-process repository. `Send + Sync`; share it between
+/// worker threads behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct SharedProfileRepo {
+    profiles: Mutex<BTreeMap<RepoKey, Profile>>,
+    checkouts: AtomicU64,
+    warm_checkouts: AtomicU64,
+    cold_checkouts: AtomicU64,
+    merges: AtomicU64,
+}
+
+impl SharedProfileRepo {
+    /// An empty repository.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out the current profile for `fp`, if any. The returned
+    /// clone is the job's private warm-start input; the repository copy
+    /// keeps evolving under other tenants' merges in the meantime.
+    #[must_use]
+    pub fn checkout(&self, fp: &Fingerprint) -> Option<Profile> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let got = self.profiles.lock().unwrap().get(&key_of(fp)).cloned();
+        match &got {
+            Some(_) => self.warm_checkouts.fetch_add(1, Ordering::Relaxed),
+            None => self.cold_checkouts.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Merge one finished run's freshly measured profile (seeds already
+    /// subtracted, **not** pre-merged) into the repository with
+    /// exponential decay `decay`, keyed by the fresh profile's own
+    /// fingerprint. The first merge for a fingerprint installs the
+    /// fresh profile as-is.
+    pub fn merge(&self, fresh: &Profile, decay: f64) {
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.profiles.lock().unwrap();
+        match map.get_mut(&key_of(&fresh.fingerprint)) {
+            Some(prior) => prior.merge_run(fresh, decay),
+            None => {
+                map.insert(key_of(&fresh.fingerprint), fresh.clone());
+            }
+        }
+    }
+
+    /// Number of distinct fingerprints held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.lock().unwrap().len()
+    }
+
+    /// Whether the repository holds nothing yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs merged into the profile for `fp` (0 when absent).
+    #[must_use]
+    pub fn runs_for(&self, fp: &Fingerprint) -> u32 {
+        self.profiles
+            .lock()
+            .unwrap()
+            .get(&key_of(fp))
+            .map_or(0, |p| p.runs)
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> RepoStats {
+        RepoStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            warm_checkouts: self.warm_checkouts.load(Ordering::Relaxed),
+            cold_checkouts: self.cold_checkouts.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Write every held profile into `dir` (one `.hpmprof` file per
+    /// fingerprint, named by its hashes), creating the directory as
+    /// needed. Returns the number of files written.
+    ///
+    /// # Errors
+    ///
+    /// The first underlying I/O error.
+    pub fn persist(&self, dir: &Path) -> io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let snapshot: Vec<Profile> = self.profiles.lock().unwrap().values().cloned().collect();
+        for p in &snapshot {
+            ProfileStore::new(dir.join(file_name(&p.fingerprint))).save(p)?;
+        }
+        Ok(snapshot.len())
+    }
+
+    /// Load every decodable `.hpmprof` file in `dir` into the
+    /// repository (skipping corrupt or unreadable files — a damaged
+    /// spill directory must not stop the daemon). Returns how many
+    /// profiles were installed. A missing directory installs zero.
+    pub fn preload(&self, dir: &Path) -> usize {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        let mut loaded = 0;
+        let mut paths: Vec<_> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "hpmprof"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Ok(p) = ProfileStore::new(&path).load_any() else {
+                continue;
+            };
+            self.profiles
+                .lock()
+                .unwrap()
+                .insert(key_of(&p.fingerprint), p);
+            loaded += 1;
+        }
+        loaded
+    }
+}
+
+/// Deterministic spill file name for a fingerprint. The workload label
+/// is sanitized into `[A-Za-z0-9_-]` so it stays a portable path
+/// component.
+fn file_name(fp: &Fingerprint) -> String {
+    let label: String = fp
+        .workload
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!(
+        "{:016x}-{:016x}-{label}.hpmprof",
+        fp.program_hash, fp.config_hash
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::new(n, 2, "db")
+    }
+
+    fn fresh_run(fp_: Fingerprint, misses: u64) -> Profile {
+        let mut p = Profile::new(fp_);
+        p.record_field("String", "value", misses);
+        p.seal_run();
+        p
+    }
+
+    #[test]
+    fn checkout_miss_then_merge_then_warm() {
+        let repo = SharedProfileRepo::new();
+        assert!(repo.checkout(&fp(1)).is_none());
+        repo.merge(&fresh_run(fp(1), 100), 0.5);
+        let warm = repo.checkout(&fp(1)).expect("warm after merge");
+        assert_eq!(warm.field_weight("String", "value"), 100.0);
+        assert_eq!(repo.runs_for(&fp(1)), 1);
+        assert!(repo.checkout(&fp(2)).is_none(), "other fingerprints cold");
+        let stats = repo.stats();
+        assert_eq!(stats.checkouts, 3);
+        assert_eq!(stats.warm_checkouts, 1);
+        assert_eq!(stats.cold_checkouts, 2);
+        assert_eq!(stats.merges, 1);
+    }
+
+    #[test]
+    fn merge_applies_decay_like_the_file_store() {
+        let repo = SharedProfileRepo::new();
+        repo.merge(&fresh_run(fp(1), 100), 0.5);
+        repo.merge(&fresh_run(fp(1), 10), 0.5);
+        let p = repo.checkout(&fp(1)).unwrap();
+        assert_eq!(p.field_weight("String", "value"), 60.0, "100*0.5 + 10");
+        assert_eq!(p.runs, 2);
+    }
+
+    #[test]
+    fn concurrent_checkout_merge_is_consistent() {
+        let repo = SharedProfileRepo::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let repo = &repo;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let _ = repo.checkout(&fp(t % 2));
+                        repo.merge(&fresh_run(fp(t % 2), i + 1), 0.5);
+                    }
+                });
+            }
+        });
+        assert_eq!(repo.len(), 2);
+        let stats = repo.stats();
+        assert_eq!(stats.checkouts, 200);
+        assert_eq!(stats.merges, 200);
+        // 100 merges per fingerprint, whatever the interleaving.
+        assert_eq!(repo.runs_for(&fp(0)), 100);
+        assert_eq!(repo.runs_for(&fp(1)), 100);
+    }
+
+    #[test]
+    fn persist_and_preload_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "hpmopt-shared-repo-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let repo = SharedProfileRepo::new();
+        repo.merge(&fresh_run(fp(1), 100), 0.5);
+        repo.merge(&fresh_run(fp(2), 50), 0.5);
+        assert_eq!(repo.persist(&dir).unwrap(), 2);
+
+        let back = SharedProfileRepo::new();
+        assert_eq!(back.preload(&dir), 2);
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.checkout(&fp(1))
+                .unwrap()
+                .field_weight("String", "value"),
+            100.0
+        );
+        assert_eq!(back.preload(Path::new("/nonexistent/dir")), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

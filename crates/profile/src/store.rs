@@ -96,19 +96,33 @@ impl ProfileStore {
     /// mid-save leaves the previous profile intact (a torn write would
     /// otherwise be caught by the checksum and cost one warm start).
     ///
+    /// The temp name is unique per process *and* per save (pid plus a
+    /// process-wide sequence number), so concurrent savers — the serve
+    /// daemon runs many jobs against one repository — never interleave
+    /// writes into the same temp file. Each saver renames its own fully
+    /// written file over the destination; the last rename wins and every
+    /// intermediate state is a complete, checksummed profile.
+    ///
     /// # Errors
     ///
     /// Any underlying I/O error.
     pub fn save(&self, profile: &Profile) -> io::Result<u64> {
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let bytes = profile.encode();
         if let Some(dir) = self.path.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        let tmp = self.path.with_extension("hpmprof.tmp");
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self
+            .path
+            .with_extension(format!("hpmprof.{}.{}.tmp", std::process::id(), seq));
         std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, &self.path)?;
+        if let Err(e) = std::fs::rename(&tmp, &self.path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         Ok(bytes.len() as u64)
     }
 }
@@ -179,6 +193,49 @@ mod tests {
         assert_eq!(
             store.load(&Fingerprint::new(1, 2, "x")),
             LoadOutcome::Cold(ColdReason::Format(ProfileError::BadMagic))
+        );
+        std::fs::remove_file(store.path()).unwrap();
+    }
+
+    #[test]
+    fn interleaved_writers_never_tear_the_file() {
+        // Two threads hammer the same path with save/load/merge
+        // sequences. Whatever interleaving the scheduler produces, a
+        // concurrent load must only ever observe a complete, checksummed
+        // profile (or, transiently on some platforms, no file at all) —
+        // never a torn or checksum-failing one. This is the multi-writer
+        // regime the serve daemon puts the store in.
+        let fp = Fingerprint::new(7, 8, "db");
+        let store = ProfileStore::new(temp_path("interleave"));
+        store.save(&sample(fp.clone())).unwrap();
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let store = store.clone();
+                let fp = fp.clone();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..200u64 {
+                        let mut p = match store.load(&fp) {
+                            LoadOutcome::Warm(p) => p,
+                            LoadOutcome::Cold(ColdReason::Missing) => sample(fp.clone()),
+                            LoadOutcome::Cold(reason) => {
+                                panic!("writer {t} iteration {i}: torn read: {reason}")
+                            }
+                        };
+                        let mut fresh = Profile::new(fp.clone());
+                        fresh.record_field("Node", "next", t * 1000 + i);
+                        fresh.seal_run();
+                        p.merge_run(&fresh, 0.5);
+                        store.save(&p).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(
+            matches!(store.load(&fp), LoadOutcome::Warm(_)),
+            "final state decodes"
         );
         std::fs::remove_file(store.path()).unwrap();
     }

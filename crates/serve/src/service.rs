@@ -1,0 +1,338 @@
+//! The live daemon: a queue, a worker pool, and the shared repository.
+//!
+//! Job lifecycle: `submit` runs admission control synchronously
+//! (rejections never enter the queue), assigns an id, and enqueues.
+//! A worker claims the job, checks out a warm profile from the shared
+//! [`SharedProfileRepo`] keyed by the job's fingerprint, executes it in
+//! full isolation ([`crate::job::run_job`]), then folds the results
+//! back: decay-merges the fresh profile, absorbs the job's private
+//! telemetry into the fleet registry, and publishes the
+//! [`JobReport`] for `wait`.
+//!
+//! Live mode trades the bench's determinism for latency: merges land in
+//! completion order, so two daemon runs may interleave differently.
+//! The deterministic counterpart with the same execution unit is
+//! [`crate::bench`].
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use hpmopt_profile::SharedProfileRepo;
+use hpmopt_telemetry::{HistogramId, MetricId, Telemetry, TelemetrySnapshot};
+use hpmopt_vm::CancelToken;
+
+use crate::job::{fingerprint_of, run_job, JobOutcome, JobReport, JobSpec, RejectReason};
+use crate::tenant::{TenantBook, TenantCaps};
+
+/// Daemon parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs (clamped to ≥ 1).
+    pub workers: usize,
+    /// Exponential decay for repository merges.
+    pub decay: f64,
+    /// Caps applied to tenants without explicit caps.
+    pub default_caps: TenantCaps,
+    /// Directory to preload profiles from at startup and persist to at
+    /// shutdown — warm starts across daemon restarts.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            decay: 0.5,
+            default_caps: TenantCaps::default(),
+            spill_dir: None,
+        }
+    }
+}
+
+struct Queued {
+    id: u64,
+    spec: JobSpec,
+    budget: Option<u64>,
+}
+
+struct Inner {
+    repo: SharedProfileRepo,
+    tenants: TenantBook,
+    queue: Mutex<VecDeque<Queued>>,
+    wake: Condvar,
+    results: Mutex<BTreeMap<u64, JobReport>>,
+    done: Condvar,
+    stopping: AtomicBool,
+    cancel: CancelToken,
+    next_id: AtomicU64,
+    telemetry: Telemetry,
+    decay: f64,
+}
+
+/// The running service. Dropping it stops the workers: queued jobs are
+/// drained, in-flight jobs are cancelled at their next poll boundary.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    spill_dir: Option<PathBuf>,
+}
+
+impl Service {
+    /// Start the daemon: preload the spill directory (if configured)
+    /// and spawn the worker pool.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            repo: SharedProfileRepo::new(),
+            tenants: TenantBook::new(config.default_caps),
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            results: Mutex::new(BTreeMap::new()),
+            done: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            cancel: CancelToken::new(),
+            next_id: AtomicU64::new(0),
+            telemetry: Telemetry::enabled(hpmopt_telemetry::DEFAULT_TRACE_CAPACITY),
+            decay: config.decay,
+        });
+        if let Some(dir) = &config.spill_dir {
+            let loaded = inner.repo.preload(dir);
+            inner
+                .telemetry
+                .set_gauge(MetricId::ServeRepoProfiles, loaded as u64);
+        }
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Service {
+            inner,
+            workers,
+            spill_dir: config.spill_dir,
+        }
+    }
+
+    /// Install explicit caps for one tenant.
+    pub fn set_caps(&self, tenant: &str, caps: TenantCaps) {
+        self.inner.tenants.set_caps(tenant, caps);
+    }
+
+    /// Submit one job. Admission control runs here, synchronously: a
+    /// rejected job never consumes a queue slot or a worker.
+    ///
+    /// # Errors
+    ///
+    /// The [`RejectReason`] when the workload is unknown or a tenant
+    /// cap would be exceeded.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, RejectReason> {
+        let t = &self.inner.telemetry;
+        t.incr(MetricId::ServeJobsSubmitted);
+        let admitted = spec
+            .resolve()
+            .ok_or_else(|| RejectReason::UnknownWorkload(spec.workload.clone()))
+            .and_then(|w| {
+                self.inner
+                    .tenants
+                    .admit(&spec.tenant, spec.heap_bytes(&w), spec.cycle_budget)
+            });
+        let budget = match admitted {
+            Ok(budget) => budget,
+            Err(reason) => {
+                t.incr(MetricId::ServeJobsRejected);
+                return Err(reason);
+            }
+        };
+        t.set_gauge_max(
+            MetricId::ServeTenants,
+            self.inner.tenants.tenant_count() as u64,
+        );
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            queue.push_back(Queued { id, spec, budget });
+            // High-water mark of jobs in flight (queued + running).
+            t.set_gauge_max(
+                MetricId::ServeLiveJobs,
+                queue.len() as u64 + self.inner.running(),
+            );
+        }
+        self.inner.wake.notify_one();
+        Ok(id)
+    }
+
+    /// Block until job `id` reaches a terminal state and take its
+    /// report.
+    #[must_use]
+    pub fn wait(&self, id: u64) -> JobReport {
+        let mut results = self.inner.results.lock().unwrap();
+        loop {
+            if let Some(report) = results.remove(&id) {
+                return report;
+            }
+            results = self.inner.done.wait(results).unwrap();
+        }
+    }
+
+    /// The shared profile repository (for inspection and tests).
+    #[must_use]
+    pub fn repo(&self) -> &SharedProfileRepo {
+        &self.inner.repo
+    }
+
+    /// The fleet telemetry handle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// Freeze the fleet metrics, syncing the repository gauges first.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.inner.sync_repo_gauges();
+        self.inner.telemetry.snapshot(0)
+    }
+
+    /// Drain the queue, stop the workers, and persist the repository to
+    /// the spill directory if one was configured. Returns the number of
+    /// profiles persisted.
+    pub fn shutdown(mut self) -> usize {
+        // Graceful: let queued jobs finish before stopping.
+        {
+            let mut queue = self.inner.queue.lock().unwrap();
+            while !queue.is_empty() {
+                queue = self.inner.wake.wait(queue).unwrap();
+            }
+        }
+        self.stop_workers(false);
+        let persisted = match &self.spill_dir {
+            Some(dir) => self.inner.repo.persist(dir).unwrap_or(0),
+            None => 0,
+        };
+        self.spill_dir = None; // Drop must not persist again.
+        persisted
+    }
+
+    fn stop_workers(&mut self, cancel_running: bool) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        if cancel_running {
+            self.inner.cancel.cancel();
+        }
+        self.inner.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Fast teardown: abandon the queue, cancel in-flight jobs at
+        // their next poll boundary.
+        self.stop_workers(true);
+    }
+}
+
+impl Inner {
+    fn running(&self) -> u64 {
+        // Live minus queued is implicit; the gauge is a high-water mark
+        // so an approximation from completed counts suffices.
+        let t = &self.telemetry;
+        t.get(MetricId::ServeJobsSubmitted)
+            .saturating_sub(t.get(MetricId::ServeJobsRejected))
+            .saturating_sub(t.get(MetricId::ServeJobsCompleted))
+            .saturating_sub(t.get(MetricId::ServeJobsKilled))
+            .saturating_sub(t.get(MetricId::ServeJobsFailed))
+    }
+
+    fn sync_repo_gauges(&self) {
+        let stats = self.repo.stats();
+        let t = &self.telemetry;
+        t.set_gauge(MetricId::ServeRepoProfiles, self.repo.len() as u64);
+        t.set_gauge_max(MetricId::ServeRepoCheckouts, stats.checkouts);
+        t.set_gauge_max(MetricId::ServeRepoMerges, stats.merges);
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    // Wake `shutdown`'s drain wait when the queue runs dry.
+                    if queue.is_empty() {
+                        inner.wake.notify_all();
+                    }
+                    break Some(job);
+                }
+                if inner.stopping.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = inner.wake.wait(queue).unwrap();
+            }
+        };
+        let Some(Queued { id, spec, budget }) = job else {
+            return;
+        };
+
+        let t = &inner.telemetry;
+        let checkout = spec.resolve().map(|w| {
+            t.incr(MetricId::ServeRepoCheckouts);
+            inner.repo.checkout(&fingerprint_of(&spec, &w))
+        });
+        let run = run_job(
+            &spec,
+            checkout.flatten(),
+            budget,
+            Some(inner.cancel.clone()),
+        );
+
+        if let Some(fresh) = &run.fresh_profile {
+            inner.repo.merge(fresh, inner.decay);
+            t.incr(MetricId::ServeRepoMerges);
+        }
+        t.absorb(&run.telemetry);
+        t.incr(match run.outcome {
+            JobOutcome::Completed => MetricId::ServeJobsCompleted,
+            JobOutcome::Killed | JobOutcome::Cancelled => MetricId::ServeJobsKilled,
+            JobOutcome::Failed(_) => MetricId::ServeJobsFailed,
+        });
+        if run.outcome == JobOutcome::Completed {
+            t.incr(if run.warm {
+                MetricId::ServeWarmJobs
+            } else {
+                MetricId::ServeColdJobs
+            });
+            t.observe(HistogramId::ServeJobCycles, run.cycles);
+            if let Some(first) = run.first_decision_cycles {
+                t.observe(
+                    if run.warm {
+                        HistogramId::ServeWarmFirstDecisionCycles
+                    } else {
+                        HistogramId::ServeColdFirstDecisionCycles
+                    },
+                    first,
+                );
+            }
+        }
+        inner.sync_repo_gauges();
+        inner.tenants.release(&spec.tenant);
+
+        let report = JobReport {
+            id,
+            outcome: run.outcome,
+            warm: run.warm,
+            cycles: run.cycles,
+            first_decision_cycles: run.first_decision_cycles,
+            digest: run.digest,
+            spec,
+        };
+        inner.results.lock().unwrap().insert(id, report);
+        inner.done.notify_all();
+    }
+}

@@ -1,0 +1,186 @@
+//! Integration tests for the multi-tenant service: admission control,
+//! clean cycle-budget kills, tenant isolation (one tenant's misbehavior
+//! never perturbs another's digests), fleet warm start, and the
+//! worker-count independence of the deterministic bench.
+
+use hpmopt_bench::setup;
+use hpmopt_serve::bench::{run_bench, BenchConfig};
+use hpmopt_serve::{JobOutcome, JobSpec, RejectReason, Service, ServiceConfig, TenantCaps};
+use hpmopt_telemetry::MetricId;
+
+fn one_worker() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Over-cap submissions come back as `JobRejected` synchronously: they
+/// never consume a queue slot, a worker, or a telemetry completion.
+#[test]
+fn over_cap_submission_is_rejected_synchronously() {
+    let service = Service::start(one_worker());
+    service.set_caps(
+        "greedy",
+        TenantCaps {
+            max_live_jobs: 0,
+            ..TenantCaps::default()
+        },
+    );
+    service.set_caps(
+        "hoarder",
+        TenantCaps {
+            max_heap_bytes: 1,
+            ..TenantCaps::default()
+        },
+    );
+
+    assert_eq!(
+        service.submit(JobSpec::new("greedy", "hsqldb")),
+        Err(RejectReason::LiveJobCap { live: 0, cap: 0 })
+    );
+    let spec = JobSpec::new("hoarder", "hsqldb");
+    let w = spec.resolve().unwrap();
+    assert_eq!(
+        service.submit(spec.clone()),
+        Err(RejectReason::HeapCap {
+            requested_bytes: spec.heap_bytes(&w),
+            cap_bytes: 1
+        })
+    );
+    assert!(matches!(
+        service.submit(JobSpec::new("greedy", "no-such-program")),
+        Err(RejectReason::UnknownWorkload(_))
+    ));
+
+    let snap = service.snapshot();
+    assert_eq!(snap.get(MetricId::ServeJobsSubmitted), 3);
+    assert_eq!(snap.get(MetricId::ServeJobsRejected), 3);
+    assert_eq!(snap.get(MetricId::ServeJobsCompleted), 0);
+    assert_eq!(service.shutdown(), 0, "nothing ran, nothing to persist");
+}
+
+/// A job that exceeds its tenant's cycle cap is killed cleanly at the
+/// simulated-cycle budget — and a concurrent tenant's jobs complete
+/// with digests identical to the unmonitored baseline, so the kill
+/// perturbed nobody. The killed run merges nothing back: the shared
+/// repository only ever holds the victim tenant's program.
+#[test]
+fn cycle_budget_kill_is_clean_and_perturbs_no_other_tenant() {
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    const BUDGET: u64 = 1_000_000;
+    service.set_caps(
+        "greedy",
+        TenantCaps {
+            max_cycles_per_job: Some(BUDGET),
+            ..TenantCaps::default()
+        },
+    );
+
+    let greedy = service.submit(JobSpec::new("greedy", "db")).unwrap();
+    let victim_a = service.submit(JobSpec::new("victim", "hsqldb")).unwrap();
+    let victim_b = service.submit(JobSpec::new("victim", "hsqldb")).unwrap();
+
+    let killed = service.wait(greedy);
+    assert_eq!(killed.outcome, JobOutcome::Killed);
+    assert_eq!(killed.cycles, BUDGET, "kill lands exactly on the budget");
+
+    let spec = JobSpec::new("victim", "hsqldb");
+    let w = spec.resolve().unwrap();
+    let baseline = setup::baseline_digest(&w, spec.size, spec.heap_mult, 1);
+    for id in [victim_a, victim_b] {
+        let report = service.wait(id);
+        assert_eq!(report.outcome, JobOutcome::Completed);
+        assert_eq!(
+            report.digest, baseline,
+            "victim digest must equal the unmonitored baseline"
+        );
+    }
+
+    assert_eq!(
+        service.repo().len(),
+        1,
+        "killed runs merge nothing: only the victim's profile exists"
+    );
+    let snap = service.snapshot();
+    assert_eq!(snap.get(MetricId::ServeJobsKilled), 1);
+    assert_eq!(snap.get(MetricId::ServeJobsCompleted), 2);
+    service.shutdown();
+}
+
+/// Fleet warm start through the live daemon: N sequential jobs of the
+/// same program show monotonically non-increasing cycles-to-first-
+/// decision, and every job after the first seeds from the shared
+/// repository (first decision in force at cycle 0) — the PR 3 ablation
+/// (cold vs warm), replayed through the service.
+#[test]
+fn sequential_jobs_warm_start_monotonically() {
+    let service = Service::start(one_worker());
+    let spec = JobSpec::new("t0", "hsqldb");
+    let w = spec.resolve().unwrap();
+    let baseline = setup::baseline_digest(&w, spec.size, spec.heap_mult, 1);
+
+    let mut firsts = Vec::new();
+    for n in 0..4 {
+        let id = service.submit(spec.clone()).unwrap();
+        let report = service.wait(id);
+        assert_eq!(report.outcome, JobOutcome::Completed);
+        assert_eq!(report.warm, n > 0, "first job cold, rest warm");
+        assert_eq!(report.digest, baseline, "warm start never perturbs state");
+        firsts.push(
+            report
+                .first_decision_cycles
+                .expect("hsqldb decides at Tiny size"),
+        );
+    }
+
+    assert!(
+        firsts.windows(2).all(|w| w[1] <= w[0]),
+        "cycles-to-first-decision must be non-increasing: {firsts:?}"
+    );
+    assert!(firsts[0] > 0, "cold run must pay the monitoring ramp");
+    assert_eq!(
+        *firsts.last().unwrap(),
+        0,
+        "warm runs start with decisions already in force"
+    );
+
+    let snap = service.snapshot();
+    assert_eq!(snap.get(MetricId::ServeColdJobs), 1);
+    assert_eq!(snap.get(MetricId::ServeWarmJobs), 3);
+    assert_eq!(snap.get(MetricId::ServeRepoMerges), 4);
+    service.shutdown();
+}
+
+/// The bench summary is byte-identical across worker counts: same
+/// schedule, same checkouts, same merges, same text.
+#[test]
+fn bench_summary_is_worker_count_independent() {
+    let config = BenchConfig {
+        workers: 1,
+        rounds: 2,
+        jobs_per_round: 2,
+        workloads: vec!["hsqldb".to_string()],
+        ..BenchConfig::default()
+    };
+    let solo = run_bench(&config);
+    let pooled = run_bench(&BenchConfig {
+        workers: 3,
+        ..config
+    });
+
+    assert_eq!(
+        solo.summary, pooled.summary,
+        "summary must not depend on worker count"
+    );
+    assert_eq!(solo.perturbation_deltas, 0);
+    assert!(
+        solo.warm_ok,
+        "warm mean must beat cold mean:\n{}",
+        solo.summary
+    );
+    assert!(solo.check() && pooled.check());
+}

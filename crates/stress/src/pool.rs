@@ -1,0 +1,104 @@
+//! Reusable work-stealing worker pool over an indexed task range.
+//!
+//! Extracted from the shard runner so the same primitive — and the same
+//! determinism argument — serves both the stress engine and the serve
+//! daemon's batch lanes. Tasks are identified by their index in
+//! `0..total`; workers claim indices through one shared atomic counter
+//! (work stealing by contention, no per-worker queues to balance), and
+//! each result lands in the slot named by its index. The output
+//! therefore depends only on the task function and the range — never on
+//! worker count, scheduling, or timing — which is what lets CI diff a
+//! 1-worker run against an N-worker run byte for byte.
+//!
+//! An optional deadline truncates the run: workers finish the task they
+//! claimed but stop claiming once the deadline passes, so incomplete
+//! slots only ever form a suffix *of claims*; callers that need a
+//! contiguous prefix take it with [`contiguous_prefix`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Run `task` for every index in `0..total` across `workers` threads
+/// (clamped to ≥ 1), returning results in index order. Slots whose task
+/// never ran (deadline truncation) are `None`.
+pub fn run_indexed<T, F>(
+    total: u64,
+    workers: usize,
+    deadline: Option<Instant>,
+    task: F,
+) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicU64::new(0);
+    let workers = workers.max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        break;
+                    }
+                }
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= total {
+                    break;
+                }
+                let result = task(idx);
+                *slots[idx as usize].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot lock"))
+        .collect()
+}
+
+/// The longest contiguous completed prefix of a [`run_indexed`] result:
+/// a worker never abandons a claimed index, so holes only exist past the
+/// point where a deadline stopped claim traffic.
+#[must_use]
+pub fn contiguous_prefix<T>(slots: Vec<Option<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot {
+            Some(v) => out.push(v),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn results_are_identical_for_one_and_many_workers() {
+        let task = |i: u64| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ i;
+        let solo: Vec<u64> = contiguous_prefix(run_indexed(64, 1, None, task));
+        let many: Vec<u64> = contiguous_prefix(run_indexed(64, 8, None, task));
+        assert_eq!(solo.len(), 64);
+        assert_eq!(solo, many, "output is worker-count independent");
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let done = run_indexed(3, 0, None, |i| i);
+        assert_eq!(done, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn expired_deadline_truncates_to_a_prefix() {
+        let deadline = Some(Instant::now() - Duration::from_secs(1));
+        let done = contiguous_prefix(run_indexed(8, 4, deadline, |i| i));
+        assert!(done.len() < 8, "expired deadline stops claims");
+    }
+}

@@ -1,22 +1,22 @@
 //! Parallel shard runner with a deterministic merge.
 //!
-//! Seeds are distributed to `std::thread` workers through an atomic
-//! work-stealing counter; each worker writes its outcome into the slot
-//! indexed by the seed's position, and the merge reads slots back in seed
-//! order. The report therefore depends only on the seed range — never on
-//! worker count, scheduling, or timing — which is what lets CI diff the
-//! summary of a 1-worker run against an N-worker run byte for byte.
+//! Seeds are distributed to `std::thread` workers through the shared
+//! work-stealing pool primitive ([`crate::pool`]); each worker writes
+//! its outcome into the slot indexed by the seed's position, and the
+//! merge reads slots back in seed order. The report therefore depends
+//! only on the seed range — never on worker count, scheduling, or
+//! timing — which is what lets CI diff the summary of a 1-worker run
+//! against an N-worker run byte for byte.
 //!
 //! A time budget truncates the run to the longest contiguous prefix of
 //! completed seeds (workers finish the seed they claimed, they just stop
 //! claiming). A truncated summary says so explicitly; only the seeds it
 //! names were checked.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::oracles::{run_scenario, ScenarioOutcome};
+use crate::pool;
 use crate::scenario::Scenario;
 
 /// Shard-runner parameters.
@@ -125,41 +125,13 @@ impl ShardReport {
 #[must_use]
 pub fn run_shards(config: &RunnerConfig) -> ShardReport {
     let total = config.seeds;
-    let slots: Vec<Mutex<Option<ScenarioOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    let next = AtomicU64::new(0);
     let deadline = config.time_budget.map(|b| Instant::now() + b);
-    let workers = config.workers.max(1);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                if let Some(d) = deadline {
-                    if Instant::now() >= d {
-                        break;
-                    }
-                }
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= total {
-                    break;
-                }
-                let mut scenario = Scenario::from_seed(config.start_seed + idx);
-                scenario.fault_skip_zeroing = config.fault_skip_zeroing;
-                let outcome = run_scenario(&scenario);
-                *slots[idx as usize].lock().expect("slot lock") = Some(outcome);
-            });
-        }
-    });
-
-    // Longest contiguous completed prefix: a worker never abandons a
-    // claimed seed, so holes only exist past the point where the budget
-    // stopped claim traffic.
-    let mut outcomes = Vec::new();
-    for slot in &slots {
-        match slot.lock().expect("slot lock").take() {
-            Some(o) => outcomes.push(o),
-            None => break,
-        }
-    }
+    let outcomes =
+        pool::contiguous_prefix(pool::run_indexed(total, config.workers, deadline, |idx| {
+            let mut scenario = Scenario::from_seed(config.start_seed + idx);
+            scenario.fault_skip_zeroing = config.fault_skip_zeroing;
+            run_scenario(&scenario)
+        }));
     let truncated = (outcomes.len() as u64) < total;
     ShardReport {
         outcomes,

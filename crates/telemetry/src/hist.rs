@@ -60,6 +60,13 @@ histograms! {
     // decision it triggered.
     CorePollGapCycles => "core.poll_gap_cycles";
     CoreDecisionLatencyCycles => "core.decision_latency_cycles";
+
+    // serve.*: per-job totals aggregated by the service — simulated
+    // execution length and cycles-to-first-decision (the fleet
+    // warm-start payoff metric, split by start temperature).
+    ServeJobCycles => "serve.job_cycles";
+    ServeWarmFirstDecisionCycles => "serve.warm_first_decision_cycles";
+    ServeColdFirstDecisionCycles => "serve.cold_first_decision_cycles";
 }
 
 /// Bucket index for one observed value (ceiling log2, saturated into
@@ -128,6 +135,29 @@ impl HistogramRegistry {
         let mut cur = h.sum.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_add(value);
+            match h
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Add `count` observations directly into bucket `i` without
+    /// touching the sum; used when absorbing a frozen snapshot whose
+    /// bucket placement is already exact.
+    pub fn absorb_bucket(&self, id: HistogramId, i: usize, count: u64) {
+        self.hists[id as usize].buckets[i].fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Add a frozen snapshot's observed-value sum (saturating).
+    pub fn absorb_sum(&self, id: HistogramId, sum: u64) {
+        let h = &self.hists[id as usize];
+        let mut cur = h.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(sum);
             match h
                 .sum
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
@@ -257,7 +287,7 @@ mod tests {
             assert!(
                 matches!(
                     ns,
-                    "hpm" | "memsim" | "gc" | "vm" | "core" | "profile" | "telemetry"
+                    "hpm" | "memsim" | "gc" | "vm" | "core" | "profile" | "serve" | "telemetry"
                 ),
                 "unknown namespace in {}",
                 id.name()

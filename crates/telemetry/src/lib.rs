@@ -201,6 +201,40 @@ impl Telemetry {
         }
     }
 
+    /// Fold a finished run's snapshot into this handle: counters add,
+    /// gauges keep the maximum reading, and histogram buckets/sums
+    /// add. This is how a fleet-level handle (the serve daemon's)
+    /// aggregates the per-job telemetry of many isolated runtimes —
+    /// each job records into its own handle, and the service absorbs
+    /// the frozen result, so jobs never contend on shared atomics and
+    /// the fleet totals stay deterministic per job set.
+    pub fn absorb(&self, snap: &TelemetrySnapshot) {
+        let Some(inner) = &self.inner else { return };
+        for &id in MetricId::ALL {
+            let v = snap.get(id);
+            if v == 0 {
+                continue;
+            }
+            match id.kind() {
+                MetricKind::Counter => inner.registry.add(id, v),
+                MetricKind::Gauge => inner.registry.set_max(id, v),
+            }
+        }
+        for &id in HistogramId::ALL {
+            let h = snap.hist(id);
+            for (i, &count) in h.buckets.iter().enumerate() {
+                if count > 0 {
+                    // Replay the bucket at a representative value (its
+                    // inclusive upper bound) `count` times' worth in one
+                    // shot: bucket placement is exact, the sum is
+                    // corrected below.
+                    inner.hists.absorb_bucket(id, i, count);
+                }
+            }
+            inner.hists.absorb_sum(id, h.sum);
+        }
+    }
+
     /// Freeze every metric, histogram, the retained trace, and the
     /// provenance log at `at_cycle`. Disabled handles return
     /// [`TelemetrySnapshot::empty`].
@@ -304,6 +338,32 @@ mod tests {
         let snap = t.snapshot(5);
         assert_eq!(snap.dropped_events, 3);
         assert_eq!(snap.get(MetricId::TelemetryTraceDropped), 3);
+    }
+
+    #[test]
+    fn absorb_folds_counters_gauges_and_histograms() {
+        let job = Telemetry::enabled(8);
+        job.add(MetricId::GcMinorCollections, 3);
+        job.set_gauge(MetricId::ProfileRuns, 7);
+        job.observe(HistogramId::GcMinorPauseCycles, 100);
+        job.observe(HistogramId::GcMinorPauseCycles, 5000);
+
+        let fleet = Telemetry::enabled(8);
+        fleet.add(MetricId::GcMinorCollections, 2);
+        fleet.set_gauge(MetricId::ProfileRuns, 9);
+        fleet.absorb(&job.snapshot(0));
+        fleet.absorb(&job.snapshot(0));
+
+        assert_eq!(fleet.get(MetricId::GcMinorCollections), 8);
+        // Gauges take the max, not the sum.
+        assert_eq!(fleet.get(MetricId::ProfileRuns), 9);
+        let snap = fleet.snapshot(0);
+        let h = snap.hist(HistogramId::GcMinorPauseCycles);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum, 10_200);
+
+        // Absorbing into a disabled handle is a no-op, not a panic.
+        Telemetry::disabled().absorb(&job.snapshot(0));
     }
 
     #[test]

@@ -116,6 +116,22 @@ metrics! {
     ProfileSaveErrors => ("profile.save_errors", Counter);
     ProfileRuns => ("profile.runs", Gauge);
 
+    // serve.*: the multi-tenant VM service — job lifecycle outcomes,
+    // fleet warm-start traffic against the shared profile repository,
+    // and live occupancy.
+    ServeJobsSubmitted => ("serve.jobs.submitted", Counter);
+    ServeJobsCompleted => ("serve.jobs.completed", Counter);
+    ServeJobsRejected => ("serve.jobs.rejected", Counter);
+    ServeJobsKilled => ("serve.jobs.killed", Counter);
+    ServeJobsFailed => ("serve.jobs.failed", Counter);
+    ServeWarmJobs => ("serve.jobs.warm", Counter);
+    ServeColdJobs => ("serve.jobs.cold", Counter);
+    ServeRepoCheckouts => ("serve.repo.checkouts", Counter);
+    ServeRepoMerges => ("serve.repo.merges", Counter);
+    ServeRepoProfiles => ("serve.repo.profiles", Gauge);
+    ServeLiveJobs => ("serve.live_jobs", Gauge);
+    ServeTenants => ("serve.tenants", Gauge);
+
     // telemetry.*: the telemetry layer watching itself.
     TelemetryTraceDropped => ("telemetry.trace_dropped", Counter);
 }
@@ -183,7 +199,7 @@ mod tests {
             assert!(
                 matches!(
                     ns,
-                    "hpm" | "memsim" | "gc" | "vm" | "core" | "profile" | "telemetry"
+                    "hpm" | "memsim" | "gc" | "vm" | "core" | "profile" | "serve" | "telemetry"
                 ),
                 "unknown namespace in {}",
                 id.name()

@@ -1,9 +1,40 @@
 //! VM configuration.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use hpmopt_gc::HeapConfig;
 use hpmopt_memsim::MemConfig;
 
 use crate::aos::{AosConfig, CompilationPlan};
+
+/// Shared cancellation flag for a running VM. Clone-cheap (an `Arc`
+/// internally); any holder can request cancellation and the VM notices
+/// at the next poll boundary, failing the run with
+/// [`crate::VmError::Cancelled`]. The service layer hands one to each
+/// job so an operator (or a tenant cap) can stop a runaway execution
+/// without touching any other tenant's VM.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Complete configuration of a [`crate::Vm`].
 #[derive(Debug, Clone)]
@@ -24,6 +55,16 @@ pub struct VmConfig {
     /// Abort after this many bytecodes (guard for tests); `None` = run to
     /// completion.
     pub step_limit: Option<u64>,
+    /// Abort once the simulated clock reaches this many cycles, failing
+    /// the run with [`crate::VmError::CycleBudget`]. This is the
+    /// per-job resource cap of the service layer: a tenant's job that
+    /// exhausts its budget is killed deterministically (the budget is in
+    /// simulated cycles, so the kill point is identical across reruns
+    /// and worker counts). `None` = unlimited.
+    pub cycle_budget: Option<u64>,
+    /// Cooperative cancellation flag, checked at poll boundaries (every
+    /// few thousand bytecodes). `None` = not cancellable.
+    pub cancel: Option<CancelToken>,
     /// Maximum call depth.
     pub max_call_depth: usize,
     /// Cycles charged per method call for frame setup (added to the
@@ -73,6 +114,8 @@ impl Default for VmConfig {
             plan: None,
             full_mcmaps: true,
             step_limit: None,
+            cycle_budget: None,
+            cancel: None,
             max_call_depth: 2048,
             call_overhead_cycles: 10,
             linked_call_overhead_cycles: 4,
@@ -101,6 +144,8 @@ impl VmConfig {
             plan: None,
             full_mcmaps: true,
             step_limit: Some(50_000_000),
+            cycle_budget: None,
+            cancel: None,
             max_call_depth: 512,
             call_overhead_cycles: 10,
             linked_call_overhead_cycles: 4,

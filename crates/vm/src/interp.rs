@@ -12,7 +12,7 @@ use hpmopt_memsim::{AccessKind, AccessOutcome, BatchAccess, MemStats, MemoryHier
 
 use crate::aos::Aos;
 use crate::compiler::compile;
-use crate::config::VmConfig;
+use crate::config::{CancelToken, VmConfig};
 use crate::hooks::{AccessContext, RuntimeHooks};
 use crate::machine::{CompiledCode, Tier};
 use crate::methodtable::{CodeRange, MethodTable};
@@ -292,6 +292,11 @@ impl<'p> Vm<'p> {
                     return Err(VmError::StepLimit);
                 }
             }
+            if let Some(budget) = self.config.cycle_budget {
+                if self.cycles > budget {
+                    return Err(VmError::CycleBudget);
+                }
+            }
             if self.aos.should_sample(self.cycles) {
                 let current = self.frames.last().map(|f| f.method);
                 if let Some(m) = current {
@@ -305,6 +310,14 @@ impl<'p> Vm<'p> {
                 let overhead = hooks.on_poll(self.program, self.cycles);
                 self.cycles += overhead;
                 self.monitor_cycles += overhead;
+                if self
+                    .config
+                    .cancel
+                    .as_ref()
+                    .is_some_and(CancelToken::is_cancelled)
+                {
+                    return Err(VmError::Cancelled);
+                }
             }
         }
         Ok(())
@@ -671,6 +684,11 @@ impl<'p> Vm<'p> {
         }
         let mut refetch = false;
         let clock = self.cycles + self.batch_mach.div_ceil(self.batch_width);
+        if let Some(budget) = self.config.cycle_budget {
+            if clock > budget {
+                return Err(VmError::CycleBudget);
+            }
+        }
         if self.aos.should_sample(clock) {
             if let Some(m) = self.frames.last().map(|f| f.method) {
                 if let Some(hot) = self.aos.sample(m, clock) {
@@ -688,6 +706,14 @@ impl<'p> Vm<'p> {
             let overhead = hooks.on_poll(self.program, self.cycles);
             self.cycles += overhead;
             self.monitor_cycles += overhead;
+            if self
+                .config
+                .cancel
+                .as_ref()
+                .is_some_and(CancelToken::is_cancelled)
+            {
+                return Err(VmError::Cancelled);
+            }
         }
         Ok(refetch)
     }
@@ -1735,6 +1761,53 @@ mod tests {
         cfg.step_limit = Some(10_000);
         let mut vm = Vm::new(&p, cfg);
         assert_eq!(vm.run(&mut NoHooks).unwrap_err(), VmError::StepLimit);
+    }
+
+    #[test]
+    fn cycle_budget_kills_runaway_deterministically() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        let top = m.label();
+        m.bind(top);
+        m.jump(top);
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let run = || {
+            let mut cfg = VmConfig::test();
+            cfg.step_limit = None;
+            cfg.cycle_budget = Some(100_000);
+            let mut vm = Vm::new(&p, cfg);
+            let err = vm.run(&mut NoHooks).unwrap_err();
+            (err, vm.cycles)
+        };
+        let (err, cycles) = run();
+        assert_eq!(err, VmError::CycleBudget);
+        let (err2, cycles2) = run();
+        assert_eq!(err2, VmError::CycleBudget);
+        assert_eq!(cycles, cycles2, "the kill point is on the simulated clock");
+    }
+
+    #[test]
+    fn cancel_token_stops_the_run_at_a_poll_boundary() {
+        let mut pb = ProgramBuilder::new();
+        let mut m = MethodBuilder::new("main", 0, 0, false);
+        let top = m.label();
+        m.bind(top);
+        m.jump(top);
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        let p = pb.finish().unwrap();
+        let token = CancelToken::new();
+        // Pre-cancelled: the first poll boundary notices and aborts the
+        // otherwise infinite loop without needing a second thread.
+        token.cancel();
+        assert!(token.is_cancelled());
+        let mut cfg = VmConfig::test();
+        cfg.step_limit = None;
+        cfg.cancel = Some(token);
+        let mut vm = Vm::new(&p, cfg);
+        assert_eq!(vm.run(&mut NoHooks).unwrap_err(), VmError::Cancelled);
     }
 
     #[test]

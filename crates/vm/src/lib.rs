@@ -60,7 +60,7 @@ pub mod value;
 
 pub use aos::{Aos, AosConfig, CompilationPlan};
 pub use compiler::compile;
-pub use config::VmConfig;
+pub use config::{CancelToken, VmConfig};
 pub use hooks::{AccessContext, NoHooks, RuntimeHooks};
 pub use interp::{RunSummary, Vm};
 pub use machine::{CompiledCode, McMap, Tier};

@@ -83,6 +83,13 @@ pub enum VmError {
     StackOverflow,
     /// The configured step limit was reached (runaway-guard for tests).
     StepLimit,
+    /// The simulated clock reached the configured per-job cycle budget
+    /// ([`crate::VmConfig::cycle_budget`]); the service layer maps this
+    /// to a `JobKilled` outcome.
+    CycleBudget,
+    /// Cancellation was requested through the run's
+    /// [`crate::CancelToken`].
+    Cancelled,
     /// Post-collection heap verification found a corrupt object graph
     /// (only raised when [`crate::VmConfig::verify_heap_every_gc`] is
     /// set). Call [`crate::Vm::verify_heap`] for the detailed diagnosis.
@@ -99,6 +106,8 @@ impl std::fmt::Display for VmError {
             VmError::OutOfMemory => "out of memory",
             VmError::StackOverflow => "call stack overflow",
             VmError::StepLimit => "execution step limit reached",
+            VmError::CycleBudget => "simulated cycle budget exhausted",
+            VmError::Cancelled => "execution cancelled",
             VmError::HeapCorrupt => "post-collection heap verification failed",
         };
         f.write_str(s)

@@ -53,4 +53,14 @@ cargo run --release -p hpmopt-stress -- run --seeds 25 --time-budget 60
 echo "==> smoke: stress corpus replays as recorded"
 cargo run --release -p hpmopt-stress -- replay tests/corpus/*.case
 
+echo "==> smoke: hpmopt-serve bench (zero perturbation, warm beats cold)"
+# --check fails the run unless every completed job's digest matches the
+# unmonitored baseline AND warm jobs beat cold to the first decision.
+cargo run --release --bin hpmopt-serve -p hpmopt-serve -- bench --workers 1 --check \
+    >target/ci-serve-w1.txt 2>/dev/null
+cargo run --release --bin hpmopt-serve -p hpmopt-serve -- bench --workers 4 --check \
+    >target/ci-serve-w4.txt 2>/dev/null
+# The deterministic summary must be byte-identical at any concurrency.
+cmp target/ci-serve-w1.txt target/ci-serve-w4.txt
+
 echo "CI OK"

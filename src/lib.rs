@@ -21,6 +21,9 @@
 //!   accountant behind the `hpmopt-report` binary
 //! - [`profile`] — persistent profile repository: versioned on-disk
 //!   miss histograms + decision logs that warm-start later runs
+//! - [`serve`] — multi-tenant VM service: a long-lived daemon
+//!   multiplexing isolated jobs over a worker pool around a shared
+//!   warm-start profile repository (`hpmopt-serve run|bench`)
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@ pub use hpmopt_gc as gc;
 pub use hpmopt_hpm as hpm;
 pub use hpmopt_memsim as memsim;
 pub use hpmopt_profile as profile;
+pub use hpmopt_serve as serve;
 pub use hpmopt_telemetry as telemetry;
 pub use hpmopt_vm as vm;
 pub use hpmopt_workloads as workloads;
