@@ -44,10 +44,11 @@ pub fn plan_for(w: &Workload, size: Size) -> CompilationPlan {
         heap: heap_config(w, 4, 1, CollectorKind::GenMs),
         ..VmConfig::default()
     };
-    // A tight AOS so even the short simulated runs promote their hot
-    // methods to the optimizing tier, as the paper's long runs do.
-    vm.aos.sample_period_cycles = 200_000;
-    vm.aos.opt_threshold = 2;
+    // A tight tier-1 timer so even the short simulated runs promote
+    // their hot methods to the optimizing tier, as the paper's long
+    // runs do.
+    vm.jit.sample_period_cycles = 200_000;
+    vm.jit.tier1_threshold = 2;
     let mut plan = HpmRuntime::generate_plan(&w.program, vm).expect("plan profiling run completes");
     // The entry method drives every workload; guarantee it is in the plan
     // even if the profiling run spent most samples in callees.
@@ -87,7 +88,7 @@ pub fn run_config(
         step_limit: Some(3_000_000_000),
         ..VmConfig::default()
     };
-    vm.aos.enabled = false;
+    vm.jit.tier1_enabled = false;
     RunConfig {
         vm,
         hpm: HpmConfig {

@@ -5,8 +5,12 @@
 //! The trajectory records, for a fixed set of workloads, the simulated
 //! cycle cost of three arms — unmonitored baseline, monitored with
 //! telemetry disabled, monitored with telemetry enabled — plus a pinned
-//! stress-seed shard whose per-seed cycle counts come straight from the
-//! shard runner's summary data. Simulated cycles are deterministic, so
+//! *tiered* row ([`TIERED_WORKLOAD`] rerun with tier-2 region
+//! compilation and a deliberately tiny code cache, so
+//! compile/deopt/eviction churn is gated like any other cycle cost) and
+//! a pinned stress-seed shard
+//! whose per-seed cycle counts come straight from the shard runner's
+//! summary data. Simulated cycles are deterministic, so
 //! the committed baseline (`BENCH_trajectory.json`) only changes when
 //! the code's cost model actually changes; wall time is recorded for
 //! context but never gated on.
@@ -37,6 +41,13 @@ pub const DEFAULT_WORKLOADS: [&str; 3] = ["db", "fop", "jess"];
 
 /// Seeds in the pinned stress shard of a default trajectory.
 pub const DEFAULT_STRESS_SEEDS: u64 = 6;
+
+/// The workload behind the pinned tiered-churn row. `jython`
+/// specifically: at ~4.5 KB of baseline code over eleven methods it is
+/// the only tiny workload whose working set genuinely fights for a
+/// sub-footprint cache — three-method workloads reuse their own freed
+/// ranges and never evict a neighbour.
+pub const TIERED_WORKLOAD: &str = "jython";
 
 /// One workload's measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,8 +172,86 @@ pub fn measure_workload(name: &str, size: Size) -> WorkloadPoint {
     }
 }
 
-/// Measure a full trajectory: every named workload at `size`, then the
-/// pinned stress shard `0..seeds`.
+/// Measure the tiered-churn arm of one workload: no pre-generated plan —
+/// timer-driven tier-1 promotion, back-edge-driven tier-2 region
+/// compilation, and a code cache far smaller than the workload's code
+/// footprint, so eviction and address-range reuse run continuously under
+/// monitoring. The point is recorded as `<name>+tiered` so it gates
+/// independently of the pseudo-adaptive row.
+///
+/// # Panics
+///
+/// Panics on unknown workload names, on telemetry perturbation, when
+/// tier churn changes the program-visible end state (digest mismatch
+/// against the unmonitored baseline), and when the tiny cache fails to
+/// evict (the row would silently stop measuring churn).
+#[must_use]
+pub fn measure_workload_tiered(name: &str, size: Size) -> WorkloadPoint {
+    let w = by_name(name, size).unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let heap = heap_config(&w, 2, 1, CollectorKind::GenMs);
+
+    let baseline = run(
+        &w,
+        run_config(&w, size, heap.clone(), SamplingInterval::Off, false),
+    );
+    let tiered_cfg = |sampling| {
+        let mut cfg = run_config(&w, size, heap.clone(), sampling, true);
+        cfg.vm.plan = None;
+        cfg.vm.jit.tier1_enabled = true;
+        cfg.vm.jit.sample_period_cycles = 200_000;
+        cfg.vm.jit.tier1_threshold = 2;
+        cfg.vm.jit.tier2_enabled = true;
+        cfg.vm.jit.tier2_threshold = 64;
+        // Well under the workload's code footprint: every compile must
+        // fight for space, so eviction and range reuse run constantly.
+        cfg.vm.jit.code_cache_capacity_bytes = Some(512);
+        cfg
+    };
+    let control = run(&w, tiered_cfg(auto_interval()));
+    let mut enabled_cfg = tiered_cfg(auto_interval());
+    enabled_cfg.telemetry = Telemetry::enabled(DEFAULT_TRACE_CAPACITY);
+    let started = Instant::now();
+    let enabled = run(&w, enabled_cfg);
+    let wall_ms = started.elapsed().as_millis() as u64;
+
+    let perturbation = delta_pct(enabled.cycles, control.cycles);
+    assert!(
+        perturbation == 0.0,
+        "telemetry perturbed tiered {name}: {} cycles enabled vs {} disabled",
+        enabled.cycles,
+        control.cycles
+    );
+    assert_eq!(
+        enabled.result_digest, baseline.result_digest,
+        "tier churn changed {name}'s program-visible state"
+    );
+    assert!(
+        enabled.vm.code_evictions > 0,
+        "tiered {name}: the tiny code cache produced no evictions"
+    );
+    WorkloadPoint {
+        name: format!("{name}+tiered"),
+        size: size.to_string(),
+        cycles: enabled.cycles,
+        baseline_cycles: baseline.cycles,
+        bytecodes: enabled.vm.bytecodes_executed,
+        throughput_bc_per_kcycle: enabled.vm.bytecodes_executed as f64 * 1000.0
+            / enabled.cycles as f64,
+        monitoring_overhead_pct: if baseline.cycles == 0 {
+            0.0
+        } else {
+            enabled.vm.monitor_cycles as f64 / baseline.cycles as f64 * 100.0
+        },
+        optimization_delta_pct: delta_pct(enabled.cycles, baseline.cycles),
+        perturbation_delta_pct: perturbation,
+        l1_misses: enabled.vm.mem.l1_misses,
+        wall_ms,
+    }
+}
+
+/// Measure a full trajectory: every named workload at `size`, the
+/// pinned [`TIERED_WORKLOAD`] tiered-churn row, then the pinned stress
+/// shard `0..seeds`.
 ///
 /// # Panics
 ///
@@ -171,10 +260,11 @@ pub fn measure_workload(name: &str, size: Size) -> WorkloadPoint {
 /// is the place to debug it.
 #[must_use]
 pub fn measure(workloads: &[String], size: Size, seeds: u64) -> Trajectory {
-    let points = workloads
+    let mut points: Vec<WorkloadPoint> = workloads
         .iter()
         .map(|name| measure_workload(name, size))
         .collect();
+    points.push(measure_workload_tiered(TIERED_WORKLOAD, size));
     let shard = run_shards(&RunnerConfig {
         start_seed: 0,
         seeds,
@@ -473,6 +563,9 @@ mod tests {
         let a = measure(&names, Size::Tiny, 2);
         let b = measure(&names, Size::Tiny, 2);
         assert_eq!(a.workloads[0].cycles, b.workloads[0].cycles);
+        assert_eq!(a.workloads[1].name, "jython+tiered");
+        assert_eq!(a.workloads[1].cycles, b.workloads[1].cycles);
+        assert_eq!(a.workloads[1].perturbation_delta_pct, 0.0);
         assert_eq!(a.workloads[0].perturbation_delta_pct, 0.0);
         assert!(
             a.workloads[0].monitoring_overhead_pct >= 0.0,

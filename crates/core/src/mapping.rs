@@ -9,9 +9,24 @@
 //! The resolver keeps its own registry of compiled artifacts (the
 //! monitoring module's mirror of the compiler's data structures — the
 //! paper keeps the IR alive after compilation for the same purpose).
+//!
+//! With a *bounded* code cache the VM frees and reuses code-address
+//! ranges, so a PC alone no longer names an artifact: a sample buffered
+//! before an eviction can surface after the range was reassigned. Every
+//! registered artifact therefore carries an epoch window
+//! `[install_epoch, retire_epoch)`, and [`SampleResolver::resolve`]
+//! takes the sample's capture-time epoch: only a *live* artifact
+//! installed no later than the stamp may claim the PC. A sample whose
+//! PC lands in a known range owned by no such artifact — it hit code
+//! that has since been freed, or pre-dates the range's current tenant —
+//! is [`ResolveFailure::Stale`]: counted and dropped, never
+//! misattributed.
 
 use hpmopt_bytecode::MethodId;
 use hpmopt_vm::machine::{CompiledCode, Tier};
+
+/// Epoch window sentinel: the artifact has not been retired.
+const LIVE: u64 = u64::MAX;
 
 /// Why a sample could not be attributed to a bytecode instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -22,6 +37,12 @@ pub enum ResolveFailure {
     /// PC inside a method whose map has no entry there (opt-compiled code
     /// without the full-map extension).
     Unmapped,
+    /// PC inside a known code range, but no live artifact installed at
+    /// or before the sample's epoch stamp owns it: the code it hit was
+    /// freed (evicted or replaced) before the sample was processed, or
+    /// the sample pre-dates the range's current tenant. Attributing it
+    /// would be wrong, so it is dropped.
+    Stale,
 }
 
 /// A successfully resolved sample location.
@@ -35,11 +56,23 @@ pub struct ResolvedPc {
     pub bytecode_index: u32,
 }
 
+/// One registered artifact plus its retirement epoch.
+#[derive(Debug, Clone)]
+struct Registered {
+    code: CompiledCode,
+    /// First epoch at which this artifact's range no longer belongs to
+    /// it ([`LIVE`] while the artifact is installed).
+    retire_epoch: u64,
+}
+
 /// PC → bytecode resolver over a registry of compiled artifacts.
 #[derive(Debug, Clone, Default)]
 pub struct SampleResolver {
     /// Artifacts sorted by code start (the paper's sorted method table).
-    artifacts: Vec<CompiledCode>,
+    /// Retired artifacts stay registered — their epoch windows are what
+    /// keeps late samples honest — so starts can repeat once the bounded
+    /// cache reuses a range.
+    artifacts: Vec<Registered>,
 }
 
 impl SampleResolver {
@@ -49,37 +82,76 @@ impl SampleResolver {
         Self::default()
     }
 
-    /// Register a (re)compiled artifact. Ranges never overlap; stale
-    /// artifacts of recompiled methods stay registered, exactly like the
-    /// immortal code space.
+    /// Register a (re)compiled artifact. With the unbounded cache ranges
+    /// never overlap and stale artifacts of recompiled methods stay
+    /// registered, exactly like the immortal code space; with a bounded
+    /// cache the same span may be re-registered after
+    /// [`SampleResolver::retire`] closed the previous tenant's window.
     pub fn register(&mut self, code: CompiledCode) {
         let pos = self
             .artifacts
-            .partition_point(|c| c.code_start < code.code_start);
-        self.artifacts.insert(pos, code);
+            .partition_point(|c| c.code.code_start < code.code_start);
+        self.artifacts.insert(
+            pos,
+            Registered {
+                code,
+                retire_epoch: LIVE,
+            },
+        );
     }
 
-    /// Resolve a sampled PC.
+    /// Close the epoch window of the live artifact starting at
+    /// `code_start`: samples stamped `epoch` or later no longer resolve
+    /// to it. Called from the code-retired hook with the post-free epoch.
+    pub fn retire(&mut self, code_start: u64, epoch: u64) {
+        if let Some(a) = self
+            .artifacts
+            .iter_mut()
+            .find(|a| a.code.code_start == code_start && a.retire_epoch == LIVE)
+        {
+            a.retire_epoch = epoch;
+        }
+    }
+
+    /// Resolve a sampled PC captured at code epoch `epoch`.
     ///
     /// # Errors
     ///
     /// [`ResolveFailure`] describing why the sample must be dropped.
-    pub fn resolve(&self, pc: u64) -> Result<ResolvedPc, ResolveFailure> {
-        let pos = self.artifacts.partition_point(|c| c.code_end() <= pc);
-        let artifact = self
-            .artifacts
-            .get(pos)
-            .filter(|c| c.code_start <= pc)
-            .ok_or(ResolveFailure::ForeignPc)?;
-        let bytecode_index = artifact.bytecode_at(pc).ok_or(ResolveFailure::Unmapped)?;
-        Ok(ResolvedPc {
-            method: artifact.method,
-            tier: artifact.tier,
-            bytecode_index,
+    pub fn resolve(&self, pc: u64, epoch: u64) -> Result<ResolvedPc, ResolveFailure> {
+        // Only artifacts starting at or before `pc` can contain it; the
+        // common case (live, non-overlapping ranges) exits on the first
+        // reverse-scan step.
+        let hi = self.artifacts.partition_point(|c| c.code.code_start <= pc);
+        let mut in_known_range = false;
+        for a in self.artifacts[..hi].iter().rev() {
+            if pc >= a.code.code_end() {
+                continue;
+            }
+            in_known_range = true;
+            // Retired artifacts never resolve: by the time a buffered
+            // sample drains, the code it hit is gone and its counters may
+            // already be torn down — dropping beats a late attribution.
+            // A live artifact claims the PC only if the sample was
+            // captured after its install, so pre-free samples cannot leak
+            // onto a range's new tenant.
+            if a.retire_epoch == LIVE && a.code.install_epoch <= epoch {
+                let bytecode_index = a.code.bytecode_at(pc).ok_or(ResolveFailure::Unmapped)?;
+                return Ok(ResolvedPc {
+                    method: a.code.method,
+                    tier: a.code.tier,
+                    bytecode_index,
+                });
+            }
+        }
+        Err(if in_known_range {
+            ResolveFailure::Stale
+        } else {
+            ResolveFailure::ForeignPc
         })
     }
 
-    /// Number of registered artifacts.
+    /// Number of registered artifacts (retired ones included).
     #[must_use]
     pub fn len(&self) -> usize {
         self.artifacts.len()
@@ -93,7 +165,7 @@ impl SampleResolver {
 
     /// Iterate over registered artifacts (address order).
     pub fn artifacts(&self) -> impl Iterator<Item = &CompiledCode> {
-        self.artifacts.iter()
+        self.artifacts.iter().map(|a| &a.code)
     }
 }
 
@@ -128,7 +200,7 @@ mod tests {
         let get_field_pc = code.mem_pc(3);
         let mut r = SampleResolver::new();
         r.register(code);
-        let got = r.resolve(get_field_pc).unwrap();
+        let got = r.resolve(get_field_pc, 0).unwrap();
         assert_eq!(got.method, id);
         assert_eq!(got.bytecode_index, 3);
         assert_eq!(got.tier, Tier::Opt);
@@ -141,8 +213,8 @@ mod tests {
         let end = code.code_end();
         let mut r = SampleResolver::new();
         r.register(code);
-        assert_eq!(r.resolve(0x1000).unwrap_err(), ResolveFailure::ForeignPc);
-        assert_eq!(r.resolve(end).unwrap_err(), ResolveFailure::ForeignPc);
+        assert_eq!(r.resolve(0x1000, 0).unwrap_err(), ResolveFailure::ForeignPc);
+        assert_eq!(r.resolve(end, 0).unwrap_err(), ResolveFailure::ForeignPc);
     }
 
     #[test]
@@ -153,7 +225,7 @@ mod tests {
         let mut r = SampleResolver::new();
         r.register(code);
         assert_eq!(
-            r.resolve(get_field_pc).unwrap_err(),
+            r.resolve(get_field_pc, 0).unwrap_err(),
             ResolveFailure::Unmapped
         );
     }
@@ -163,7 +235,7 @@ mod tests {
         let r = SampleResolver::new();
         assert!(r.is_empty());
         for pc in [0, 0x4000_0000, u64::MAX] {
-            assert_eq!(r.resolve(pc).unwrap_err(), ResolveFailure::ForeignPc);
+            assert_eq!(r.resolve(pc, 0).unwrap_err(), ResolveFailure::ForeignPc);
         }
     }
 
@@ -180,15 +252,18 @@ mod tests {
         let mut r = SampleResolver::new();
         r.register(low);
         r.register(high);
-        assert_eq!(r.resolve(gap_pc).unwrap_err(), ResolveFailure::ForeignPc);
-        assert!(r.resolve(gap_start + 0x1000).is_ok(), "gap end is mapped");
+        assert_eq!(r.resolve(gap_pc, 0).unwrap_err(), ResolveFailure::ForeignPc);
+        assert!(
+            r.resolve(gap_start + 0x1000, 0).is_ok(),
+            "gap end is mapped"
+        );
     }
 
     #[test]
     fn overlapping_registration_resolves_deterministically() {
-        // Recompiling at an address that overlaps a stale artifact must
-        // not panic or make resolution ambiguous: the artifact whose
-        // range check passes first in address order wins, consistently.
+        // Two live artifacts over the same span (no retire between them)
+        // must not panic or make resolution ambiguous: the same artifact
+        // wins on every call.
         let p = program();
         let id = p.entry();
         let stale = compile(&p, id, Tier::Baseline, 0x4000_0000, true);
@@ -198,9 +273,9 @@ mod tests {
         r.register(stale);
         r.register(fresh);
         assert_eq!(r.len(), 2);
-        let first = r.resolve(pc).unwrap();
+        let first = r.resolve(pc, 0).unwrap();
         for _ in 0..3 {
-            assert_eq!(r.resolve(pc).unwrap(), first, "stable across calls");
+            assert_eq!(r.resolve(pc, 0).unwrap(), first, "stable across calls");
         }
         assert_eq!(first.method, id);
     }
@@ -218,7 +293,45 @@ mod tests {
         r.register(opt);
         r.register(base);
         assert_eq!(r.len(), 2);
-        assert_eq!(r.resolve(base_pc).unwrap().tier, Tier::Baseline);
-        assert_eq!(r.resolve(opt_pc).unwrap().tier, Tier::Opt);
+        assert_eq!(r.resolve(base_pc, 0).unwrap().tier, Tier::Baseline);
+        assert_eq!(r.resolve(opt_pc, 0).unwrap().tier, Tier::Opt);
+    }
+
+    #[test]
+    fn retired_range_goes_stale_then_new_tenant_resolves() {
+        // The attribution-across-code-churn contract: a late sample with
+        // a pre-free epoch must NOT resolve to the range's new tenant —
+        // it goes stale — while a post-free sample resolves to the new
+        // tenant and never to the evicted artifact.
+        let p = program();
+        let id = p.entry();
+        let evicted = compile(&p, id, Tier::Baseline, 0x4000_0000, true);
+        let evicted_end = evicted.code_end();
+        let pc = evicted.mem_pc(0);
+        let mut r = SampleResolver::new();
+        r.register(evicted);
+        assert_eq!(r.resolve(pc, 0).unwrap().tier, Tier::Baseline);
+
+        // The cache frees the range (epoch 0 → 1) and installs denser
+        // opt code of the same method over it.
+        r.retire(0x4000_0000, 1);
+        let mut tenant = compile(&p, id, Tier::Opt, 0x4000_0000, true);
+        tenant.install_epoch = 1;
+        let tenant_end = tenant.code_end();
+        let tenant_pc = tenant.mem_pc(0);
+        r.register(tenant);
+
+        // Late sample, captured before the free: stale, not misattributed
+        // to the new tenant even though its PC lies inside both ranges.
+        assert_eq!(r.resolve(tenant_pc, 0).unwrap_err(), ResolveFailure::Stale);
+        // Fresh sample: resolves to the new tenant.
+        assert_eq!(r.resolve(tenant_pc, 1).unwrap().tier, Tier::Opt);
+        // A PC past the (shorter) tenant but inside the retired baseline
+        // artifact: known range, no live owner → stale at any epoch.
+        assert!(tenant_end < evicted_end, "opt tenant must be denser");
+        assert_eq!(
+            r.resolve(evicted_end - 1, 5).unwrap_err(),
+            ResolveFailure::Stale
+        );
     }
 }

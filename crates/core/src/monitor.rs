@@ -31,13 +31,17 @@ pub struct AttributionStats {
     pub unmapped: u64,
     /// PC outside the VM code space (dropped immediately).
     pub foreign: u64,
+    /// Captured in code the bounded cache freed before the sample was
+    /// processed (epoch mismatch). Dropped, never misattributed to the
+    /// range's new tenant.
+    pub stale: u64,
 }
 
 impl AttributionStats {
     /// Total samples processed.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.attributed + self.uninteresting + self.unmapped + self.foreign
+        self.attributed + self.uninteresting + self.unmapped + self.foreign + self.stale
     }
 
     /// Fraction of samples attributed to a field (0 when idle).
@@ -128,11 +132,12 @@ impl OnlineMonitor {
         self.telemetry = telemetry;
     }
 
-    /// Register a (re)compiled artifact. Opt-tier methods get the
-    /// instructions-of-interest analysis (baseline methods are "rarely
-    /// executed, otherwise they would be selected for re-compilation").
+    /// Register a (re)compiled artifact. Opt- and region-tier methods get
+    /// the instructions-of-interest analysis (baseline methods are
+    /// "rarely executed, otherwise they would be selected for
+    /// re-compilation").
     pub fn register_artifact(&mut self, program: &Program, code: &CompiledCode) {
-        if code.tier == Tier::Opt {
+        if code.tier != Tier::Baseline {
             self.interest
                 .entry(code.method)
                 .or_insert_with(|| analyze_method(program, code.method));
@@ -150,7 +155,7 @@ impl OnlineMonitor {
     /// cycles.
     pub fn process_batch(&mut self, samples: &[Sample], cycles: u64) -> u64 {
         for s in samples {
-            match self.resolver.resolve(s.pc) {
+            match self.resolver.resolve(s.pc, s.epoch) {
                 Err(ResolveFailure::ForeignPc) => {
                     self.attribution.foreign += 1;
                     self.telemetry.incr(MetricId::CoreSamplesForeign);
@@ -159,11 +164,15 @@ impl OnlineMonitor {
                     self.attribution.unmapped += 1;
                     self.telemetry.incr(MetricId::CoreSamplesUnmapped);
                 }
+                Err(ResolveFailure::Stale) => {
+                    self.attribution.stale += 1;
+                    self.telemetry.incr(MetricId::JitStaleSamples);
+                }
                 Ok(r) => {
                     let field = self
                         .interest
                         .get(&r.method)
-                        .filter(|_| r.tier == Tier::Opt)
+                        .filter(|_| r.tier != Tier::Baseline)
                         .and_then(|m| m.field_for(r.bytecode_index));
                     match field {
                         Some(f) => {
@@ -277,6 +286,13 @@ impl OnlineMonitor {
         self.batches
     }
 
+    /// Close the epoch window of the artifact at `code_start` (the code
+    /// cache freed its range at `epoch`). Late samples stamped with an
+    /// older epoch will resolve [`ResolveFailure::Stale`] from now on.
+    pub fn retire_artifact(&mut self, code_start: u64, epoch: u64) {
+        self.resolver.retire(code_start, epoch);
+    }
+
     /// The PC resolver (for diagnostics).
     #[must_use]
     pub fn resolver(&self) -> &SampleResolver {
@@ -316,6 +332,7 @@ mod tests {
             data_addr: 0x1000_0000,
             event: EventKind::L1DMiss,
             cycles: 0,
+            epoch: 0,
         }
     }
 
@@ -403,6 +420,53 @@ mod tests {
                 total: 3
             }
         );
+    }
+
+    #[test]
+    fn samples_in_freed_then_reused_ranges_go_stale_not_misattributed() {
+        let (p, y) = program();
+        let opt = compile(&p, p.entry(), Tier::Opt, 0x4000_0000, true);
+        let hot_pc = opt.mem_pc(4);
+        let mut mon = OnlineMonitor::new(MonitorConfig::default());
+        mon.register_artifact(&p, &opt);
+
+        // Epoch-0 sample in live opt code attributes normally.
+        mon.process_batch(&[sample(hot_pc)], 0);
+        assert_eq!(mon.total(y), 1);
+
+        // The cache evicts the opt artifact (epoch 0 → 1) and reinstalls
+        // the method as baseline code over the same range.
+        mon.retire_artifact(0x4000_0000, 1);
+        let mut tenant = compile(&p, p.entry(), Tier::Baseline, 0x4000_0000, true);
+        tenant.install_epoch = 1;
+        mon.register_artifact(&p, &tenant);
+
+        // A late sample captured before the free (epoch 0): counted as
+        // stale, no field counter moves.
+        let late = Sample {
+            epoch: 0,
+            ..sample(hot_pc)
+        };
+        mon.process_batch(&[late], 1);
+        let a = mon.attribution();
+        assert_eq!(a.stale, 1);
+        assert_eq!(mon.total(y), 1, "stale sample attributed to nothing");
+
+        // A fresh sample (epoch 1) resolves to the baseline tenant and is
+        // merely uninteresting — never credited to the evicted opt code.
+        mon.process_batch(&[sample_at_epoch(hot_pc, 1)], 2);
+        let a = mon.attribution();
+        assert_eq!(a.stale, 1);
+        assert_eq!(a.uninteresting, 1);
+        assert_eq!(mon.total(y), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    fn sample_at_epoch(pc: u64, epoch: u64) -> Sample {
+        Sample {
+            epoch,
+            ..sample(pc)
+        }
     }
 
     #[test]

@@ -258,6 +258,7 @@ mod tests {
             data_addr: 0,
             event: EventKind::L1DMiss,
             cycles: 0,
+            epoch: 0,
         };
         mon.process_batch(&vec![s; n], 0);
     }

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use hpmopt_bytecode::{ClassId, FieldId, Program};
+use hpmopt_bytecode::{ClassId, FieldId, MethodId, Program};
 use hpmopt_gc::policy::{CoallocDecision, CoallocPolicy, NoCoalloc};
 use hpmopt_gc::GcStats;
 use hpmopt_hpm::{HpmConfig, HpmStats, HpmSystem};
@@ -20,7 +20,8 @@ use hpmopt_telemetry::{
 };
 use hpmopt_vm::machine::{CompiledCode, Tier};
 use hpmopt_vm::{
-    AccessContext, CompilationPlan, NoHooks, RunSummary, RuntimeHooks, Vm, VmConfig, VmError,
+    AccessContext, CodeRetired, CompilationPlan, NoHooks, RunSummary, RuntimeHooks, Vm, VmConfig,
+    VmError,
 };
 
 use crate::feedback::{Assessor, FeedbackConfig, Verdict};
@@ -47,7 +48,8 @@ pub struct ForcedBadPlacement {
 /// Full configuration of a monitored run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
-    /// VM configuration (heap, collector, memory, AOS, plan, maps).
+    /// VM configuration (heap, collector, memory, tiered JIT, plan,
+    /// maps).
     pub vm: VmConfig,
     /// Monitoring configuration (event, sampling interval, buffers).
     pub hpm: HpmConfig,
@@ -305,7 +307,29 @@ impl HpmRuntime {
             samples_scratch: Vec::with_capacity(self.config.hpm.buffer_capacity),
         };
 
-        let mut vm = Vm::new(program, self.config.vm.clone());
+        // Warm-start the tier decisions too: hot methods from the prior
+        // run's profile fold into the compilation plan, so they enter at
+        // opt tier on first execution instead of re-paying the tier-1
+        // timer warm-up. Must happen before the VM is built — the plan
+        // is consulted at first invocation.
+        let mut vm_config = self.config.vm.clone();
+        if let Some(s) = &hooks.seeds {
+            if !s.hot_methods.is_empty() {
+                let mut methods: Vec<MethodId> = vm_config
+                    .plan
+                    .as_ref()
+                    .map(|p| p.methods().to_vec())
+                    .unwrap_or_default();
+                methods.extend_from_slice(&s.hot_methods);
+                vm_config.plan = Some(CompilationPlan::new(methods));
+            }
+        }
+        telemetry.set_gauge(
+            MetricId::JitCacheCapacityBytes,
+            vm_config.jit.code_cache_capacity_bytes.unwrap_or(0),
+        );
+
+        let mut vm = Vm::new(program, vm_config);
         let summary = vm.run(&mut hooks)?;
         let result_digest = vm.state_digest();
         sync_final_counters(&hooks, &summary);
@@ -322,7 +346,13 @@ impl HpmRuntime {
                     *n = n.saturating_sub(s);
                 }
             }
-            let fresh = warmstart::build_profile(program, fp, &totals, hooks.policy.events());
+            let fresh = warmstart::build_profile(
+                program,
+                fp,
+                &totals,
+                hooks.policy.events(),
+                &summary.opt_compiled,
+            );
             if self.config.profile.save {
                 if let Some(store) = &store {
                     let merged = match prior {
@@ -387,7 +417,7 @@ impl HpmRuntime {
     /// Propagates any [`VmError`] from the profiling run.
     pub fn generate_plan(program: &Program, mut vm: VmConfig) -> Result<CompilationPlan, VmError> {
         vm.plan = None;
-        vm.aos.enabled = true;
+        vm.jit.tier1_enabled = true;
         let summary = Vm::new(program, vm).run(&mut NoHooks)?;
         Ok(CompilationPlan::new(summary.opt_compiled))
     }
@@ -432,6 +462,15 @@ fn sync_final_counters(hooks: &Hooks, summary: &RunSummary) {
     );
 
     t.set_gauge(MetricId::VmCompileCycles, summary.compile_cycles);
+}
+
+/// Static tier label for trace payloads.
+fn tier_name(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Baseline => "baseline",
+        Tier::Opt => "opt",
+        Tier::Region => "region",
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -543,18 +582,27 @@ impl RuntimeHooks for Hooks {
         let (tier, per_bc) = match code.tier {
             Tier::Baseline => {
                 self.telemetry.incr(MetricId::VmCompilesBaseline);
+                self.telemetry.incr(MetricId::JitCompilesBaseline);
                 ("baseline", self.baseline_cc)
             }
             Tier::Opt => {
                 self.telemetry.incr(MetricId::VmCompilesOpt);
+                self.telemetry.incr(MetricId::JitCompilesOpt);
                 ("opt", self.opt_cc)
+            }
+            Tier::Region => {
+                self.telemetry.incr(MetricId::JitCompilesRegion);
+                ("region", self.opt_cc)
             }
         };
         // Mirror of what `Vm::install` charges for this compilation.
-        self.telemetry.observe(
-            HistogramId::VmCompileCostCycles,
-            per_bc * program.method(code.method).len() as u64,
-        );
+        let cost = per_bc * program.method(code.method).len() as u64;
+        self.telemetry
+            .observe(HistogramId::VmCompileCostCycles, cost);
+        self.telemetry
+            .observe(HistogramId::JitCompileCostCycles, cost);
+        self.telemetry
+            .set_gauge_max(MetricId::JitCodeEpoch, code.install_epoch);
         self.telemetry.record(
             self.last_cycles,
             TraceKind::Recompilation {
@@ -562,6 +610,39 @@ impl RuntimeHooks for Hooks {
                 tier,
             },
         );
+    }
+
+    fn on_code_retired(&mut self, ev: &CodeRetired, cycles: u64) {
+        self.last_cycles = cycles;
+        // Stamp subsequent samples with the new epoch and close the
+        // retired artifact's resolution window — the two halves of the
+        // attribution-across-code-churn contract.
+        self.hpm.set_code_epoch(ev.epoch);
+        self.monitor.retire_artifact(ev.code_start, ev.epoch);
+        self.telemetry.incr(MetricId::JitCodeFrees);
+        if ev.evicted {
+            self.telemetry.incr(MetricId::JitEvictions);
+        }
+        self.telemetry
+            .set_gauge(MetricId::JitCacheBytes, ev.cache_bytes);
+        self.telemetry
+            .set_gauge_max(MetricId::JitCodeEpoch, ev.epoch);
+        self.telemetry.record(
+            cycles,
+            TraceKind::CodeEviction {
+                method: ev.method.0,
+                tier: tier_name(ev.tier),
+                epoch: ev.epoch,
+                evicted: ev.evicted,
+            },
+        );
+    }
+
+    fn on_deopt(&mut self, method: MethodId, _from_tier: Tier, cycles: u64) {
+        self.last_cycles = cycles;
+        self.telemetry.incr(MetricId::JitDeopts);
+        self.telemetry
+            .record(cycles, TraceKind::Deopt { method: method.0 });
     }
 
     fn on_gc(&mut self, stats: &GcStats, cycles: u64) {
@@ -948,7 +1029,7 @@ mod tests {
         let plan = HpmRuntime::generate_plan(&p, config(true).vm).unwrap();
         let mut cfg = config(true);
         cfg.vm.plan = Some(CompilationPlan::new(vec![p.entry()]));
-        cfg.vm.aos.enabled = false;
+        cfg.vm.jit.tier1_enabled = false;
         let _ = plan;
 
         let report = HpmRuntime::new(cfg).run(&p).unwrap();
@@ -983,10 +1064,10 @@ mod tests {
         let p = mini_db();
         let mut on = config(true);
         on.vm.plan = Some(CompilationPlan::new(vec![p.entry()]));
-        on.vm.aos.enabled = false;
+        on.vm.jit.tier1_enabled = false;
         let mut off = config(false);
         off.vm.plan = Some(CompilationPlan::new(vec![p.entry()]));
-        off.vm.aos.enabled = false;
+        off.vm.jit.tier1_enabled = false;
 
         let with = HpmRuntime::new(on).run(&p).unwrap();
         let without = HpmRuntime::new(off).run(&p).unwrap();
@@ -1020,7 +1101,7 @@ mod tests {
         let p = mini_db();
         let mut cfg = config(true);
         cfg.vm.plan = Some(CompilationPlan::new(vec![p.entry()]));
-        cfg.vm.aos.enabled = false;
+        cfg.vm.jit.tier1_enabled = false;
         cfg.watch_fields = vec![("String".into(), "value".into())];
         let report = HpmRuntime::new(cfg).run(&p).unwrap();
         let (name, series) = &report.series[0];
@@ -1037,7 +1118,7 @@ mod tests {
         let p = mini_db();
         let mut cfg = config(true);
         cfg.vm.plan = Some(CompilationPlan::new(vec![p.entry()]));
-        cfg.vm.aos.enabled = false;
+        cfg.vm.jit.tier1_enabled = false;
         // Dense sampling and fast polls so periods are plentiful.
         cfg.hpm.interval = SamplingInterval::Fixed(256);
         cfg.forced_bad = Some(ForcedBadPlacement {

@@ -13,7 +13,7 @@
 
 use std::path::PathBuf;
 
-use hpmopt_bytecode::{ClassId, FieldId, Program};
+use hpmopt_bytecode::{ClassId, FieldId, MethodId, Program};
 use hpmopt_profile::wire::Fnv1a;
 use hpmopt_profile::{DecisionKind, Fingerprint, Profile};
 use hpmopt_vm::VmConfig;
@@ -134,6 +134,10 @@ pub struct Seeds {
     /// Co-allocation decisions to install at cycle 0: the hottest field
     /// per class among fields that crossed the decision threshold.
     pub decisions: Vec<(ClassId, FieldId)>,
+    /// Methods the prior run's tiered JIT promoted past baseline, to be
+    /// folded into the VM's compilation plan so this run opt-compiles
+    /// them on first execution instead of re-paying the tier-1 warm-up.
+    pub hot_methods: Vec<MethodId>,
 }
 
 /// Translate a profile into seeds for this program instance.
@@ -170,6 +174,11 @@ pub fn compute_seeds(program: &Program, profile: &Profile, min_field_misses: u64
         }
     }
     seeds.decisions = best.into_iter().map(|(c, f, _)| (c, f)).collect();
+    seeds.hot_methods = profile
+        .hot_methods
+        .iter()
+        .filter_map(|name| program.method_by_name(name))
+        .collect();
     seeds
 }
 
@@ -183,8 +192,12 @@ pub fn build_profile(
     fingerprint: Fingerprint,
     field_totals: &[(FieldId, u64)],
     events: &[PolicyEvent],
+    hot_methods: &[MethodId],
 ) -> Profile {
     let mut profile = Profile::new(fingerprint);
+    for &m in hot_methods {
+        profile.record_hot_method(program.method(m).name());
+    }
     for &(field, misses) in field_totals {
         if misses == 0 {
             continue;
@@ -360,11 +373,24 @@ mod tests {
                     class: a,
                 },
             ],
+            &[p.entry()],
         );
         assert_eq!(prof.field_weight("A", "x"), 42.0);
         assert_eq!(prof.runs, 1);
         assert_eq!(prof.decisions.len(), 2);
         assert_eq!(prof.decisions[0].kind, DecisionKind::WarmStarted);
         assert_eq!(prof.reverted_classes(), vec!["A"]);
+        assert_eq!(prof.hot_methods, vec!["main"]);
+    }
+
+    #[test]
+    fn hot_method_seeds_resolve_and_skip_unknown_names() {
+        let p = program();
+        let mut prof = Profile::new(Fingerprint::new(1, 2, "t"));
+        prof.record_hot_method("main");
+        prof.record_hot_method("renamed_away");
+        prof.seal_run();
+        let seeds = compute_seeds(&p, &prof, 8);
+        assert_eq!(seeds.hot_methods, vec![p.entry()]);
     }
 }

@@ -323,6 +323,21 @@ impl HpmSystem {
         self.kernel.unit().interval()
     }
 
+    /// Advance the code epoch stamped into subsequently captured samples.
+    /// The VM's bounded code cache calls this (via the monitoring
+    /// module's retire hook) every time it frees a code range; samples
+    /// already buffered keep their capture-time stamp, which is what lets
+    /// attribution detect them as stale.
+    pub fn set_code_epoch(&mut self, epoch: u64) {
+        self.kernel.unit_mut().set_code_epoch(epoch);
+    }
+
+    /// The code epoch currently stamped into new samples.
+    #[must_use]
+    pub fn code_epoch(&self) -> u64 {
+        self.kernel.unit().code_epoch()
+    }
+
     /// Monitoring statistics.
     #[must_use]
     pub fn stats(&self) -> HpmStats {
@@ -456,5 +471,22 @@ mod tests {
         assert_eq!(samples[0].pc, 0x4000_1234);
         assert_eq!(samples[0].data_addr, 0xdead_beef);
         assert_eq!(samples[0].event, EventKind::L1DMiss);
+        assert_eq!(samples[0].epoch, 0, "unbounded cache never moves epochs");
+    }
+
+    #[test]
+    fn epoch_splits_samples_around_a_code_free() {
+        let mut hpm = HpmSystem::new(HpmConfig {
+            interval: SamplingInterval::Fixed(1),
+            ..HpmConfig::default()
+        });
+        hpm.on_event(0x4000_0010, 0, &miss(), 1);
+        hpm.set_code_epoch(1);
+        assert_eq!(hpm.code_epoch(), 1);
+        hpm.on_event(0x4000_0010, 0, &miss(), 2);
+        let (samples, _) = hpm.poll(10);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].epoch, 0, "captured before the free");
+        assert_eq!(samples[1].epoch, 1, "captured after the free");
     }
 }

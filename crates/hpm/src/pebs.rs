@@ -4,7 +4,9 @@ use hpmopt_memsim::EventKind;
 
 /// Size of one sample record in bytes: PC, data address, event id, cycle
 /// stamp, and a register snapshot — matching the paper's 40-byte P4
-/// records.
+/// records. The code epoch is *not* part of the hardware record (it
+/// rides in a register-snapshot slot the simulation repurposes), so the
+/// wire size is unchanged.
 pub const SAMPLE_BYTES: u64 = 40;
 
 /// One precise sample: the exact instruction and machine state at the
@@ -19,6 +21,12 @@ pub struct Sample {
     pub event: EventKind,
     /// Cycle time of capture.
     pub cycles: u64,
+    /// Code epoch at capture time. A bounded code cache bumps the epoch
+    /// every time it frees a range; attribution compares this stamp
+    /// against the retirement window of the artifact owning `pc`, so a
+    /// sample captured before a free can never be attributed to whatever
+    /// code occupies the range afterwards.
+    pub epoch: u64,
 }
 
 /// SplitMix64 — a tiny deterministic generator for interval
@@ -50,6 +58,10 @@ pub struct PebsUnit {
     buffer: Vec<Sample>,
     capacity: usize,
     dropped: u64,
+    /// Current code epoch, stamped into every captured sample. The VM
+    /// advances it (via the monitoring module) whenever the bounded code
+    /// cache frees a range; stays 0 with the unbounded cache.
+    code_epoch: u64,
 }
 
 impl PebsUnit {
@@ -64,6 +76,7 @@ impl PebsUnit {
             buffer: Vec::with_capacity(capacity),
             capacity,
             dropped: 0,
+            code_epoch: 0,
         };
         unit.reset_countdown();
         unit
@@ -117,8 +130,22 @@ impl PebsUnit {
             data_addr,
             event,
             cycles,
+            epoch: self.code_epoch,
         });
         true
+    }
+
+    /// Advance the code epoch stamped into subsequent samples (the code
+    /// cache freed a range). Samples already buffered keep their older
+    /// stamp — exactly the in-flight records that must go stale.
+    pub fn set_code_epoch(&mut self, epoch: u64) {
+        self.code_epoch = epoch;
+    }
+
+    /// The current code epoch.
+    #[must_use]
+    pub fn code_epoch(&self) -> u64 {
+        self.code_epoch
     }
 
     /// Samples currently buffered.
@@ -208,6 +235,17 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10), "different seeds sample differently");
+    }
+
+    #[test]
+    fn samples_carry_the_capture_time_epoch() {
+        let mut u = PebsUnit::new(1, 1, 16);
+        assert_eq!(u.code_epoch(), 0);
+        u.observe(1, 0, EventKind::L1DMiss, 0);
+        u.set_code_epoch(3);
+        u.observe(2, 0, EventKind::L1DMiss, 1);
+        assert_eq!(u.samples()[0].epoch, 0, "buffered samples keep their stamp");
+        assert_eq!(u.samples()[1].epoch, 3);
     }
 
     #[test]

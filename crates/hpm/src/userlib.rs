@@ -81,6 +81,7 @@ mod tests {
             data_addr: 0,
             event: EventKind::L1DMiss,
             cycles: 0,
+            epoch: 0,
         }
     }
 

@@ -22,6 +22,7 @@
 //! runs u32
 //! field_count u32 · { class str · field str · weight f64 · last_run u64 }*
 //! decision_count u32 · { class str · field str · kind u8 · cycles u64 }*
+//! hot_method_count u32 · { name str }*          (v2+; absent in v1)
 //! ```
 
 use crate::wire::{fnv1a, ByteReader, ByteWriter};
@@ -30,9 +31,11 @@ use crate::{DecisionKind, DecisionRecord, FieldProfile, Fingerprint, Profile};
 /// File magic: "HPMP" (HPM Profile).
 pub const MAGIC: [u8; 4] = *b"HPMP";
 
-/// Current format version. Older or newer files load as
-/// [`ProfileError::UnsupportedVersion`] and degrade to a cold start.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version. Version 1 files (no hot-method section) are
+/// still readable — they load with an empty hot-method list. Anything
+/// else is [`ProfileError::UnsupportedVersion`] and degrades to a cold
+/// start.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a profile file could not be decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +100,10 @@ impl Profile {
             p.put_u8(d.kind as u8);
             p.put_u64(d.cycles);
         }
+        p.put_u32(self.hot_methods.len() as u32);
+        for m in &self.hot_methods {
+            p.put_str(m);
+        }
         let payload = p.finish();
 
         let mut w = ByteWriter::new();
@@ -124,7 +131,7 @@ impl Profile {
             return Err(ProfileError::BadMagic);
         }
         let version = r.get_u32()?;
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != 1 {
             return Err(ProfileError::UnsupportedVersion);
         }
         let payload_len = r.get_u64()? as usize;
@@ -175,6 +182,19 @@ impl Profile {
                 cycles: r.get_u64()?,
             });
         }
+
+        // v2 appends the hot-method list; v1 files simply end here.
+        let mut hot_methods = Vec::new();
+        if version >= 2 {
+            let hot_count = r.get_u32()? as usize;
+            if hot_count > r.remaining() / MIN_STR {
+                return Err(ProfileError::Malformed);
+            }
+            hot_methods.reserve(hot_count);
+            for _ in 0..hot_count {
+                hot_methods.push(r.get_str()?);
+            }
+        }
         if r.remaining() != 0 {
             return Err(ProfileError::Malformed);
         }
@@ -188,6 +208,7 @@ impl Profile {
             runs,
             fields,
             decisions,
+            hot_methods,
         })
     }
 }
@@ -210,6 +231,57 @@ mod tests {
     fn encode_decode_round_trips() {
         let p = sample();
         assert_eq!(Profile::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn hot_methods_round_trip() {
+        let mut p = sample();
+        p.record_hot_method("main");
+        p.record_hot_method("inner");
+        p.record_hot_method("main"); // deduplicated
+        let back = Profile::decode(&p.encode()).unwrap();
+        assert_eq!(back.hot_methods, vec!["main", "inner"]);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn version_1_files_load_with_empty_hot_methods() {
+        // Hand-roll a v1 file: identical payload minus the trailing
+        // hot-method section, version byte 1.
+        let p = sample();
+        let mut w = ByteWriter::new();
+        w.put_u64(p.fingerprint.program_hash);
+        w.put_u64(p.fingerprint.config_hash);
+        w.put_str(&p.fingerprint.workload);
+        w.put_u32(p.runs);
+        w.put_u32(p.fields.len() as u32);
+        for f in &p.fields {
+            w.put_str(&f.class);
+            w.put_str(&f.field);
+            w.put_f64(f.weight);
+            w.put_u64(f.last_run_misses);
+        }
+        w.put_u32(p.decisions.len() as u32);
+        for d in &p.decisions {
+            w.put_str(&d.class);
+            w.put_str(&d.field);
+            w.put_u8(d.kind as u8);
+            w.put_u64(d.cycles);
+        }
+        let payload = w.finish();
+        let mut file = ByteWriter::new();
+        for b in MAGIC {
+            file.put_u8(b);
+        }
+        file.put_u32(1);
+        file.put_u64(payload.len() as u64);
+        let mut bytes = file.finish();
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+
+        let back = Profile::decode(&bytes).unwrap();
+        assert_eq!(back, p, "v1 payload decodes identically");
+        assert!(back.hot_methods.is_empty());
     }
 
     #[test]

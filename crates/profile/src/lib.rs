@@ -156,6 +156,11 @@ pub struct Profile {
     pub fields: Vec<FieldProfile>,
     /// Decision log of the most recent run.
     pub decisions: Vec<DecisionRecord>,
+    /// Methods the tiered JIT promoted past baseline in the most recent
+    /// run (bare method names). A warm start folds these into the VM's
+    /// compilation plan so hot methods skip the tier-1 warm-up. Format
+    /// v1 files load with this empty.
+    pub hot_methods: Vec<String>,
 }
 
 impl Profile {
@@ -167,6 +172,15 @@ impl Profile {
             runs: 0,
             fields: Vec::new(),
             decisions: Vec::new(),
+            hot_methods: Vec::new(),
+        }
+    }
+
+    /// Record a method the JIT promoted past baseline this run
+    /// (deduplicated, insertion order preserved).
+    pub fn record_hot_method(&mut self, name: &str) {
+        if !self.hot_methods.iter().any(|m| m == name) {
+            self.hot_methods.push(name.to_string());
         }
     }
 
@@ -271,6 +285,7 @@ impl Profile {
             }
         }
         self.decisions = fresh.decisions.clone();
+        self.hot_methods = fresh.hot_methods.clone();
         self.runs += 1;
         self.sort_fields();
     }

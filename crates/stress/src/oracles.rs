@@ -1,29 +1,45 @@
 //! Differential and invariant oracles.
 //!
-//! A scenario is run through five arms, every arm with post-collection
+//! A scenario is run through seven arms, every arm with post-collection
 //! heap verification enabled ([`VmConfig::verify_heap_every_gc`]):
 //!
-//! | arm | tier            | collector | monitoring                    |
-//! |-----|-----------------|-----------|-------------------------------|
-//! | A   | interpreter     | GenMS     | off                           |
-//! | B   | all-opt plan    | GenMS     | off                           |
-//! | C   | interpreter     | GenCopy   | off                           |
-//! | D   | all-opt plan    | GenMS     | PEBS Fixed(512), co-alloc on  |
-//! | E   | all-opt plan    | GenMS     | [`HpmConfig::disabled`]       |
-//! | F   | all-opt, IC off | GenMS     | off                           |
+//! | arm | tier                  | collector | monitoring                    |
+//! |-----|-----------------------|-----------|-------------------------------|
+//! | A   | interpreter           | GenMS     | off                           |
+//! | B   | all-opt plan          | GenMS     | off                           |
+//! | C   | interpreter           | GenCopy   | off                           |
+//! | D   | all-opt plan          | GenMS     | PEBS Fixed(512), co-alloc on  |
+//! | E   | all-opt plan          | GenMS     | [`HpmConfig::disabled`]       |
+//! | F   | all-opt, IC off       | GenMS     | off                           |
+//! | G   | tiered, 4 KiB cache   | GenMS     | PEBS Fixed(512), co-alloc on  |
+//!
+//! Arm G runs the full tiered pipeline — timer-driven tier-1 promotion,
+//! back-edge-driven tier-2 region compilation with deoptimization, and a
+//! code cache small enough that LRU eviction and address-range reuse
+//! happen constantly — under monitoring, so late samples hit freed
+//! ranges and must go stale rather than misattribute.
 //!
 //! Invariants checked:
 //!
-//! 1. **Differential**: all six arms finish cleanly and produce the same
-//!    placement-independent state digest — compiled code agrees with the
-//!    interpreter, GenMS agrees with GenCopy, monitoring (which may
-//!    move objects via co-allocation) perturbs nothing program-visible,
-//!    and inline caches ([`VmConfig::inline_caches`]) change only the
-//!    cost model, never program state.
+//! 1. **Differential**: all seven arms finish cleanly and produce the
+//!    same placement-independent state digest — compiled code agrees
+//!    with the interpreter, GenMS agrees with GenCopy, monitoring (which
+//!    may move objects via co-allocation) perturbs nothing
+//!    program-visible, inline caches ([`VmConfig::inline_caches`])
+//!    change only the cost model, and tier churn (recompilation,
+//!    deoptimization, eviction) never changes program state.
 //! 2. **Heap integrity**: `Heap::verify` holds after every collection in
 //!    every arm (surfaced as [`VmError::HeapCorrupt`]).
-//! 3. **Attribution**: with full machine-code maps, no sample in the
-//!    monitored arm is foreign or unmapped — every sampled PC resolves.
+//! 3. **Attribution**: with full machine-code maps, no sample in a
+//!    monitored arm is foreign or unmapped — every sampled PC resolves
+//!    or (in arm G, where code is freed under the sampler) is counted
+//!    stale and dropped.
+//!
+//! Arm G's eviction count is surfaced as
+//! [`ScenarioOutcome::tiered_evictions`] rather than gated per scenario
+//! — a tiny program legitimately never outgrows the cache — and the
+//! pinned clean-seed suite asserts the standard seeds do evict, so the
+//! reuse path cannot silently stop being exercised.
 //!
 //! Any panic inside an arm (for example [`TypeTag`] decoding tripping
 //! over a corrupted header) is caught and reported as a failure rather
@@ -57,6 +73,9 @@ pub struct ScenarioOutcome {
     /// Simulated cycles of the monitored arm D (0 when it failed);
     /// `hpmopt-bench` consumes this as the pinned-shard perf arm.
     pub monitored_cycles: u64,
+    /// Capacity evictions arm G's bounded code cache performed (0 when
+    /// the arm failed or the scenario's code never outgrew the cache).
+    pub tiered_evictions: u64,
 }
 
 impl ScenarioOutcome {
@@ -87,7 +106,7 @@ fn stress_heap(collector: CollectorKind, fault_skip_zeroing: bool) -> HeapConfig
 fn stress_vm(collector: CollectorKind, plan: Option<CompilationPlan>, fault: bool) -> VmConfig {
     let mut vm = VmConfig::test();
     vm.heap = stress_heap(collector, fault);
-    vm.aos.enabled = false;
+    vm.jit.tier1_enabled = false;
     vm.plan = plan;
     vm.full_mcmaps = true;
     vm.verify_heap_every_gc = true;
@@ -118,15 +137,29 @@ fn vm_arm(arm: &str, gp: &GeneratedProgram, config: VmConfig) -> Result<(u64, u6
     })
 }
 
+/// The tiered-churn arm's VM configuration: aggressive tier-1 sampling,
+/// low-threshold tier-2 region compilation, and a code cache far smaller
+/// than any generated program's code footprint so eviction and range
+/// reuse are continuous.
+fn tiered_vm(fault: bool) -> VmConfig {
+    let mut vm = stress_vm(CollectorKind::GenMs, None, fault);
+    vm.jit.tier1_enabled = true;
+    vm.jit.sample_period_cycles = 50_000;
+    vm.jit.tier1_threshold = 2;
+    vm.jit.tier2_enabled = true;
+    vm.jit.tier2_threshold = 64;
+    vm.jit.code_cache_capacity_bytes = Some(4 * 1024);
+    vm
+}
+
 fn runtime_arm(
     arm: &str,
     gp: &GeneratedProgram,
+    vm: VmConfig,
     hpm: HpmConfig,
-    fault: bool,
 ) -> Result<(u64, hpmopt_core::RunReport), String> {
-    let plan = CompilationPlan::new(gp.all_methods.clone());
     let config = RunConfig {
-        vm: stress_vm(CollectorKind::GenMs, Some(plan), fault),
+        vm,
         hpm,
         coalloc: true,
         ..RunConfig::default()
@@ -177,8 +210,15 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         &gp,
         stress_vm(CollectorKind::GenCopy, None, fault),
     );
-    let d = runtime_arm("D/monitored", &gp, monitored_hpm(), fault);
-    let e = runtime_arm("E/monitor-off", &gp, HpmConfig::disabled(), fault);
+    let all_opt = || {
+        stress_vm(
+            CollectorKind::GenMs,
+            Some(CompilationPlan::new(gp.all_methods.clone())),
+            fault,
+        )
+    };
+    let d = runtime_arm("D/monitored", &gp, all_opt(), monitored_hpm());
+    let e = runtime_arm("E/monitor-off", &gp, all_opt(), HpmConfig::disabled());
     let f = vm_arm("F/opt-ic-off", &gp, {
         let mut vm = stress_vm(
             CollectorKind::GenMs,
@@ -188,6 +228,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         vm.inline_caches = false;
         vm
     });
+    let g = runtime_arm("G/tiered-evicting", &gp, tiered_vm(fault), monitored_hpm());
 
     let mut digests: Vec<(&str, u64)> = Vec::new();
     match &a {
@@ -222,6 +263,20 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         Ok((digest, _)) => digests.push(("F", *digest)),
         Err(msg) => failures.push(msg.clone()),
     }
+    match &g {
+        Ok((digest, report)) => {
+            digests.push(("G", *digest));
+            // Stale samples are expected (code is freed under the
+            // sampler); foreign or unmapped ones are not.
+            if report.attribution.foreign != 0 || report.attribution.unmapped != 0 {
+                failures.push(format!(
+                    "attribution (tiered): {} foreign / {} unmapped samples with full maps",
+                    report.attribution.foreign, report.attribution.unmapped
+                ));
+            }
+        }
+        Err(msg) => failures.push(msg.clone()),
+    }
 
     if let Some((first_arm, first)) = digests.first().copied() {
         for &(arm, digest) in &digests[1..] {
@@ -240,6 +295,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         digest: a.as_ref().map_or(0, |&(d, _)| d),
         cycles: a.as_ref().map_or(0, |&(_, c)| c),
         monitored_cycles: d.as_ref().map_or(0, |(_, r)| r.cycles),
+        tiered_evictions: g.as_ref().map_or(0, |(_, r)| r.vm.code_evictions),
     }
 }
 
@@ -254,6 +310,11 @@ mod tests {
             let out = run_scenario(&Scenario::from_seed(seed));
             assert!(out.pass, "seed {seed} failed: {:?}", out.failures);
             assert_ne!(out.digest, 0, "seed {seed} produced the trivial digest");
+            assert!(
+                out.tiered_evictions > 0,
+                "seed {seed}: arm G's 4 KiB cache never evicted — the reuse \
+                 path stopped being exercised"
+            );
         }
     }
 

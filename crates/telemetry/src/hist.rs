@@ -55,6 +55,10 @@ histograms! {
     // vm.*: per-compilation cost (simulated cycles).
     VmCompileCostCycles => "vm.compile_cost_cycles";
 
+    // jit.*: per-compilation cost by the tiered pipeline (all tiers;
+    // the tier split lives in the jit.compiles.* counters).
+    JitCompileCostCycles => "jit.compile_cost_cycles";
+
     // core.*: interpreter cycles between collector-thread polls, and
     // the latency from a field's first attributed sample to the policy
     // decision it triggered.
@@ -287,7 +291,15 @@ mod tests {
             assert!(
                 matches!(
                     ns,
-                    "hpm" | "memsim" | "gc" | "vm" | "core" | "profile" | "serve" | "telemetry"
+                    "hpm"
+                        | "memsim"
+                        | "gc"
+                        | "vm"
+                        | "jit"
+                        | "core"
+                        | "profile"
+                        | "serve"
+                        | "telemetry"
                 ),
                 "unknown namespace in {}",
                 id.name()

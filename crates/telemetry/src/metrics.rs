@@ -91,6 +91,18 @@ metrics! {
     VmCompilesOpt => ("vm.compiles.opt", Counter);
     VmCompileCycles => ("vm.compile_cycles", Gauge);
 
+    // jit.*: the tiered compilation pipeline and its bounded code cache.
+    JitCompilesBaseline => ("jit.compiles.baseline", Counter);
+    JitCompilesOpt => ("jit.compiles.opt", Counter);
+    JitCompilesRegion => ("jit.compiles.region", Counter);
+    JitDeopts => ("jit.deopts", Counter);
+    JitEvictions => ("jit.evictions", Counter);
+    JitCodeFrees => ("jit.code_frees", Counter);
+    JitStaleSamples => ("jit.stale_samples", Counter);
+    JitCacheBytes => ("jit.cache_bytes", Gauge);
+    JitCacheCapacityBytes => ("jit.cache_capacity_bytes", Gauge);
+    JitCodeEpoch => ("jit.code_epoch", Gauge);
+
     // core.*: sample attribution outcomes and policy decisions.
     CoreSamplesAttributed => ("core.samples.attributed", Counter);
     CoreSamplesUninteresting => ("core.samples.uninteresting", Counter);
@@ -199,7 +211,15 @@ mod tests {
             assert!(
                 matches!(
                     ns,
-                    "hpm" | "memsim" | "gc" | "vm" | "core" | "profile" | "serve" | "telemetry"
+                    "hpm"
+                        | "memsim"
+                        | "gc"
+                        | "vm"
+                        | "jit"
+                        | "core"
+                        | "profile"
+                        | "serve"
+                        | "telemetry"
                 ),
                 "unknown namespace in {}",
                 id.name()

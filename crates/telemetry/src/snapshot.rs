@@ -284,6 +284,20 @@ fn write_event(w: &mut JsonWriter, event: &TraceEvent) {
             w.field_u64("method", u64::from(*method));
             w.field_str("tier", tier);
         }
+        TraceKind::Deopt { method } => {
+            w.field_u64("method", u64::from(*method));
+        }
+        TraceKind::CodeEviction {
+            method,
+            tier,
+            epoch,
+            evicted,
+        } => {
+            w.field_u64("method", u64::from(*method));
+            w.field_str("tier", tier);
+            w.field_u64("epoch", *epoch);
+            w.field_bool("evicted", *evicted);
+        }
         TraceKind::CoallocDecision {
             class,
             field,
@@ -326,6 +340,16 @@ fn describe_event(kind: &TraceKind) -> String {
         TraceKind::Recompilation { method, tier } => {
             format!("recompilation method={method} tier={tier}")
         }
+        TraceKind::Deopt { method } => format!("deopt method={method}"),
+        TraceKind::CodeEviction {
+            method,
+            tier,
+            epoch,
+            evicted,
+        } => format!(
+            "code_eviction method={method} tier={tier} epoch={epoch} cause={}",
+            if *evicted { "capacity" } else { "replaced" }
+        ),
         TraceKind::CoallocDecision {
             class,
             field,

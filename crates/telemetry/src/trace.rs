@@ -21,6 +21,19 @@ pub enum TraceKind {
     GcCollection { major: bool, promoted_bytes: u64 },
     /// A method moved to a higher tier.
     Recompilation { method: u32, tier: &'static str },
+    /// Region-tier code bailed out to the interpreter's baseline path:
+    /// execution left the compiled region and the artifact was
+    /// abandoned.
+    Deopt { method: u32 },
+    /// The bounded code cache freed a range. `evicted` distinguishes
+    /// capacity eviction from replacement on recompile; `epoch` is the
+    /// post-free code epoch late samples are checked against.
+    CodeEviction {
+        method: u32,
+        tier: &'static str,
+        epoch: u64,
+        evicted: bool,
+    },
     /// The co-allocation policy changed its mind about a (class, field).
     /// `field` is `u32::MAX` when the action carries no specific field
     /// (pins and reverts operate on the whole class).
@@ -48,6 +61,8 @@ impl TraceKind {
             TraceKind::BufferOverflow { .. } => "buffer_overflow",
             TraceKind::GcCollection { .. } => "gc_collection",
             TraceKind::Recompilation { .. } => "recompilation",
+            TraceKind::Deopt { .. } => "deopt",
+            TraceKind::CodeEviction { .. } => "code_eviction",
             TraceKind::CoallocDecision { .. } => "coalloc_decision",
             TraceKind::PhaseChange { .. } => "phase_change",
             TraceKind::WarmStart { .. } => "warm_start",

@@ -18,13 +18,21 @@ use hpmopt_bytecode::{Instr, MethodId, Program};
 
 use crate::machine::{CompiledCode, McMap, Tier};
 
-/// Machine instructions the given tier emits for one bytecode.
-#[must_use]
-pub fn mach_instr_count(i: Instr, tier: Tier) -> u32 {
-    let (baseline, opt) = match i {
-        Instr::Const(_) | Instr::ConstNull => (2, 1),
-        Instr::Load(_) | Instr::Store(_) => (2, 1),
-        Instr::Dup | Instr::Pop | Instr::Swap => (2, 1),
+/// The per-opcode cost table: machine instructions emitted per bytecode
+/// as `(baseline, opt, region)`. This is the **single source of truth**
+/// for the instruction-count cost model — [`compile`] lays out every
+/// artifact from it and `predecode` takes its costs from the laid-out
+/// artifact, so a decoded cost can never drift from this table (the
+/// `artifact_counts_match_the_cost_table` test pins the chain).
+///
+/// Region code is the tier-2 compiler's output for a method's hot block
+/// sequence: scheduling over a larger scope shaves an instruction off
+/// the heavier memory-access bytecodes relative to opt code.
+fn tier_counts(i: Instr) -> (u32, u32, u32) {
+    match i {
+        Instr::Const(_) | Instr::ConstNull => (2, 1, 1),
+        Instr::Load(_) | Instr::Store(_) => (2, 1, 1),
+        Instr::Dup | Instr::Pop | Instr::Swap => (2, 1, 1),
         Instr::Add
         | Instr::Sub
         | Instr::And
@@ -33,28 +41,49 @@ pub fn mach_instr_count(i: Instr, tier: Tier) -> u32 {
         | Instr::Shl
         | Instr::Shr
         | Instr::UShr
-        | Instr::Neg => (3, 1),
-        Instr::Mul => (3, 2),
-        Instr::Div | Instr::Rem => (5, 3),
-        Instr::Eq | Instr::Ne | Instr::Lt | Instr::Le | Instr::Gt | Instr::Ge => (3, 1),
-        Instr::Jump(_) => (1, 1),
-        Instr::JumpIf(_) | Instr::JumpIfNot(_) => (3, 2),
-        Instr::New(_) => (8, 5),
-        Instr::NewArray(_) => (9, 6),
-        Instr::GetField(_) => (4, 2),
-        Instr::PutField(_) => (5, 3),
-        Instr::GetStatic(_) | Instr::PutStatic(_) => (3, 2),
-        Instr::ArrayGet(_) => (5, 3),
-        Instr::ArraySet(_) => (6, 4),
-        Instr::ArrayLen => (3, 2),
-        Instr::IsNull | Instr::RefEq => (3, 1),
-        Instr::Call(_) => (6, 4),
-        Instr::Return | Instr::ReturnVal => (3, 2),
-    };
+        | Instr::Neg => (3, 1, 1),
+        Instr::Mul => (3, 2, 2),
+        Instr::Div | Instr::Rem => (5, 3, 3),
+        Instr::Eq | Instr::Ne | Instr::Lt | Instr::Le | Instr::Gt | Instr::Ge => (3, 1, 1),
+        Instr::Jump(_) => (1, 1, 1),
+        Instr::JumpIf(_) | Instr::JumpIfNot(_) => (3, 2, 1),
+        Instr::New(_) => (8, 5, 4),
+        Instr::NewArray(_) => (9, 6, 5),
+        Instr::GetField(_) => (4, 2, 1),
+        Instr::PutField(_) => (5, 3, 2),
+        Instr::GetStatic(_) | Instr::PutStatic(_) => (3, 2, 2),
+        Instr::ArrayGet(_) => (5, 3, 2),
+        Instr::ArraySet(_) => (6, 4, 3),
+        Instr::ArrayLen => (3, 2, 1),
+        Instr::IsNull | Instr::RefEq => (3, 1, 1),
+        Instr::Call(_) => (6, 4, 4),
+        Instr::Return | Instr::ReturnVal => (3, 2, 2),
+    }
+}
+
+/// Machine instructions the given tier emits for one bytecode.
+#[must_use]
+pub fn mach_instr_count(i: Instr, tier: Tier) -> u32 {
+    let (baseline, opt, region) = tier_counts(i);
     match tier {
         Tier::Baseline => baseline,
         Tier::Opt => opt,
+        Tier::Region => region,
     }
+}
+
+/// Machine-code bytes the given tier emits for a whole method body —
+/// what the code cache must reserve before [`compile`] runs. Summing
+/// [`mach_instr_count`] guarantees the reservation matches the artifact.
+#[must_use]
+pub fn compiled_code_bytes(program: &Program, method: MethodId, tier: Tier) -> u64 {
+    let mach: u64 = program
+        .method(method)
+        .body()
+        .iter()
+        .map(|&i| u64::from(mach_instr_count(i, tier)))
+        .sum();
+    mach * crate::MACH_INSTR_BYTES
 }
 
 /// Machine instructions retired at a monomorphic inline-cache *hit* for
@@ -68,15 +97,16 @@ pub fn mach_instr_count(i: Instr, tier: Tier) -> u32 {
 /// on or off; only the dynamic retired-instruction count changes.
 #[must_use]
 pub fn ic_hit_count(i: Instr, tier: Tier) -> Option<u32> {
-    let (baseline, opt) = match i {
-        Instr::GetField(_) => (2, 1),
-        Instr::PutField(_) => (3, 2),
-        Instr::Call(_) => (3, 2),
+    let (baseline, opt, region) = match i {
+        Instr::GetField(_) => (2, 1, 1),
+        Instr::PutField(_) => (3, 2, 2),
+        Instr::Call(_) => (3, 2, 2),
         _ => return None,
     };
     Some(match tier {
         Tier::Baseline => baseline,
         Tier::Opt => opt,
+        Tier::Region => region,
     })
 }
 
@@ -199,6 +229,43 @@ mod tests {
         let c = compile(&p, id, Tier::Opt, 0, true);
         for bc in 0..p.method(id).len() {
             assert!(c.mach_count(bc) >= 1);
+        }
+    }
+
+    #[test]
+    fn artifact_counts_match_the_cost_table() {
+        // The single-source-of-truth chain: whatever the artifact says a
+        // bytecode costs must be exactly `mach_instr_count` — predecode
+        // reads the artifact, so it can never drift from the table.
+        let (p, id) = program();
+        for tier in [Tier::Baseline, Tier::Opt, Tier::Region] {
+            let c = compile(&p, id, tier, 0x4000_0000, true);
+            for (bc, &i) in p.method(id).body().iter().enumerate() {
+                assert_eq!(
+                    c.mach_count(bc),
+                    mach_instr_count(i, tier),
+                    "count drift at bc {bc} tier {tier}"
+                );
+            }
+            assert_eq!(
+                c.machine_code_bytes(),
+                compiled_code_bytes(&p, id, tier),
+                "reservation size must match the artifact at {tier}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_tiers_never_emit_more_instructions() {
+        let (p, id) = program();
+        for &i in p.method(id).body() {
+            let b = mach_instr_count(i, Tier::Baseline);
+            let o = mach_instr_count(i, Tier::Opt);
+            let r = mach_instr_count(i, Tier::Region);
+            assert!(r <= o && o <= b, "tier monotonicity broken for {i:?}");
+            if let Some(hit) = ic_hit_count(i, Tier::Region) {
+                assert!(hit <= r, "IC hit cannot beat the full region count");
+            }
         }
     }
 }

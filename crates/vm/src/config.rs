@@ -6,7 +6,7 @@ use std::sync::Arc;
 use hpmopt_gc::HeapConfig;
 use hpmopt_memsim::MemConfig;
 
-use crate::aos::{AosConfig, CompilationPlan};
+use hpmopt_jit::{CompilationPlan, JitConfig};
 
 /// Shared cancellation flag for a running VM. Clone-cheap (an `Arc`
 /// internally); any holder can request cancellation and the VM notices
@@ -43,8 +43,9 @@ pub struct VmConfig {
     pub heap: HeapConfig,
     /// Memory-hierarchy geometry and latencies.
     pub mem: MemConfig,
-    /// Adaptive-optimization settings.
-    pub aos: AosConfig,
+    /// Tiered-JIT settings: tier-1 (opt) timer sampling, tier-2 (region)
+    /// back-edge promotion, and the code-cache capacity.
+    pub jit: JitConfig,
     /// Pseudo-adaptive compilation plan; when set, the listed methods are
     /// opt-compiled at first invocation and timer recompilation is
     /// disabled (the paper's reproducibility device).
@@ -110,7 +111,7 @@ impl Default for VmConfig {
         VmConfig {
             heap: HeapConfig::standard(),
             mem: MemConfig::pentium4(),
-            aos: AosConfig::default(),
+            jit: JitConfig::default(),
             plan: None,
             full_mcmaps: true,
             step_limit: None,
@@ -129,17 +130,18 @@ impl Default for VmConfig {
 }
 
 impl VmConfig {
-    /// A small configuration for unit tests: tiny heap, AOS enabled with a
-    /// short timer so tier transitions are observable quickly.
+    /// A small configuration for unit tests: tiny heap, tier-1 sampling
+    /// enabled with a short timer so tier transitions are observable
+    /// quickly.
     #[must_use]
     pub fn test() -> Self {
         VmConfig {
             heap: HeapConfig::small(),
             mem: MemConfig::pentium4(),
-            aos: AosConfig {
-                enabled: true,
+            jit: JitConfig {
                 sample_period_cycles: 50_000,
-                opt_threshold: 2,
+                tier1_threshold: 2,
+                ..JitConfig::default()
             },
             plan: None,
             full_mcmaps: true,

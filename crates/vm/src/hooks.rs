@@ -14,7 +14,7 @@ use hpmopt_gc::policy::{CoallocPolicy, NoCoalloc};
 use hpmopt_gc::{Address, GcStats};
 use hpmopt_memsim::AccessOutcome;
 
-use crate::machine::CompiledCode;
+use crate::machine::{CompiledCode, Tier};
 
 /// Context of one heap data access, as the sampling hardware would see it.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +31,31 @@ pub struct AccessContext {
     pub method: MethodId,
     /// Bytecode index of the access.
     pub bytecode_index: u32,
+}
+
+/// A compiled artifact's address range was returned to the code cache
+/// (the method was recompiled, deoptimized, or evicted for capacity).
+/// The monitoring module must retire the range from sample attribution:
+/// any in-flight sample stamped with an earlier code epoch may carry a
+/// PC from inside it.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeRetired {
+    /// Method whose code occupied the range.
+    pub method: MethodId,
+    /// Tier of the retired artifact.
+    pub tier: Tier,
+    /// First retired code address.
+    pub code_start: u64,
+    /// One past the last retired code address.
+    pub code_end: u64,
+    /// Code epoch after the free; samples captured before it must not be
+    /// attributed to whatever occupies the range next.
+    pub epoch: u64,
+    /// True when the range was evicted for capacity (vs freed because the
+    /// method was recompiled or deoptimized).
+    pub evicted: bool,
+    /// Live code-cache bytes after the free.
+    pub cache_bytes: u64,
 }
 
 /// Callbacks the VM invokes while executing.
@@ -69,6 +94,21 @@ pub trait RuntimeHooks {
     /// instructions-of-interest analysis.
     fn on_compile(&mut self, program: &Program, code: &CompiledCode) {
         let _ = (program, code);
+    }
+
+    /// A compiled artifact's range was freed or evicted. The monitoring
+    /// module bumps its notion of the code epoch and retires the range
+    /// from sample attribution (late samples become *stale*, never
+    /// misattributed). Never called with the default unbounded cache.
+    fn on_code_retired(&mut self, ev: &CodeRetired, cycles: u64) {
+        let _ = (ev, cycles);
+    }
+
+    /// A region-compiled method left its region and deoptimized back to
+    /// baseline (the baseline reinstall arrives via
+    /// [`RuntimeHooks::on_compile`] immediately after).
+    fn on_deopt(&mut self, method: MethodId, from_tier: Tier, cycles: u64) {
+        let _ = (method, from_tier, cycles);
     }
 
     /// A collection finished (with cumulative stats).

@@ -10,10 +10,11 @@ use hpmopt_bytecode::{ElemKind, Instr, MethodId, Program};
 use hpmopt_gc::{Address, GcNeeded, GcStats, Heap, TypeTag};
 use hpmopt_memsim::{AccessKind, AccessOutcome, BatchAccess, MemStats, MemoryHierarchy};
 
-use crate::aos::Aos;
-use crate::compiler::compile;
+use hpmopt_jit::{CodeCache, FreedRange, TierManager};
+
+use crate::compiler::{compile, compiled_code_bytes};
 use crate::config::{CancelToken, VmConfig};
-use crate::hooks::{AccessContext, RuntimeHooks};
+use crate::hooks::{AccessContext, CodeRetired, RuntimeHooks};
 use crate::machine::{CompiledCode, Tier};
 use crate::methodtable::{CodeRange, MethodTable};
 use crate::predecode::{decode, DecodedMethod, IcSlot, Op, IC_ARRAY_KEY};
@@ -56,8 +57,13 @@ pub struct RunSummary {
     /// Per-method code and map sizes.
     pub code_sizes: Vec<MethodCodeSizes>,
     /// Methods opt-compiled during the run (input for a pseudo-adaptive
-    /// compilation plan).
+    /// compilation plan); includes region-tier methods.
     pub opt_compiled: Vec<MethodId>,
+    /// Artifacts evicted by the bounded code cache for capacity (zero
+    /// with the default unbounded cache).
+    pub code_evictions: u64,
+    /// Region-tier deoptimizations back to baseline.
+    pub deopts: u64,
 }
 
 impl RunSummary {
@@ -113,13 +119,14 @@ pub struct Vm<'p> {
     decoded: Vec<Option<DecodedMethod>>,
     generations: Vec<u32>,
     method_table: MethodTable,
-    aos: Aos,
-    code_cursor: u64,
+    tiers: TierManager,
+    cache: CodeCache,
     cycles: u64,
     monitor_cycles: u64,
     compile_cycles: u64,
     gc_cycles_seen: u64,
     bytecodes: u64,
+    deopts: u64,
     statics: Vec<Value>,
     locals: Vec<Value>,
     stack: Vec<Value>,
@@ -164,13 +171,14 @@ impl<'p> Vm<'p> {
             decoded: vec![None; program.methods().len()],
             generations: vec![0; program.methods().len()],
             method_table: MethodTable::new(),
-            aos: Aos::new(config.aos.clone()),
-            code_cursor: CODE_BASE,
+            tiers: TierManager::new(config.jit.clone()),
+            cache: CodeCache::new(CODE_BASE, config.jit.code_cache_capacity_bytes),
             cycles: 0,
             monitor_cycles: 0,
             compile_cycles: 0,
             gc_cycles_seen: 0,
             bytecodes: 0,
+            deopts: 0,
             statics,
             locals: Vec::new(),
             stack: Vec::new(),
@@ -297,10 +305,13 @@ impl<'p> Vm<'p> {
                     return Err(VmError::CycleBudget);
                 }
             }
-            if self.aos.should_sample(self.cycles) {
+            if self.tiers.should_sample(self.cycles) {
                 let current = self.frames.last().map(|f| f.method);
                 if let Some(m) = current {
-                    if let Some(hot) = self.aos.sample(m, self.cycles) {
+                    // A timer tick that lands in a method is also the
+                    // cache's recency signal: sampled code is hot code.
+                    self.cache.touch(m, self.cycles);
+                    if let Some(hot) = self.tiers.sample(m, self.cycles) {
                         self.recompile(hot, hooks);
                     }
                 }
@@ -352,6 +363,11 @@ impl<'p> Vm<'p> {
             let mut pc = frame.pc;
             let width = self.decoded[mi].as_ref().expect("decoded method").width;
             self.batch_width = width;
+            // Taken backward branches in opt-tier code feed the tier-2
+            // promotion counters; baseline code is not yet worth a
+            // region, and region code already is one.
+            let tier2_watch = self.config.jit.tier2_enabled
+                && self.decoded[mi].as_ref().expect("decoded method").tier == Tier::Opt;
             loop {
                 // Mirror the frame pc eagerly so error paths and GC root
                 // scans observe the same frame state as the per-step
@@ -369,6 +385,26 @@ impl<'p> Vm<'p> {
                         #[allow(clippy::redundant_closure_call)]
                         self.stack.push(Value::Int($f(a, b)));
                     }};
+                }
+
+                // Count a taken backward branch; when it crosses the
+                // tier-2 threshold, compile a region over the method's
+                // hottest blocks and re-enter at the branch target.
+                macro_rules! back_edge {
+                    () => {
+                        if tier2_watch && next_pc <= pc {
+                            let d = self.decoded[mi].as_ref().expect("decoded method");
+                            let (tgt, src) = (d.block_of[next_pc], d.block_of[pc]);
+                            if self.tiers.record_back_edge(method, tgt, src) {
+                                self.batch_mach += cost;
+                                self.flush_batch(hooks);
+                                self.install(method, Tier::Region, hooks);
+                                self.frames.last_mut().expect("running frame").pc = next_pc;
+                                self.epilogue(hooks, next_poll)?;
+                                continue 'frames;
+                            }
+                        }
+                    };
                 }
 
                 match dop.op {
@@ -433,15 +469,20 @@ impl<'p> Vm<'p> {
                     Op::Gt => binop_int!(|a, b| i64::from(a > b)),
                     Op::Ge => binop_int!(|a, b| i64::from(a >= b)),
 
-                    Op::Jump(t) => next_pc = t as usize,
+                    Op::Jump(t) => {
+                        next_pc = t as usize;
+                        back_edge!();
+                    }
                     Op::JumpIf(t) => {
                         if self.pop()?.as_int()? != 0 {
                             next_pc = t as usize;
+                            back_edge!();
                         }
                     }
                     Op::JumpIfNot(t) => {
                         if self.pop()?.as_int()? == 0 {
                             next_pc = t as usize;
+                            back_edge!();
                         }
                     }
 
@@ -651,6 +692,20 @@ impl<'p> Vm<'p> {
                         self.epilogue(hooks, next_poll)?;
                         continue 'frames;
                     }
+
+                    Op::Deopt => {
+                        // Execution left the compiled region. Nothing was
+                        // retired for this bytecode (it re-executes in
+                        // baseline code), so no cost and no step count:
+                        // drop the region artifact, reinstall baseline,
+                        // and re-enter the frame at the same pc.
+                        self.flush_batch(hooks);
+                        self.deopts += 1;
+                        self.tiers.deopt(method);
+                        self.install(method, Tier::Baseline, hooks);
+                        hooks.on_deopt(method, Tier::Region, self.cycles);
+                        continue 'frames;
+                    }
                 }
 
                 self.batch_mach += cost;
@@ -667,9 +722,9 @@ impl<'p> Vm<'p> {
     }
 
     /// Per-bytecode bookkeeping shared by every fast-path op: step
-    /// accounting, AOS sampling, and the poll timer. Returns `true` when
-    /// a recompilation replaced a decoded body and the caller must
-    /// refetch.
+    /// accounting, the tier-1 sampling timer, and the poll timer. Returns
+    /// `true` when a recompilation replaced a decoded body and the caller
+    /// must refetch.
     #[inline]
     fn epilogue<H: RuntimeHooks>(
         &mut self,
@@ -689,9 +744,12 @@ impl<'p> Vm<'p> {
                 return Err(VmError::CycleBudget);
             }
         }
-        if self.aos.should_sample(clock) {
+        if self.tiers.should_sample(clock) {
             if let Some(m) = self.frames.last().map(|f| f.method) {
-                if let Some(hot) = self.aos.sample(m, clock) {
+                // A timer tick that lands in a method is also the cache's
+                // recency signal: sampled code is hot code.
+                self.cache.touch(m, clock);
+                if let Some(hot) = self.tiers.sample(m, clock) {
                     // Recompilation swaps the running artifact: settle
                     // the batch so the install lands on an ordered clock.
                     self.flush_batch(hooks);
@@ -837,9 +895,11 @@ impl<'p> Vm<'p> {
                 .compiled
                 .iter()
                 .flatten()
-                .filter(|c| c.tier == Tier::Opt)
+                .filter(|c| c.tier != Tier::Baseline)
                 .map(|c| c.method)
                 .collect(),
+            code_evictions: self.cache.evictions(),
+            deopts: self.deopts,
         }
     }
 
@@ -849,9 +909,18 @@ impl<'p> Vm<'p> {
         if self.compiled[m.0 as usize].is_some() {
             return;
         }
-        let tier = match &self.config.plan {
-            Some(plan) if plan.contains(m) => Tier::Opt,
-            _ => Tier::Baseline,
+        // A method the tier manager already promoted re-enters at its
+        // promoted tier rather than repeating the ladder — this is how an
+        // evicted hot method warms back up. With the default unbounded
+        // cache nothing is ever evicted, so each method reaches here once,
+        // before any promotion, and the plan is the only opt source.
+        let planned = self.config.plan.as_ref().is_some_and(|p| p.contains(m));
+        let tier = if self.tiers.region_compiled().contains(&m) {
+            Tier::Region
+        } else if planned || self.tiers.opt_compiled().contains(&m) {
+            Tier::Opt
+        } else {
+            Tier::Baseline
         };
         self.install(m, tier, hooks);
     }
@@ -863,19 +932,34 @@ impl<'p> Vm<'p> {
     fn install<H: RuntimeHooks>(&mut self, m: MethodId, tier: Tier, hooks: &mut H) {
         let per_bc = match tier {
             Tier::Baseline => self.config.baseline_compile_cycles_per_bc,
-            Tier::Opt => self.config.opt_compile_cycles_per_bc,
+            Tier::Opt | Tier::Region => self.config.opt_compile_cycles_per_bc,
         };
         let cost = per_bc * self.program.method(m).len() as u64;
         self.cycles += cost;
         self.compile_cycles += cost;
-        let code = compile(
-            self.program,
-            m,
-            tier,
-            self.code_cursor,
-            self.config.full_mcmaps,
-        );
-        self.code_cursor = code.code_end();
+        // Retire the method's previous artifact first (bounded cache
+        // only): its range becomes reusable, and any late sample carrying
+        // a PC from it must resolve stale — never to the replacement.
+        if let Some(old_start) = self.compiled[m.0 as usize].as_ref().map(|c| c.code_start) {
+            if let Some(freed) = self.cache.free(m, old_start) {
+                self.retire(freed, hooks);
+            }
+        }
+        let bytes = compiled_code_bytes(self.program, m, tier);
+        // Methods on the call stack (plus the one being installed) are
+        // pinned: evicting a frame's running code would strand its
+        // return pc.
+        let mut pinned: Vec<MethodId> = self.frames.iter().map(|f| f.method).collect();
+        pinned.push(m);
+        let (start, evicted) = self.cache.alloc(m, tier, bytes, self.cycles, &pinned);
+        for fr in evicted {
+            let ei = fr.method.0 as usize;
+            self.compiled[ei] = None;
+            self.decoded[ei] = None;
+            self.retire(fr, hooks);
+        }
+        let mut code = compile(self.program, m, tier, start, self.config.full_mcmaps);
+        code.install_epoch = self.cache.epoch();
         self.method_table.insert(CodeRange {
             start: code.code_start,
             end: code.code_end(),
@@ -886,9 +970,29 @@ impl<'p> Vm<'p> {
         // Re-decode against the new artifact: inline-cache slots start
         // cold, and bumping the generation invalidates every call site
         // linked to the previous artifact.
-        self.decoded[m.0 as usize] = Some(decode(self.program, &code, &self.config));
+        let region = (tier == Tier::Region).then(|| self.tiers.hot_region(m));
+        self.decoded[m.0 as usize] =
+            Some(decode(self.program, &code, &self.config, region.as_deref()));
         self.generations[m.0 as usize] = self.generations[m.0 as usize].wrapping_add(1);
         self.compiled[m.0 as usize] = Some(code);
+    }
+
+    /// Unregister a freed code range and tell the hooks to retire it from
+    /// sample attribution.
+    fn retire<H: RuntimeHooks>(&mut self, fr: FreedRange, hooks: &mut H) {
+        self.method_table.remove(fr.start);
+        hooks.on_code_retired(
+            &CodeRetired {
+                method: fr.method,
+                tier: fr.tier,
+                code_start: fr.start,
+                code_end: fr.end,
+                epoch: fr.epoch,
+                evicted: fr.evicted,
+                cache_bytes: self.cache.live_bytes(),
+            },
+            self.cycles,
+        );
     }
 
     // ----- frames ----------------------------------------------------------
@@ -1074,9 +1178,13 @@ impl<'p> Vm<'p> {
         // code's operand-stack traffic serializes to ~1 IPC. The memory
         // instruction (last of the bytecode) adds its hierarchy latency
         // below on top.
+        // The per-step engine never installs region code (tier-2
+        // promotion is driven by the fast engine's back-edge counters),
+        // but a region artifact installed before a `slow-path` fallback
+        // costs like opt code here.
         let mut cycles = match tier {
             Tier::Baseline => mach_count,
-            Tier::Opt => mach_count.div_ceil(self.config.issue_width),
+            Tier::Opt | Tier::Region => mach_count.div_ceil(self.config.issue_width),
         };
         let mut next_pc = pc + 1;
         let bc = pc as u32;
@@ -1700,8 +1808,8 @@ mod tests {
         });
         let entry = p.entry();
         let mut cfg = VmConfig::test();
-        cfg.plan = Some(crate::aos::CompilationPlan::new(vec![entry]));
-        cfg.aos.enabled = false;
+        cfg.plan = Some(crate::CompilationPlan::new(vec![entry]));
+        cfg.jit.tier1_enabled = false;
         let mut vm = Vm::new(&p, cfg);
         let summary = vm.run(&mut NoHooks).unwrap();
         assert_eq!(summary.opt_compiled, vec![entry]);
@@ -1730,12 +1838,12 @@ mod tests {
         let entry = p.entry();
 
         let mut base_cfg = VmConfig::test();
-        base_cfg.aos.enabled = false;
+        base_cfg.jit.tier1_enabled = false;
         let base = Vm::new(&p, base_cfg).run(&mut NoHooks).unwrap();
 
         let mut opt_cfg = VmConfig::test();
-        opt_cfg.aos.enabled = false;
-        opt_cfg.plan = Some(crate::aos::CompilationPlan::new(vec![entry]));
+        opt_cfg.jit.tier1_enabled = false;
+        opt_cfg.plan = Some(crate::CompilationPlan::new(vec![entry]));
         let opt = Vm::new(&p, opt_cfg).run(&mut NoHooks).unwrap();
 
         assert!(
@@ -1745,6 +1853,148 @@ mod tests {
             base.cycles
         );
         assert_eq!(opt.bytecodes_executed, base.bytecodes_executed);
+    }
+
+    /// A hot loop summing `0..n` into static 0 via local 0.
+    fn hot_loop_program(n: i64) -> Program {
+        expr_program(move |m| {
+            m.const_i(0);
+            m.store(0);
+            m.for_loop(
+                1,
+                move |m| {
+                    m.const_i(n);
+                },
+                |m| {
+                    m.load(0);
+                    m.load(1);
+                    m.add();
+                    m.store(0);
+                },
+            );
+            m.load(0);
+        })
+    }
+
+    #[test]
+    fn tier2_promotes_hot_loop_and_beats_opt_code() {
+        let p = hot_loop_program(5_000);
+        let entry = p.entry();
+        let run_with = |tier2: bool| {
+            let mut cfg = VmConfig::test();
+            cfg.jit.tier1_enabled = false;
+            cfg.jit.tier2_enabled = tier2;
+            cfg.jit.tier2_threshold = 100;
+            cfg.plan = Some(crate::CompilationPlan::new(vec![entry]));
+            let mut vm = Vm::new(&p, cfg);
+            let s = vm.run(&mut NoHooks).unwrap();
+            let v = vm.statics[0].as_int().unwrap();
+            (s, v, vm.state_digest())
+        };
+        let (opt, v_opt, d_opt) = run_with(false);
+        let (reg, v_reg, d_reg) = run_with(true);
+        assert_eq!(v_reg, (0..5_000).sum::<i64>());
+        assert_eq!(v_reg, v_opt);
+        assert_eq!(d_reg, d_opt, "tiering is a cost-model lever");
+        assert_eq!(reg.bytecodes_executed, opt.bytecodes_executed);
+        assert_eq!(opt.deopts, 0, "tier 2 off never deoptimizes");
+        // The region covers the loop but not the exit path, so leaving
+        // the loop deoptimizes exactly once — after ~4900 iterations ran
+        // as region code, which must beat pure opt code overall.
+        assert_eq!(reg.deopts, 1);
+        assert!(
+            reg.cycles < opt.cycles,
+            "region {} vs opt {}",
+            reg.cycles,
+            opt.cycles
+        );
+        // Post-deopt the method is back at baseline.
+        assert_eq!(reg.code_sizes[0].tier, Tier::Baseline);
+        assert!(reg.opt_compiled.is_empty());
+    }
+
+    #[test]
+    fn tiny_region_cap_deopts_immediately_and_preserves_semantics() {
+        let p = hot_loop_program(2_000);
+        let entry = p.entry();
+        let mut cfg = VmConfig::test();
+        cfg.jit.tier1_enabled = false;
+        cfg.jit.tier2_enabled = true;
+        cfg.jit.tier2_threshold = 50;
+        cfg.jit.max_region_blocks = 1;
+        cfg.plan = Some(crate::CompilationPlan::new(vec![entry]));
+        let mut vm = Vm::new(&p, cfg);
+        let s = vm.run(&mut NoHooks).unwrap();
+        // A one-block region cannot hold the loop: the first out-of-
+        // region bytecode deopts, the method is banned from tier 2, and
+        // the program still computes the right answer.
+        assert_eq!(s.deopts, 1);
+        assert_eq!(vm.statics[0].as_int().unwrap(), (0..2_000).sum::<i64>());
+    }
+
+    /// Three helper methods invoked round-robin from a loop, so a small
+    /// code cache must evict helpers while they are off-stack.
+    fn round_robin_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.add_static("acc", FieldType::Int);
+        let mut helpers = Vec::new();
+        for (name, k) in [("f", 1), ("g", 3), ("h", 7)] {
+            let mut h = MethodBuilder::new(name, 1, 0, true);
+            h.load(0);
+            h.const_i(k);
+            h.add();
+            h.ret_val();
+            helpers.push(pb.add_method(h));
+        }
+        let mut m = MethodBuilder::new("main", 0, 2, false);
+        m.const_i(0);
+        m.store(1);
+        m.for_loop(
+            0,
+            |m| {
+                m.const_i(60);
+            },
+            |m| {
+                for &h in &helpers {
+                    m.load(1);
+                    m.call(h);
+                    m.store(1);
+                }
+            },
+        );
+        m.load(1);
+        m.put_static(g);
+        m.ret();
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_matches_unbounded_results() {
+        let p = round_robin_program();
+        let run_with = |capacity: Option<u64>| {
+            let mut cfg = VmConfig::test();
+            cfg.jit.tier1_enabled = false;
+            cfg.jit.code_cache_capacity_bytes = capacity;
+            let mut vm = Vm::new(&p, cfg);
+            let s = vm.run(&mut NoHooks).unwrap();
+            let v = vm.statics[0].as_int().unwrap();
+            (vm.state_digest(), v, s.code_evictions, s.bytecodes_executed)
+        };
+        let (d_unbounded, v_unbounded, evictions_unbounded, bc_unbounded) = run_with(None);
+        assert_eq!(evictions_unbounded, 0, "unbounded cache never evicts");
+        assert_eq!(v_unbounded, 60 * (1 + 3 + 7));
+        // Room for main plus roughly one helper: every other helper call
+        // re-installs over an evicted neighbour's range.
+        let (d_bounded, v_bounded, evictions_bounded, bc_bounded) = run_with(Some(256));
+        assert!(
+            evictions_bounded > 0,
+            "capacity pressure must evict at least once"
+        );
+        assert_eq!(d_bounded, d_unbounded, "eviction never changes semantics");
+        assert_eq!(v_bounded, v_unbounded);
+        assert_eq!(bc_bounded, bc_unbounded);
     }
 
     #[test]

@@ -4,14 +4,18 @@
 //! This crate stands in for the Jikes RVM of the paper (Section 3.2):
 //!
 //! - Every method is "compiled" on first invocation by a **baseline**
-//!   compiler; the adaptive optimization system (AOS) samples the running
-//!   method on a timer and **recompiles** hot methods with the
-//!   **optimizing** tier ([`aos`]). A *pseudo-adaptive* compilation plan
-//!   can pin the set of opt-compiled methods for reproducible experiments,
-//!   exactly as the paper's evaluation does (Section 6.1).
-//! - Compilation artifacts occupy concrete addresses in an immortal code
-//!   space, registered in a sorted [`methodtable::MethodTable`] so a
-//!   sampled program counter can be resolved back to a method.
+//!   compiler; the tier manager ([`hpmopt_jit::TierManager`]) samples the
+//!   running method on a timer and **recompiles** hot methods with the
+//!   **optimizing** tier, and (when enabled) promotes methods with hot
+//!   back edges to **region** compilation with deoptimization back to
+//!   baseline. A *pseudo-adaptive* compilation plan can pin the set of
+//!   opt-compiled methods for reproducible experiments, exactly as the
+//!   paper's evaluation does (Section 6.1).
+//! - Compilation artifacts occupy concrete addresses handed out by the
+//!   [`hpmopt_jit::CodeCache`] (an unbounded immortal space by default; a
+//!   capacity-bounded, evicting, address-reusing cache when configured),
+//!   registered in a sorted [`methodtable::MethodTable`] so a sampled
+//!   program counter can be resolved back to a method.
 //! - Each artifact carries **machine-code maps** ([`machine::McMap`])
 //!   translating machine addresses to bytecode indices. Baseline code
 //!   always has full maps; opt code has GC-point-only maps unless the
@@ -47,7 +51,6 @@
 //! # Ok::<(), hpmopt_bytecode::VerifyError>(())
 //! ```
 
-pub mod aos;
 pub mod compiler;
 pub mod config;
 pub mod digest;
@@ -58,10 +61,10 @@ pub mod methodtable;
 mod predecode;
 pub mod value;
 
-pub use aos::{Aos, AosConfig, CompilationPlan};
 pub use compiler::compile;
 pub use config::{CancelToken, VmConfig};
-pub use hooks::{AccessContext, NoHooks, RuntimeHooks};
+pub use hooks::{AccessContext, CodeRetired, NoHooks, RuntimeHooks};
+pub use hpmopt_jit::{CompilationPlan, JitConfig, TierManager};
 pub use interp::{RunSummary, Vm};
 pub use machine::{CompiledCode, McMap, Tier};
 pub use methodtable::MethodTable;
@@ -74,5 +77,4 @@ pub const CODE_BASE: u64 = 0x4000_0000;
 /// Base virtual address of the static-variable table (the JTOC).
 pub const STATICS_BASE: u64 = 0x3000_0000;
 
-/// Bytes per simulated machine instruction.
-pub const MACH_INSTR_BYTES: u64 = 4;
+pub use hpmopt_jit::MACH_INSTR_BYTES;

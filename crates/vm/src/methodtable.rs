@@ -2,10 +2,13 @@
 //!
 //! "For this lookup we keep a sorted table of all methods with their start
 //! and end address. Whenever a method is compiled the first time or
-//! recompiled ... we update its entry accordingly." (Section 4.2). Old
-//! artifacts stay registered — compiled code lives in the immortal space
-//! and is never collected — but only the newest artifact per method is
-//! executed.
+//! recompiled ... we update its entry accordingly." (Section 4.2). With
+//! the default unbounded code cache old artifacts stay registered —
+//! compiled code lives in the immortal space and is never collected —
+//! but only the newest artifact per method is executed. A bounded code
+//! cache instead [`MethodTable::remove`]s a range when it frees or
+//! evicts the artifact, so the address space can be reused by later
+//! compilations.
 
 use hpmopt_bytecode::MethodId;
 
@@ -52,6 +55,17 @@ impl MethodTable {
             assert!(range.end <= next.start, "overlapping code ranges");
         }
         self.ranges.insert(pos, range);
+    }
+
+    /// Unregister the range starting at `start` (its artifact was freed
+    /// or evicted by the bounded code cache), returning it if present.
+    pub fn remove(&mut self, start: u64) -> Option<CodeRange> {
+        let pos = self.ranges.partition_point(|r| r.start < start);
+        if self.ranges.get(pos).is_some_and(|r| r.start == start) {
+            Some(self.ranges.remove(pos))
+        } else {
+            None
+        }
     }
 
     /// The range containing `pc`, if any.
@@ -124,6 +138,22 @@ mod tests {
         let mut t = MethodTable::new();
         t.insert(range(100, 200, 0));
         t.insert(range(150, 250, 1));
+    }
+
+    #[test]
+    fn remove_unregisters_exactly_the_named_range() {
+        let mut t = MethodTable::new();
+        t.insert(range(100, 200, 0));
+        t.insert(range(300, 350, 1));
+        assert_eq!(t.remove(150), None, "only a start address matches");
+        let gone = t.remove(100).expect("registered range");
+        assert_eq!(gone.method, MethodId(0));
+        assert_eq!(t.lookup(150), None, "freed range no longer resolves");
+        assert_eq!(t.lookup(320).unwrap().method, MethodId(1));
+        // The freed address span can be re-registered without tripping
+        // the overlap assertion — this is how eviction reuses addresses.
+        t.insert(range(100, 180, 2));
+        assert_eq!(t.lookup(150).unwrap().method, MethodId(2));
     }
 
     #[test]

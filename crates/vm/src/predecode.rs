@@ -98,6 +98,11 @@ pub(crate) enum Op {
     },
     Return,
     ReturnVal,
+    /// Region-tier code only: this bytecode's block is outside the
+    /// compiled region. Executing it abandons the region artifact —
+    /// the engine reinstalls baseline code and re-enters the frame at
+    /// the same bytecode. Never emitted for baseline or opt code.
+    Deopt,
 }
 
 /// One pre-decoded bytecode: the resolved [`Op`] plus everything the
@@ -145,6 +150,47 @@ pub(crate) struct DecodedMethod {
     /// Machine instructions retired per cycle for this body's tier (the
     /// divisor applied to a block's summed instruction counts).
     pub width: u64,
+    /// Tier of the artifact this body was decoded against.
+    pub tier: Tier,
+    /// Basic-block id of each bytecode (leaders: entry, branch targets,
+    /// fall-throughs after control transfers). The tier manager counts
+    /// back-edge executions per block, and region compilation keeps the
+    /// hottest blocks.
+    pub block_of: Vec<u32>,
+}
+
+/// Basic-block id per bytecode: a new block starts at the entry, at every
+/// branch target, and after every control transfer.
+pub(crate) fn block_map(body: &[Instr]) -> Vec<u32> {
+    let mut leader = vec![false; body.len()];
+    if !leader.is_empty() {
+        leader[0] = true;
+    }
+    for (i, &instr) in body.iter().enumerate() {
+        match instr {
+            Instr::Jump(t) | Instr::JumpIf(t) | Instr::JumpIfNot(t) => {
+                leader[t as usize] = true;
+                if i + 1 < body.len() {
+                    leader[i + 1] = true;
+                }
+            }
+            Instr::Return | Instr::ReturnVal if i + 1 < body.len() => {
+                leader[i + 1] = true;
+            }
+            _ => {}
+        }
+    }
+    let mut block = 0u32;
+    leader
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            if l && i > 0 {
+                block += 1;
+            }
+            block
+        })
+        .collect()
 }
 
 /// Retired IPC for baseline-tier code under the flattened engine.
@@ -158,16 +204,38 @@ pub(crate) struct DecodedMethod {
 const BASELINE_ISSUE_WIDTH: u64 = 2;
 
 /// Decode `code`'s method body into the dense executable form.
+///
+/// `region` is the sorted block-id set a region-tier artifact covers
+/// (`None` for baseline/opt code): bytecodes in blocks outside the
+/// region decode to [`Op::Deopt`] at zero cost — region code never
+/// retires instructions for paths it did not compile.
 #[allow(clippy::too_many_lines)]
-pub(crate) fn decode(program: &Program, code: &CompiledCode, config: &VmConfig) -> DecodedMethod {
+pub(crate) fn decode(
+    program: &Program,
+    code: &CompiledCode,
+    config: &VmConfig,
+    region: Option<&[u32]>,
+) -> DecodedMethod {
     let body = program.method(code.method).body();
     let mut ops = Vec::with_capacity(body.len());
     let mut ics = Vec::new();
     let width = match code.tier {
         Tier::Baseline => BASELINE_ISSUE_WIDTH,
-        Tier::Opt => config.issue_width,
+        Tier::Opt | Tier::Region => config.issue_width,
     };
+    let block_of = block_map(body);
     for (bc, &i) in body.iter().enumerate() {
+        if let Some(region) = region {
+            if code.tier == Tier::Region && region.binary_search(&block_of[bc]).is_err() {
+                ops.push(DecodedOp {
+                    op: Op::Deopt,
+                    cost: 0,
+                    miss_extra: 0,
+                    mem_pc: code.mem_pc(bc),
+                });
+                continue;
+            }
+        }
         let full_cost = code.mach_count(bc);
         let mut cost = full_cost;
         let mut ic = IC_EMPTY;
@@ -256,7 +324,13 @@ pub(crate) fn decode(program: &Program, code: &CompiledCode, config: &VmConfig) 
             mem_pc: code.mem_pc(bc),
         });
     }
-    DecodedMethod { ops, ics, width }
+    DecodedMethod {
+        ops,
+        ics,
+        width,
+        tier: code.tier,
+        block_of,
+    }
 }
 
 #[cfg(test)]
@@ -291,7 +365,7 @@ mod tests {
         let cfg = VmConfig::test();
         for tier in [Tier::Baseline, Tier::Opt] {
             let code = compile(&p, id, tier, 0x4000_0000, true);
-            let d = decode(&p, &code, &cfg);
+            let d = decode(&p, &code, &cfg, None);
             assert_eq!(d.ops.len(), p.method(id).len());
             assert!(d.width >= 2, "flattened dispatch at least dual-issues");
             for (bc, op) in d.ops.iter().enumerate() {
@@ -305,11 +379,61 @@ mod tests {
         }
     }
 
+    fn looped_program() -> (Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let mut m = MethodBuilder::new("main", 0, 1, false);
+        m.const_i(3); // bc 0   block 0
+        m.store(0); // bc 1
+        let top = m.label();
+        m.bind(top); // bc 2   block 1 (branch target)
+        m.load(0);
+        m.const_i(1);
+        m.sub();
+        m.store(0);
+        m.load(0);
+        m.jump_if(top); // bc 7   back edge
+        m.ret(); // bc 8   block 2 (fall-through leader)
+        let id = pb.add_method(m);
+        pb.set_entry(id);
+        (pb.finish().unwrap(), id)
+    }
+
+    #[test]
+    fn block_map_splits_at_targets_and_after_transfers() {
+        let (p, id) = looped_program();
+        let blocks = block_map(p.method(id).body());
+        assert_eq!(blocks, vec![0, 0, 1, 1, 1, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn region_decode_lowers_out_of_region_blocks_to_deopt() {
+        let (p, id) = looped_program();
+        let cfg = VmConfig::test();
+        let code = compile(&p, id, Tier::Region, 0x4000_0000, true);
+        // Region covers entry + loop body, not the exit block.
+        let d = decode(&p, &code, &cfg, Some(&[0, 1]));
+        assert_eq!(d.tier, Tier::Region);
+        assert_eq!(d.width, cfg.issue_width);
+        for (bc, op) in d.ops.iter().enumerate() {
+            if d.block_of[bc] == 2 {
+                assert!(matches!(op.op, Op::Deopt), "exit block must deopt");
+                assert_eq!(op.cost, 0, "deopt retires nothing");
+                assert_eq!(op.miss_extra, 0);
+            } else {
+                assert!(!matches!(op.op, Op::Deopt), "in-region bc {bc} kept");
+                assert_eq!(op.cost + op.miss_extra, code.mach_count(bc));
+            }
+        }
+        // A full-coverage region decodes with no deopts at all.
+        let full = decode(&p, &code, &cfg, Some(&[0, 1, 2]));
+        assert!(full.ops.iter().all(|o| !matches!(o.op, Op::Deopt)));
+    }
+
     #[test]
     fn ic_slots_cover_exactly_the_cacheable_sites() {
         let (p, id) = sample_program();
         let code = compile(&p, id, Tier::Baseline, 0x4000_0000, true);
-        let d = decode(&p, &code, &VmConfig::test());
+        let d = decode(&p, &code, &VmConfig::test(), None);
         // put_field + get_field: two field slots, no call slots.
         assert_eq!(d.ics.len(), 2);
         assert!(d

@@ -48,7 +48,13 @@ cargo run --release --bin hpmopt-report -- db --profile target/ci-db.hpmprof \
 cargo run --release -p hpmopt-profile -- inspect target/ci-db.hpmprof >/dev/null
 
 echo "==> smoke: bounded stress run (differential oracles over fresh seeds)"
+# Every seed now also runs arm G: the full tiered pipeline (tier-2
+# region compilation, deopt, 4 KiB LRU code cache) under monitoring,
+# checking digest equality and zero sample misattribution across churn.
 cargo run --release -p hpmopt-stress -- run --seeds 25 --time-budget 60
+
+echo "==> smoke: tiered-JIT churn (arm G must evict on the pinned clean seeds)"
+cargo test -q --release -p hpmopt-stress clean_scenarios_pass_all_oracles
 
 echo "==> smoke: stress corpus replays as recorded"
 cargo run --release -p hpmopt-stress -- replay tests/corpus/*.case

@@ -43,7 +43,7 @@ use hpmopt::gc::{CollectorKind, HeapConfig};
 use hpmopt::hpm::{HpmConfig, SamplingInterval};
 use hpmopt::telemetry::json::{number, JsonWriter};
 use hpmopt::telemetry::{
-    prom, DecisionRecord, Telemetry, TelemetrySnapshot, DEFAULT_TRACE_CAPACITY,
+    prom, DecisionRecord, Telemetry, TelemetrySnapshot, TraceKind, DEFAULT_TRACE_CAPACITY,
 };
 use hpmopt::vm::VmConfig;
 use hpmopt::workloads::{by_name, names, Size, Workload};
@@ -205,8 +205,8 @@ fn main() -> ExitCode {
 
 /// Run `workload` under monitoring with the given telemetry handle.
 /// Mirrors the experiment configuration in `hpmopt-bench`, plus
-/// nonzero compile costs and a live AOS so the recompilation bucket
-/// is exercised.
+/// nonzero compile costs and a live tier-1 timer so the recompilation
+/// bucket is exercised.
 ///
 /// With `forced_bad`, the Figure 8 sabotage (a 128-byte gap pinned on
 /// `String` a third of the way in, with a tight feedback loop) is
@@ -228,9 +228,9 @@ fn run(
         },
         ..VmConfig::default()
     };
-    vm.aos.enabled = true;
-    vm.aos.sample_period_cycles = 200_000;
-    vm.aos.opt_threshold = 2;
+    vm.jit.tier1_enabled = true;
+    vm.jit.sample_period_cycles = 200_000;
+    vm.jit.tier1_threshold = 2;
     vm.baseline_compile_cycles_per_bc = 3;
     vm.opt_compile_cycles_per_bc = 30;
     vm.step_limit = Some(3_000_000_000);
@@ -282,7 +282,10 @@ fn run(
 /// Render the decision-provenance chain for every retained decision on
 /// `class_name`: the witnessed samples (PC → method/bytecode via the
 /// machine-code maps), the per-field miss counter against the policy
-/// threshold, the action taken, and for reverts the feedback evidence.
+/// threshold, the action taken, and for reverts the feedback evidence —
+/// followed by the retained code-lifecycle events (tier promotions,
+/// deoptimizations, cache evictions), which bound the epoch windows
+/// every witnessed PC was resolved against.
 fn render_explain(program: &Program, snapshot: &TelemetrySnapshot, class_name: &str) -> String {
     let class = program
         .class_by_name(class_name)
@@ -342,6 +345,56 @@ fn render_explain(program: &Program, snapshot: &TelemetrySnapshot, class_name: &
                 f.observed_rate, f.baseline_rate, f.tolerance, f.regressing_periods
             ));
         }
+    }
+    out.push_str(&render_code_lifecycle(program, snapshot));
+    out
+}
+
+/// Render the retained code-lifecycle trace: every recompilation,
+/// deoptimization, and code-cache eviction/replacement, with method
+/// names resolved. These events are provenance for sample attribution —
+/// each free advances the code epoch, and a witnessed PC only resolved
+/// because it was stamped inside the owning artifact's epoch window.
+fn render_code_lifecycle(program: &Program, snapshot: &TelemetrySnapshot) -> String {
+    let method = |m: u32| program.method_name(MethodId(m));
+    let lines: Vec<String> = snapshot
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::Recompilation { method: m, tier } => Some(format!(
+                "    [{} cycles] compile {} -> tier {tier}\n",
+                e.cycle,
+                method(m)
+            )),
+            TraceKind::Deopt { method: m } => Some(format!(
+                "    [{} cycles] deopt {} (region exit, back to baseline)\n",
+                e.cycle,
+                method(m)
+            )),
+            TraceKind::CodeEviction {
+                method: m,
+                tier,
+                epoch,
+                evicted,
+            } => Some(format!(
+                "    [{} cycles] {} {} (tier {tier}) -> code epoch {epoch}\n",
+                e.cycle,
+                if evicted { "evict" } else { "free (replaced)" },
+                method(m)
+            )),
+            _ => None,
+        })
+        .collect();
+    if lines.is_empty() {
+        return String::new();
+    }
+    let mut out = format!(
+        "\ncode lifecycle — {} retained event(s); each free advances the \
+         code epoch that witnessed PCs are resolved against:\n",
+        lines.len()
+    );
+    for l in lines {
+        out.push_str(&l);
     }
     out
 }

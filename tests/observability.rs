@@ -42,7 +42,7 @@ fn forced_bad_config(w: &Workload, telemetry: Telemetry) -> RunConfig {
             .map(MethodId)
             .collect(),
     ));
-    vm.aos.enabled = false;
+    vm.jit.tier1_enabled = false;
     RunConfig {
         vm,
         hpm: HpmConfig {

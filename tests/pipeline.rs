@@ -23,7 +23,7 @@ fn base_config(w: &Workload) -> RunConfig {
             .map(hpmopt::bytecode::MethodId)
             .collect(),
     ));
-    vm.aos.enabled = false;
+    vm.jit.tier1_enabled = false;
     // Walk the live graph after every collection: any pipeline test that
     // triggers GC also proves heap integrity at each collection point.
     vm.verify_heap_every_gc = true;
