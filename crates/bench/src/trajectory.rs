@@ -101,6 +101,45 @@ pub struct StressPoint {
     pub digest: u64,
 }
 
+/// One open-loop serve-bench measurement: the scale-out row of the
+/// trajectory. Produced by `hpmopt_serve::openloop` (the serve crate
+/// depends on this one, so the measurement function lives there and the
+/// root `hpmopt-bench` binary attaches the row); this crate owns the
+/// schema and the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePoint {
+    /// Row name (`"openloop"` for the pinned default run).
+    pub name: String,
+    /// Jobs the open-loop generator paced in.
+    pub jobs: u64,
+    /// Arrival rate in queries per second of simulated time.
+    pub qps: u64,
+    /// Completed jobs per second of simulated time with one virtual
+    /// worker.
+    pub throughput_1w_jobs_per_sec: f64,
+    /// Completed jobs per second of simulated time with four virtual
+    /// workers. Must be strictly above the 1-worker figure: if adding
+    /// workers stops helping, the scheduler has regressed.
+    pub throughput_4w_jobs_per_sec: f64,
+    /// Queue-wait percentiles (simulated cycles) under tenant-fair
+    /// dispatch at four virtual workers.
+    pub p50_queue_wait_cycles: u64,
+    /// 95th percentile queue wait (simulated cycles).
+    pub p95_queue_wait_cycles: u64,
+    /// 99th percentile queue wait (simulated cycles) — the gated tail.
+    pub p99_queue_wait_cycles: u64,
+    /// 99th percentile service time (simulated cycles).
+    pub p99_service_cycles: u64,
+    /// Profiles evicted by the bounded repository during the run. Exact
+    /// (deterministic): any drift is a behavior change.
+    pub repo_evictions: u64,
+    /// Completed jobs whose digest deviated from the unmonitored
+    /// baseline. Must be zero.
+    pub perturbation_deltas: u64,
+    /// Wall-clock milliseconds of the run. Informational only.
+    pub wall_ms: u64,
+}
+
 /// A full trajectory: the committable measurement set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
@@ -108,6 +147,11 @@ pub struct Trajectory {
     pub workloads: Vec<WorkloadPoint>,
     /// Per-seed stress points, in seed order.
     pub stress: Vec<StressPoint>,
+    /// Open-loop serve-bench rows. [`measure`] leaves this empty — the
+    /// root `hpmopt-bench` binary attaches it from
+    /// `hpmopt_serve::openloop` (dependency direction: serve depends on
+    /// this crate).
+    pub serve: Vec<ServePoint>,
 }
 
 fn delta_pct(current: u64, reference: u64) -> f64 {
@@ -292,6 +336,7 @@ pub fn measure(workloads: &[String], size: Size, seeds: u64) -> Trajectory {
     Trajectory {
         workloads: points,
         stress,
+        serve: Vec::new(),
     }
 }
 
@@ -302,7 +347,7 @@ impl Trajectory {
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
-        w.field_u64("version", 2);
+        w.field_u64("version", 3);
         w.key("workloads").array_value();
         for p in &self.workloads {
             w.begin_object();
@@ -332,6 +377,24 @@ impl Trajectory {
             w.end_object();
         }
         w.end_array();
+        w.key("serve").array_value();
+        for p in &self.serve {
+            w.begin_object();
+            w.field_str("name", &p.name);
+            w.field_u64("jobs", p.jobs);
+            w.field_u64("qps", p.qps);
+            w.field_f64("throughput_1w_jobs_per_sec", p.throughput_1w_jobs_per_sec);
+            w.field_f64("throughput_4w_jobs_per_sec", p.throughput_4w_jobs_per_sec);
+            w.field_u64("p50_queue_wait_cycles", p.p50_queue_wait_cycles);
+            w.field_u64("p95_queue_wait_cycles", p.p95_queue_wait_cycles);
+            w.field_u64("p99_queue_wait_cycles", p.p99_queue_wait_cycles);
+            w.field_u64("p99_service_cycles", p.p99_service_cycles);
+            w.field_u64("repo_evictions", p.repo_evictions);
+            w.field_u64("perturbation_deltas", p.perturbation_deltas);
+            w.field_u64("wall_ms", p.wall_ms);
+            w.end_object();
+        }
+        w.end_array();
         w.end_object();
         let mut out = w.finish();
         out.push('\n');
@@ -347,7 +410,7 @@ impl Trajectory {
     pub fn parse(input: &str) -> Result<Trajectory, String> {
         let doc = read::parse(input)?;
         let version = need(&doc, "version")?.as_u64();
-        if version != 2 {
+        if version != 3 {
             return Err(format!("unsupported trajectory version {version}"));
         }
         let mut workloads = Vec::new();
@@ -380,7 +443,28 @@ impl Trajectory {
                     .map_err(|e| format!("bad digest {hex:?}: {e}"))?,
             });
         }
-        Ok(Trajectory { workloads, stress })
+        let mut serve = Vec::new();
+        for p in need(&doc, "serve")?.as_array() {
+            serve.push(ServePoint {
+                name: need(p, "name")?.as_str().to_string(),
+                jobs: need(p, "jobs")?.as_u64(),
+                qps: need(p, "qps")?.as_u64(),
+                throughput_1w_jobs_per_sec: need(p, "throughput_1w_jobs_per_sec")?.as_f64(),
+                throughput_4w_jobs_per_sec: need(p, "throughput_4w_jobs_per_sec")?.as_f64(),
+                p50_queue_wait_cycles: need(p, "p50_queue_wait_cycles")?.as_u64(),
+                p95_queue_wait_cycles: need(p, "p95_queue_wait_cycles")?.as_u64(),
+                p99_queue_wait_cycles: need(p, "p99_queue_wait_cycles")?.as_u64(),
+                p99_service_cycles: need(p, "p99_service_cycles")?.as_u64(),
+                repo_evictions: need(p, "repo_evictions")?.as_u64(),
+                perturbation_deltas: need(p, "perturbation_deltas")?.as_u64(),
+                wall_ms: need(p, "wall_ms")?.as_u64(),
+            });
+        }
+        Ok(Trajectory {
+            workloads,
+            stress,
+            serve,
+        })
     }
 }
 
@@ -449,6 +533,54 @@ pub fn compare(current: &Trajectory, baseline: &Trajectory, threshold_pct: f64) 
             ));
         }
     }
+    for b in &baseline.serve {
+        let Some(c) = current.serve.iter().find(|c| c.name == b.name) else {
+            violations.push(format!("serve row {} not measured", b.name));
+            continue;
+        };
+        if c.perturbation_deltas != 0 {
+            violations.push(format!(
+                "serve row {}: {} perturbation delta(s) (must be exactly 0)",
+                c.name, c.perturbation_deltas
+            ));
+        }
+        if c.repo_evictions != b.repo_evictions {
+            violations.push(format!(
+                "serve row {}: {} repo eviction(s) != baseline {} (behavior change; \
+                 re-baseline deliberately with --update)",
+                c.name, c.repo_evictions, b.repo_evictions
+            ));
+        }
+        if (c.p99_queue_wait_cycles as f64) > limit(b.p99_queue_wait_cycles) {
+            violations.push(format!(
+                "serve row {}: p99 queue wait {} cycles vs baseline {} (+{:.2}% > +{threshold_pct}%)",
+                c.name,
+                c.p99_queue_wait_cycles,
+                b.p99_queue_wait_cycles,
+                delta_pct(c.p99_queue_wait_cycles, b.p99_queue_wait_cycles)
+            ));
+        }
+        if c.throughput_4w_jobs_per_sec <= c.throughput_1w_jobs_per_sec {
+            violations.push(format!(
+                "serve row {}: 4-worker throughput {:.2} jobs/s not above 1-worker {:.2} \
+                 (scaling regressed)",
+                c.name, c.throughput_4w_jobs_per_sec, c.throughput_1w_jobs_per_sec
+            ));
+        }
+        let floor = b.throughput_4w_jobs_per_sec * (1.0 - threshold_pct / 100.0);
+        if c.throughput_4w_jobs_per_sec < floor {
+            violations.push(format!(
+                "serve row {}: 4-worker throughput {:.2} jobs/s vs baseline {:.2} \
+                 ({:.2}% drop > {threshold_pct}%)",
+                c.name,
+                c.throughput_4w_jobs_per_sec,
+                b.throughput_4w_jobs_per_sec,
+                (b.throughput_4w_jobs_per_sec - c.throughput_4w_jobs_per_sec)
+                    / b.throughput_4w_jobs_per_sec
+                    * 100.0
+            ));
+        }
+    }
     violations
 }
 
@@ -481,10 +613,28 @@ mod tests {
         }
     }
 
+    fn serve_point() -> ServePoint {
+        ServePoint {
+            name: "openloop".to_string(),
+            jobs: 16,
+            qps: 100,
+            throughput_1w_jobs_per_sec: 10.0,
+            throughput_4w_jobs_per_sec: 35.0,
+            p50_queue_wait_cycles: 1_000,
+            p95_queue_wait_cycles: 5_000,
+            p99_queue_wait_cycles: 10_000,
+            p99_service_cycles: 2_000_000,
+            repo_evictions: 7,
+            perturbation_deltas: 0,
+            wall_ms: 9,
+        }
+    }
+
     fn sample() -> Trajectory {
         Trajectory {
             workloads: vec![point("db", 1_000_000), point("fop", 2_000_000)],
             stress: vec![stress_point(0, 500_000), stress_point(1, 600_000)],
+            serve: vec![serve_point()],
         }
     }
 
@@ -548,13 +698,49 @@ mod tests {
         assert!(Trajectory::parse("{").is_err());
         assert!(Trajectory::parse("{}").unwrap_err().contains("version"));
         let err =
-            Trajectory::parse(r#"{"version": 1, "workloads": [], "stress": []}"#).unwrap_err();
-        assert!(err.contains("version 1"));
+            Trajectory::parse(r#"{"version": 2, "workloads": [], "stress": []}"#).unwrap_err();
+        assert!(err.contains("version 2"), "pre-serve baselines are stale");
         let err = Trajectory::parse(
-            r#"{"version": 2, "workloads": [], "stress": [{"seed": 0, "cycles": 1, "monitored_cycles": 1, "digest": "nope"}]}"#,
+            r#"{"version": 3, "workloads": [], "stress": [{"seed": 0, "cycles": 1, "monitored_cycles": 1, "digest": "nope"}], "serve": []}"#,
         )
         .unwrap_err();
         assert!(err.contains("digest"));
+        let err =
+            Trajectory::parse(r#"{"version": 3, "workloads": [], "stress": []}"#).unwrap_err();
+        assert!(err.contains("serve"), "the serve array is required");
+    }
+
+    #[test]
+    fn serve_row_regressions_are_caught() {
+        let base = sample();
+
+        let mut cur = sample();
+        cur.serve[0].perturbation_deltas = 1;
+        cur.serve[0].repo_evictions += 1;
+        cur.serve[0].p99_queue_wait_cycles = 12_000; // +20%
+        let v = compare(&cur, &base, 5.0);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().any(|l| l.contains("perturbation")));
+        assert!(v.iter().any(|l| l.contains("eviction")));
+        assert!(v.iter().any(|l| l.contains("p99 queue wait")));
+
+        // Scaling inversion: 4 workers no faster than 1.
+        let mut cur = sample();
+        cur.serve[0].throughput_4w_jobs_per_sec = cur.serve[0].throughput_1w_jobs_per_sec;
+        let v = compare(&cur, &base, 50.0);
+        assert!(v.iter().any(|l| l.contains("scaling regressed")), "{v:?}");
+
+        // Throughput floor vs baseline.
+        let mut cur = sample();
+        cur.serve[0].throughput_4w_jobs_per_sec = 30.0; // -14% vs 35
+        assert!(!compare(&cur, &base, 5.0).is_empty());
+        assert!(compare(&cur, &base, 20.0).is_empty(), "within threshold");
+
+        // Missing row.
+        let mut cur = sample();
+        cur.serve.clear();
+        let v = compare(&cur, &base, 5.0);
+        assert!(v.iter().any(|l| l.contains("not measured")), "{v:?}");
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod store;
 pub mod wire;
 
 pub use format::{ProfileError, FORMAT_VERSION, MAGIC};
-pub use shared::{RepoStats, SharedProfileRepo};
+pub use shared::{RepoConfig, RepoStats, SharedProfileRepo};
 pub use store::{ColdReason, LoadOutcome, ProfileStore};
 
 /// Identity of the (program, machine) a profile was measured on.
@@ -231,6 +231,29 @@ impl Profile {
         self.fields
             .iter_mut()
             .find(|f| f.class == class && f.field == field)
+    }
+
+    /// Deterministic approximation of this profile's in-memory
+    /// footprint, used by [`SharedProfileRepo`]'s byte-capacity bound.
+    /// Counts struct sizes plus owned string bytes; deliberately
+    /// ignores allocator overhead and `Vec` spare capacity so the same
+    /// logical profile always reports the same size on every platform.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        let mut bytes = std::mem::size_of::<Profile>() as u64;
+        bytes += self.fingerprint.workload.len() as u64;
+        for f in &self.fields {
+            bytes += std::mem::size_of::<FieldProfile>() as u64;
+            bytes += (f.class.len() + f.field.len()) as u64;
+        }
+        for d in &self.decisions {
+            bytes += std::mem::size_of::<DecisionRecord>() as u64;
+            bytes += (d.class.len() + d.field.len()) as u64;
+        }
+        for m in &self.hot_methods {
+            bytes += std::mem::size_of::<String>() as u64 + m.len() as u64;
+        }
+        bytes
     }
 
     /// Current decayed weight of a field (0 when unknown).

@@ -8,21 +8,31 @@
 //!                    [--spill DIR] [--prom]
 //! hpmopt-serve bench [--rounds R] [--jobs N] [--workers W] [--tenants T]
 //!                    [--workloads A,B,..] [--size tiny|small|full]
-//!                    [--seed S] [--check]
+//!                    [--seed S] [--qps Q] [--open-jobs N] [--quantum C]
+//!                    [--repo-bytes B] [--repo-ttl OPS] [--check]
 //! ```
 //!
 //! `run` starts the live daemon, submits `N` jobs round-robin across
 //! tenants and workloads, waits for every report, prints them plus the
 //! fleet telemetry, and shuts down (persisting the repository to
-//! `--spill DIR` when given). `bench` runs the deterministic load
-//! generator: the summary on stdout is byte-identical for any
-//! `--workers` value; wall-clock throughput goes to stderr. With
-//! `--check`, `bench` exits 1 unless perturbation deltas are zero and
-//! warm jobs beat cold to the first decision.
+//! `--spill DIR` when given). `bench` runs both deterministic load
+//! generators — the closed-loop rounds, then the QPS-paced open-loop
+//! latency run: the combined summary on stdout is byte-identical for
+//! any `--workers` value; wall-clock throughput goes to stderr.
+//! `--qps 0` skips the open-loop section; `--qps Q` paces its arrivals,
+//! `--open-jobs` sizes it, `--quantum` sets the DRR fairness quantum in
+//! service cycles, and `--repo-bytes`/`--repo-ttl` bound its profile
+//! repository (capacity bytes / TTL in repository operations). With
+//! `--check`, `bench` exits 1 unless perturbation deltas are zero, warm
+//! jobs beat cold to the first decision, and (when the open-loop
+//! section ran) four virtual workers strictly outrun one.
 
 use std::process::ExitCode;
 
-use hpmopt_serve::{run_bench, BenchConfig, JobSpec, Service, ServiceConfig, TenantCaps};
+use hpmopt_serve::{
+    run_bench, run_openloop, BenchConfig, JobSpec, OpenLoopConfig, Service, ServiceConfig,
+    TenantCaps,
+};
 use hpmopt_workloads::Size;
 
 fn usage() -> ExitCode {
@@ -32,7 +42,9 @@ fn usage() -> ExitCode {
          [--cycle-budget C] [--max-live-jobs N] [--max-heap-bytes B] \
          [--spill DIR] [--prom]\n\
          hpmopt-serve bench [--rounds R] [--jobs N] [--workers W] [--tenants T] \
-         [--workloads A,B,..] [--size tiny|small|full] [--seed S] [--check]"
+         [--workloads A,B,..] [--size tiny|small|full] [--seed S] \
+         [--qps Q] [--open-jobs N] [--quantum C] [--repo-bytes B] [--repo-ttl OPS] \
+         [--check]"
     );
     ExitCode::from(2)
 }
@@ -182,6 +194,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut config = BenchConfig::default();
+    let mut open = OpenLoopConfig::default();
+    let mut run_open = true;
     let mut check = false;
     let mut i = 0;
     while i < args.len() {
@@ -195,7 +209,10 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--workers" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(n) => config.workers = n,
+                Some(n) => {
+                    config.workers = n;
+                    open.workers = n;
+                }
                 None => return usage(),
             },
             "--tenants" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
@@ -211,7 +228,33 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--seed" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
-                Some(s) => config.seed = s,
+                Some(s) => {
+                    config.seed = s;
+                    open.seed = s;
+                }
+                None => return usage(),
+            },
+            "--qps" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(0) => run_open = false,
+                Some(q) => open.qps = q,
+                None => return usage(),
+            },
+            "--open-jobs" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => open.jobs = n,
+                None => return usage(),
+            },
+            "--quantum" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(q) => open.quantum_cycles = q,
+                None => return usage(),
+            },
+            "--repo-bytes" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(0) => open.repo.capacity_bytes = None,
+                Some(b) => open.repo.capacity_bytes = Some(b),
+                None => return usage(),
+            },
+            "--repo-ttl" => match take_value(args, &mut i).and_then(|v| v.parse().ok()) {
+                Some(0) => open.repo.ttl_ops = None,
+                Some(t) => open.repo.ttl_ops = Some(t),
                 None => return usage(),
             },
             "--check" => check = true,
@@ -226,8 +269,19 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let report = run_bench(&config);
     print!("{}", report.summary);
     eprintln!("{}", report.throughput_line());
-    if check && !report.check() {
-        eprintln!("check failed: perturbation deltas or warm-start regression (see summary)");
+    let open_ok = if run_open {
+        let open_report = run_openloop(&open);
+        print!("{}", open_report.summary);
+        eprintln!("{}", open_report.throughput_line());
+        open_report.check()
+    } else {
+        true
+    };
+    if check && !(report.check() && open_ok) {
+        eprintln!(
+            "check failed: perturbation deltas, warm-start regression, or \
+             missing multi-worker speedup (see summary)"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

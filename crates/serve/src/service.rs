@@ -1,36 +1,56 @@
-//! The live daemon: a queue, a worker pool, and the shared repository.
+//! The live daemon: sharded run queues, a work-stealing worker pool,
+//! and the shared repository.
 //!
 //! Job lifecycle: `submit` runs admission control synchronously
-//! (rejections never enter the queue), assigns an id, and enqueues.
-//! A worker claims the job, checks out a warm profile from the shared
-//! [`SharedProfileRepo`] keyed by the job's fingerprint, executes it in
-//! full isolation ([`crate::job::run_job`]), then folds the results
-//! back: decay-merges the fresh profile, absorbs the job's private
-//! telemetry into the fleet registry, and publishes the
-//! [`JobReport`] for `wait`.
+//! (rejections never enter a queue), assigns an id, and enqueues onto
+//! the tenant's shard of the [`ShardedScheduler`] under
+//! deficit-round-robin fairness. A worker claims the job — from its own
+//! shard, or by stealing from a victim shard in seed-deterministic
+//! order when its own runs dry — checks out a warm profile from the
+//! shared [`SharedProfileRepo`] keyed by the job's fingerprint,
+//! executes it in full isolation ([`crate::job::run_job`]), then folds
+//! the results back: decay-merges the fresh profile (subject to the
+//! repository's LRU+TTL byte-capacity bound), absorbs the job's private
+//! telemetry into the fleet registry, and publishes the [`JobReport`]
+//! for `wait`.
 //!
 //! Live mode trades the bench's determinism for latency: merges land in
 //! completion order, so two daemon runs may interleave differently.
-//! The deterministic counterpart with the same execution unit is
-//! [`crate::bench`].
+//! The deterministic counterparts with the same execution unit are
+//! [`crate::bench`] (closed-loop) and [`crate::openloop`] (QPS-paced).
+//!
+//! # Shutdown vs Drop
+//!
+//! The two teardown paths are deliberately asymmetric:
+//!
+//! * [`Service::shutdown`] is graceful — it blocks until every queued
+//!   job has been claimed and finished, then stops the workers and
+//!   persists the repository to the spill directory.
+//! * [`Drop`] is fast — queued jobs are **abandoned** (never executed,
+//!   never merged) and in-flight jobs are cancelled at their next poll
+//!   boundary via the shared [`CancelToken`]. Cancelled and killed jobs
+//!   produce no fresh profile, so nothing from an interrupted run ever
+//!   reaches the repository.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use hpmopt_profile::SharedProfileRepo;
+use hpmopt_profile::{RepoConfig, SharedProfileRepo};
 use hpmopt_telemetry::{HistogramId, MetricId, Telemetry, TelemetrySnapshot};
 use hpmopt_vm::CancelToken;
 
 use crate::job::{fingerprint_of, run_job, JobOutcome, JobReport, JobSpec, RejectReason};
+use crate::scheduler::{Claim, SchedulerConfig, ShardedScheduler};
 use crate::tenant::{TenantBook, TenantCaps};
 
 /// Daemon parameters.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads executing jobs (clamped to ≥ 1).
+    /// Worker threads executing jobs (clamped to ≥ 1). Also the shard
+    /// count of the run-queue scheduler: one home shard per worker.
     pub workers: usize,
     /// Exponential decay for repository merges.
     pub decay: f64,
@@ -39,6 +59,10 @@ pub struct ServiceConfig {
     /// Directory to preload profiles from at startup and persist to at
     /// shutdown — warm starts across daemon restarts.
     pub spill_dir: Option<PathBuf>,
+    /// Run-queue fairness and steal-order parameters.
+    pub scheduler: SchedulerConfig,
+    /// Sharding and bounds of the shared profile repository.
+    pub repo: RepoConfig,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +72,8 @@ impl Default for ServiceConfig {
             decay: 0.5,
             default_caps: TenantCaps::default(),
             spill_dir: None,
+            scheduler: SchedulerConfig::default(),
+            repo: RepoConfig::default(),
         }
     }
 }
@@ -61,19 +87,19 @@ struct Queued {
 struct Inner {
     repo: SharedProfileRepo,
     tenants: TenantBook,
-    queue: Mutex<VecDeque<Queued>>,
-    wake: Condvar,
+    scheduler: ShardedScheduler<Queued>,
     results: Mutex<BTreeMap<u64, JobReport>>,
     done: Condvar,
-    stopping: AtomicBool,
     cancel: CancelToken,
     next_id: AtomicU64,
     telemetry: Telemetry,
     decay: f64,
 }
 
-/// The running service. Dropping it stops the workers: queued jobs are
-/// drained, in-flight jobs are cancelled at their next poll boundary.
+/// The running service. Dropping it stops the workers fast: queued jobs
+/// are abandoned, in-flight jobs are cancelled at their next poll
+/// boundary. Use [`Service::shutdown`] to drain gracefully instead (see
+/// the module docs for the full asymmetry).
 pub struct Service {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
@@ -85,14 +111,13 @@ impl Service {
     /// and spawn the worker pool.
     #[must_use]
     pub fn start(config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
         let inner = Arc::new(Inner {
-            repo: SharedProfileRepo::new(),
+            repo: SharedProfileRepo::with_config(config.repo),
             tenants: TenantBook::new(config.default_caps),
-            queue: Mutex::new(VecDeque::new()),
-            wake: Condvar::new(),
+            scheduler: ShardedScheduler::new(workers, &config.scheduler),
             results: Mutex::new(BTreeMap::new()),
             done: Condvar::new(),
-            stopping: AtomicBool::new(false),
             cancel: CancelToken::new(),
             next_id: AtomicU64::new(0),
             telemetry: Telemetry::enabled(hpmopt_telemetry::DEFAULT_TRACE_CAPACITY),
@@ -104,10 +129,10 @@ impl Service {
                 .telemetry
                 .set_gauge(MetricId::ServeRepoProfiles, loaded as u64);
         }
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
+        let workers = (0..workers)
+            .map(|w| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                std::thread::spawn(move || worker_loop(&inner, w))
             })
             .collect();
         Service {
@@ -152,16 +177,21 @@ impl Service {
             self.inner.tenants.tenant_count() as u64,
         );
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut queue = self.inner.queue.lock().unwrap();
-            queue.push_back(Queued { id, spec, budget });
-            // High-water mark of jobs in flight (queued + running).
-            t.set_gauge_max(
-                MetricId::ServeLiveJobs,
-                queue.len() as u64 + self.inner.running(),
-            );
-        }
-        self.inner.wake.notify_one();
+        let tenant = spec.tenant.clone();
+        // DRR cost 1: the daemon schedules job *slots* fairly. (The
+        // open-loop simulator charges service cycles instead; see
+        // crate::openloop.)
+        let depth = self
+            .inner
+            .scheduler
+            .submit(&tenant, 1, Queued { id, spec, budget });
+        // High-water marks: deepest single shard, and jobs in flight
+        // (queued + running).
+        t.set_gauge_max(MetricId::ServeQueueDepth, depth as u64);
+        t.set_gauge_max(
+            MetricId::ServeLiveJobs,
+            self.inner.scheduler.backlog() as u64 + self.inner.running(),
+        );
         Ok(id)
     }
 
@@ -197,17 +227,13 @@ impl Service {
         self.inner.telemetry.snapshot(0)
     }
 
-    /// Drain the queue, stop the workers, and persist the repository to
-    /// the spill directory if one was configured. Returns the number of
-    /// profiles persisted.
+    /// Drain the queues, stop the workers, and persist the repository
+    /// to the spill directory if one was configured. Returns the number
+    /// of profiles persisted.
     pub fn shutdown(mut self) -> usize {
-        // Graceful: let queued jobs finish before stopping.
-        {
-            let mut queue = self.inner.queue.lock().unwrap();
-            while !queue.is_empty() {
-                queue = self.inner.wake.wait(queue).unwrap();
-            }
-        }
+        // Graceful: every queued job is claimed and finished before the
+        // workers stop (workers finish their in-flight job on join).
+        self.inner.scheduler.drain();
         self.stop_workers(false);
         let persisted = match &self.spill_dir {
             Some(dir) => self.inner.repo.persist(dir).unwrap_or(0),
@@ -218,11 +244,10 @@ impl Service {
     }
 
     fn stop_workers(&mut self, cancel_running: bool) {
-        self.inner.stopping.store(true, Ordering::SeqCst);
         if cancel_running {
             self.inner.cancel.cancel();
         }
-        self.inner.wake.notify_all();
+        self.inner.scheduler.stop();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -231,8 +256,8 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
-        // Fast teardown: abandon the queue, cancel in-flight jobs at
-        // their next poll boundary.
+        // Fast teardown: abandon queued jobs, cancel in-flight jobs at
+        // their next poll boundary. See the module docs.
         self.stop_workers(true);
     }
 }
@@ -255,32 +280,18 @@ impl Inner {
         t.set_gauge(MetricId::ServeRepoProfiles, self.repo.len() as u64);
         t.set_gauge_max(MetricId::ServeRepoCheckouts, stats.checkouts);
         t.set_gauge_max(MetricId::ServeRepoMerges, stats.merges);
+        // RepoStats.evictions is already monotonic, so raising to the
+        // latest reading counts each eviction exactly once.
+        t.set_gauge_max(MetricId::ServeRepoEvictions, stats.evictions);
     }
 }
 
-fn worker_loop(inner: &Inner) {
-    loop {
-        let job = {
-            let mut queue = inner.queue.lock().unwrap();
-            loop {
-                if let Some(job) = queue.pop_front() {
-                    // Wake `shutdown`'s drain wait when the queue runs dry.
-                    if queue.is_empty() {
-                        inner.wake.notify_all();
-                    }
-                    break Some(job);
-                }
-                if inner.stopping.load(Ordering::SeqCst) {
-                    break None;
-                }
-                queue = inner.wake.wait(queue).unwrap();
-            }
-        };
-        let Some(Queued { id, spec, budget }) = job else {
-            return;
-        };
-
+fn worker_loop(inner: &Inner, worker: usize) {
+    while let Some((Queued { id, spec, budget }, claim)) = inner.scheduler.next(worker) {
         let t = &inner.telemetry;
+        if claim == Claim::Stolen {
+            t.incr(MetricId::ServeSteals);
+        }
         let checkout = spec.resolve().map(|w| {
             t.incr(MetricId::ServeRepoCheckouts);
             inner.repo.checkout(&fingerprint_of(&spec, &w))
@@ -309,6 +320,7 @@ fn worker_loop(inner: &Inner) {
                 MetricId::ServeColdJobs
             });
             t.observe(HistogramId::ServeJobCycles, run.cycles);
+            t.observe(HistogramId::ServeServiceCycles, run.cycles);
             if let Some(first) = run.first_decision_cycles {
                 t.observe(
                     if run.warm {

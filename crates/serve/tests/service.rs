@@ -1,12 +1,19 @@
 //! Integration tests for the multi-tenant service: admission control,
 //! clean cycle-budget kills, tenant isolation (one tenant's misbehavior
-//! never perturbs another's digests), fleet warm start, and the
-//! worker-count independence of the deterministic bench.
+//! never perturbs another's digests), fleet warm start, the worker-count
+//! independence of the deterministic bench, bounded-repository eviction
+//! (evicted fingerprints fall back to a clean cold start), the
+//! shutdown-vs-Drop asymmetry, and open-loop tenant fairness.
 
 use hpmopt_bench::setup;
+use hpmopt_profile::RepoConfig;
 use hpmopt_serve::bench::{run_bench, BenchConfig};
-use hpmopt_serve::{JobOutcome, JobSpec, RejectReason, Service, ServiceConfig, TenantCaps};
-use hpmopt_telemetry::MetricId;
+use hpmopt_serve::job::fingerprint_of;
+use hpmopt_serve::{
+    run_openloop, JobOutcome, JobSpec, OpenLoopConfig, RejectReason, Service, ServiceConfig,
+    TenantCaps,
+};
+use hpmopt_telemetry::{MetricId, Telemetry};
 
 fn one_worker() -> ServiceConfig {
     ServiceConfig {
@@ -183,4 +190,207 @@ fn bench_summary_is_worker_count_independent() {
         solo.summary
     );
     assert!(solo.check() && pooled.check());
+}
+
+/// A single-shard repository small enough for one profile but not two.
+/// fop's tiny profile is ~156 bytes and jess's ~452, so 512 holds
+/// either alone and evicts the LRU entry when the second one merges.
+fn tiny_repo() -> RepoConfig {
+    RepoConfig {
+        shards: 1,
+        capacity_bytes: Some(512),
+        ttl_ops: None,
+    }
+}
+
+/// Killed jobs merge nothing — even while capacity eviction is churning
+/// the repository underneath them. The victim's fingerprint must never
+/// appear, and the filler tenant's merges must still evict normally.
+#[test]
+fn killed_jobs_never_merge_even_under_eviction_pressure() {
+    let service = Service::start(ServiceConfig {
+        workers: 2,
+        repo: tiny_repo(),
+        ..ServiceConfig::default()
+    });
+    service.set_caps(
+        "greedy",
+        TenantCaps {
+            max_cycles_per_job: Some(1_000_000),
+            ..TenantCaps::default()
+        },
+    );
+
+    let greedy = service.submit(JobSpec::new("greedy", "db")).unwrap();
+    // Filler traffic over two distinct fingerprints keeps the bounded
+    // repo at capacity and forces evictions while the kill lands.
+    let mut fillers = Vec::new();
+    for n in 0..4 {
+        let workload = if n % 2 == 0 { "fop" } else { "jess" };
+        fillers.push(service.submit(JobSpec::new("filler", workload)).unwrap());
+    }
+
+    assert_eq!(service.wait(greedy).outcome, JobOutcome::Killed);
+    for id in fillers {
+        assert_eq!(service.wait(id).outcome, JobOutcome::Completed);
+    }
+
+    let spec = JobSpec::new("greedy", "db");
+    let fp = fingerprint_of(&spec, &spec.resolve().unwrap());
+    assert!(
+        !service.repo().contains(&fp),
+        "a killed run must never merge its fingerprint"
+    );
+    let stats = service.repo().stats();
+    assert!(
+        stats.evictions >= 1,
+        "the filler churn must actually evict: {stats:?}"
+    );
+    service.shutdown();
+}
+
+/// The shutdown-vs-Drop asymmetry, observed through the spill
+/// directory: `shutdown` drains and persists the repository, `Drop`
+/// abandons the backlog and persists nothing.
+#[test]
+fn shutdown_persists_but_drop_abandons() {
+    let base = std::env::temp_dir().join(format!("hpmopt-serve-drop-{}", std::process::id()));
+    let graceful_dir = base.join("graceful");
+    let dropped_dir = base.join("dropped");
+
+    let graceful = Service::start(ServiceConfig {
+        workers: 1,
+        spill_dir: Some(graceful_dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let id = graceful.submit(JobSpec::new("t0", "fop")).unwrap();
+    assert_eq!(graceful.wait(id).outcome, JobOutcome::Completed);
+    assert_eq!(graceful.shutdown(), 1, "shutdown persists the profile");
+    assert_eq!(std::fs::read_dir(&graceful_dir).unwrap().count(), 1);
+
+    let dropped = Service::start(ServiceConfig {
+        workers: 1,
+        spill_dir: Some(dropped_dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let id = dropped.submit(JobSpec::new("t0", "fop")).unwrap();
+    assert_eq!(dropped.wait(id).outcome, JobOutcome::Completed);
+    // Queue more work, then drop: the backlog is abandoned at the next
+    // poll boundary and nothing is persisted.
+    for _ in 0..4 {
+        dropped.submit(JobSpec::new("t0", "jess")).unwrap();
+    }
+    drop(dropped);
+    assert!(
+        !dropped_dir.exists() || std::fs::read_dir(&dropped_dir).unwrap().count() == 0,
+        "Drop must not persist profiles"
+    );
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Capacity eviction falls back to a clean cold start: evict a warm
+/// fingerprint by merging a competitor into a full single-shard repo,
+/// resubmit the victim, and the rerun is cold with an unperturbed
+/// digest — and the eviction shows up in `serve.repo_evictions`.
+#[test]
+fn evicted_fingerprint_resubmits_as_clean_cold_start() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        repo: tiny_repo(),
+        ..ServiceConfig::default()
+    });
+    let fop = JobSpec::new("t0", "fop");
+    let fop_w = fop.resolve().unwrap();
+    let fop_fp = fingerprint_of(&fop, &fop_w);
+
+    let id = service.submit(fop.clone()).unwrap();
+    assert!(!service.wait(id).warm, "first run is cold");
+    assert!(service.repo().contains(&fop_fp), "fop is warm in the repo");
+
+    // jess's merge overflows the 512-byte shard and evicts fop (LRU).
+    let id = service.submit(JobSpec::new("t0", "jess")).unwrap();
+    assert_eq!(service.wait(id).outcome, JobOutcome::Completed);
+    assert!(
+        !service.repo().contains(&fop_fp),
+        "fop must be evicted by jess's merge"
+    );
+    assert_eq!(service.repo().stats().evictions, 1);
+
+    let rerun = service.submit(fop).unwrap();
+    let report = service.wait(rerun);
+    assert!(!report.warm, "an evicted fingerprint restarts cold");
+    assert_eq!(report.outcome, JobOutcome::Completed);
+    let baseline = setup::baseline_digest(&fop_w, report.spec.size, report.spec.heap_mult, 1);
+    assert_eq!(report.digest, baseline, "the cold restart is clean");
+
+    let snap = service.snapshot();
+    assert!(
+        snap.get(MetricId::ServeRepoEvictions) >= 1,
+        "the eviction must be visible in serve.repo_evictions"
+    );
+    service.shutdown();
+}
+
+/// One heavy tenant (3 jess jobs per fop job) and one light tenant
+/// under QPS-paced open-loop load: nobody starves, and DRR keeps the
+/// light tenant's p99 queue wait well under the FIFO control where
+/// heavy jobs queued first simply win.
+#[test]
+fn open_loop_fairness_bounds_light_tenant_and_starves_nobody() {
+    let report = run_openloop(&OpenLoopConfig::default());
+    assert!(report.check(), "open-loop contract:\n{}", report.summary);
+    assert!(report.evictions >= 1, "the bounded repo must churn");
+
+    let light = report
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "light")
+        .expect("light tenant row");
+    for t in &report.tenants {
+        assert!(
+            t.completed > 0,
+            "tenant {} starved:\n{}",
+            t.tenant,
+            report.summary
+        );
+    }
+    assert!(
+        light.p99_wait_fair * 2 < light.p99_wait_fifo,
+        "fair dispatch must at least halve the light tenant's p99 wait: \
+         {} fair vs {} fifo",
+        light.p99_wait_fair,
+        light.p99_wait_fifo
+    );
+}
+
+/// `serve.queue_depth` is a gauge: `Telemetry::absorb` folds it by max,
+/// and a single busy worker with a backlog records a nonzero depth.
+#[test]
+fn queue_depth_gauge_is_recorded_and_folds_by_max() {
+    let fleet = Telemetry::enabled(0);
+    let shard = Telemetry::enabled(0);
+    fleet.set_gauge(MetricId::ServeQueueDepth, 3);
+    shard.set_gauge(MetricId::ServeQueueDepth, 5);
+    fleet.absorb(&shard.snapshot(0));
+    assert_eq!(fleet.get(MetricId::ServeQueueDepth), 5, "absorb takes max");
+    shard.set_gauge(MetricId::ServeQueueDepth, 2);
+    fleet.absorb(&shard.snapshot(0));
+    assert_eq!(fleet.get(MetricId::ServeQueueDepth), 5, "max never lowers");
+
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let ids: Vec<u64> = (0..4)
+        .map(|_| service.submit(JobSpec::new("t0", "jess")).unwrap())
+        .collect();
+    for id in ids {
+        assert_eq!(service.wait(id).outcome, JobOutcome::Completed);
+    }
+    assert!(
+        service.snapshot().get(MetricId::ServeQueueDepth) >= 1,
+        "a backlog behind one worker must register queue depth"
+    );
+    service.shutdown();
 }

@@ -71,6 +71,8 @@ histograms! {
     ServeJobCycles => "serve.job_cycles";
     ServeWarmFirstDecisionCycles => "serve.warm_first_decision_cycles";
     ServeColdFirstDecisionCycles => "serve.cold_first_decision_cycles";
+    ServeQueueWaitCycles => "serve.queue_wait_cycles";
+    ServeServiceCycles => "serve.service_cycles";
 }
 
 /// Bucket index for one observed value (ceiling log2, saturated into

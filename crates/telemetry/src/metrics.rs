@@ -141,6 +141,9 @@ metrics! {
     ServeRepoCheckouts => ("serve.repo.checkouts", Counter);
     ServeRepoMerges => ("serve.repo.merges", Counter);
     ServeRepoProfiles => ("serve.repo.profiles", Gauge);
+    ServeRepoEvictions => ("serve.repo_evictions", Counter);
+    ServeSteals => ("serve.steals", Counter);
+    ServeQueueDepth => ("serve.queue_depth", Gauge);
     ServeLiveJobs => ("serve.live_jobs", Gauge);
     ServeTenants => ("serve.tenants", Gauge);
 

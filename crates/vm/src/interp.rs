@@ -1876,7 +1876,11 @@ mod tests {
         })
     }
 
+    // Tier-2 back-edge promotion and region execution live in the fast
+    // pre-decoded engine; the legacy `slow-path` engine never promotes,
+    // so the two region tests below only run on the default engine.
     #[test]
+    #[cfg(not(feature = "slow-path"))]
     fn tier2_promotes_hot_loop_and_beats_opt_code() {
         let p = hot_loop_program(5_000);
         let entry = p.entry();
@@ -1914,6 +1918,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(feature = "slow-path"))]
     fn tiny_region_cap_deopts_immediately_and_preserves_semantics() {
         let p = hot_loop_program(2_000);
         let entry = p.entry();

@@ -35,11 +35,15 @@ cargo run --release --bin hpmopt-report -- fop --prom -o target/ci-report-fop-pr
 cmp target/ci-prom-a.txt target/ci-prom-b.txt
 
 echo "==> smoke: fast hpmopt-bench measurement (one workload, two seeds)"
-cargo run --release --bin hpmopt-bench -p hpmopt-bench -- --update \
+# --no-serve skips the open-loop serve row: this smoke only proves the
+# measurement path writes a parseable baseline.
+cargo run --release --bin hpmopt-bench -- --update --no-serve \
     --workloads fop --seeds 2 --out target/ci-bench-smoke.json >/dev/null
 
 echo "==> perf trajectory gate: hpmopt-bench --check vs committed baseline"
-cargo run --release --bin hpmopt-bench -p hpmopt-bench -- --check
+# Gates workload cycles, stress digests, perturbation, and the serve
+# open-loop row (queue-wait tail, evictions, multi-worker speedup).
+cargo run --release --bin hpmopt-bench -- --check
 
 echo "==> smoke: warm-start a profile and inspect it"
 rm -f target/ci-db.hpmprof
@@ -61,12 +65,18 @@ cargo run --release -p hpmopt-stress -- replay tests/corpus/*.case
 
 echo "==> smoke: hpmopt-serve bench (zero perturbation, warm beats cold)"
 # --check fails the run unless every completed job's digest matches the
-# unmonitored baseline AND warm jobs beat cold to the first decision.
+# unmonitored baseline, warm jobs beat cold to the first decision, AND
+# the open-loop section shows 4 virtual workers strictly outrunning 1.
 cargo run --release --bin hpmopt-serve -p hpmopt-serve -- bench --workers 1 --check \
     >target/ci-serve-w1.txt 2>/dev/null
 cargo run --release --bin hpmopt-serve -p hpmopt-serve -- bench --workers 4 --check \
     >target/ci-serve-w4.txt 2>/dev/null
-# The deterministic summary must be byte-identical at any concurrency.
+# The deterministic summary — closed-loop rounds AND the QPS-paced
+# open-loop section — must be byte-identical at any concurrency.
 cmp target/ci-serve-w1.txt target/ci-serve-w4.txt
+
+echo "==> smoke: serve fairness + bounded-repo eviction integration tests"
+cargo test -q --release -p hpmopt-serve --test service -- \
+    killed_jobs_never_merge evicted_fingerprint open_loop_fairness
 
 echo "CI OK"

@@ -6,14 +6,22 @@
 //! hpmopt-bench --check  [--baseline FILE] [--threshold-pct N]
 //! ```
 //!
-//! `--check` re-measures the fixed workload set and the pinned stress
-//! shard, compares the simulated-cycle costs against the baseline file,
-//! and exits nonzero when any workload or stress seed regressed beyond
-//! the threshold, when a stress digest changed, or when the telemetry
-//! perturbation delta is not exactly zero. Wall time is printed but
-//! never gated. `--update` writes the freshly measured trajectory out
-//! as the new baseline — commit the file to bank an improvement or to
-//! deliberately accept a behavior change.
+//! `--check` re-measures the fixed workload set, the pinned stress
+//! shard, and the serve open-loop latency point, compares them against
+//! the baseline file, and exits nonzero when any workload or stress
+//! seed regressed beyond the threshold, when a stress digest changed,
+//! when a telemetry perturbation delta is not exactly zero, or when the
+//! serve row regressed (queue-wait tail, eviction count, or the
+//! multi-worker speedup). Wall time is printed but never gated.
+//! `--update` writes the freshly measured trajectory out as the new
+//! baseline — commit the file to bank an improvement or to deliberately
+//! accept a behavior change. `--no-serve` skips the serve row (for fast
+//! smokes; a baseline written with it will fail a full `--check`).
+//!
+//! This binary lives in the root `hpmopt` package rather than
+//! `hpmopt-bench` because the serve row is measured by `hpmopt-serve`,
+//! which itself depends on `hpmopt-bench` for the trajectory schema —
+//! only the root crate sits above both.
 
 use std::process::ExitCode;
 
@@ -35,6 +43,7 @@ fn usage() -> ExitCode {
         DEFAULT_WORKLOADS.join(",")
     );
     eprintln!("  --seeds N            pinned stress seeds 0..N (default {DEFAULT_STRESS_SEEDS})");
+    eprintln!("  --no-serve           skip the serve open-loop row (fast smoke)");
     ExitCode::FAILURE
 }
 
@@ -46,6 +55,7 @@ struct Args {
     threshold_pct: f64,
     workloads: Vec<String>,
     seeds: u64,
+    serve: bool,
 }
 
 fn parse_args() -> Result<Args, ()> {
@@ -57,6 +67,7 @@ fn parse_args() -> Result<Args, ()> {
         threshold_pct: DEFAULT_THRESHOLD_PCT,
         workloads: DEFAULT_WORKLOADS.iter().map(ToString::to_string).collect(),
         seeds: DEFAULT_STRESS_SEEDS,
+        serve: true,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,6 +88,7 @@ fn parse_args() -> Result<Args, ()> {
                     .collect();
             }
             "--seeds" => a.seeds = args.next().ok_or(())?.parse().map_err(|_| ())?,
+            "--no-serve" => a.serve = false,
             _ => return Err(()),
         }
     }
@@ -102,6 +114,22 @@ fn print_trajectory(t: &Trajectory) {
         println!(
             "  stress seed {:<2} {:>10} cycles, {:>10} monitored",
             p.seed, p.cycles, p.monitored_cycles
+        );
+    }
+    for p in &t.serve {
+        println!(
+            "  serve {:<9} {} jobs @ {} qps: {:.1} -> {:.1} jobs/s (1w -> 4w), \
+             queue wait p50/p95/p99 {}/{}/{} cycles, {} eviction(s), {}ms",
+            p.name,
+            p.jobs,
+            p.qps,
+            p.throughput_1w_jobs_per_sec,
+            p.throughput_4w_jobs_per_sec,
+            p.p50_queue_wait_cycles,
+            p.p95_queue_wait_cycles,
+            p.p99_queue_wait_cycles,
+            p.repo_evictions,
+            p.wall_ms
         );
     }
 }
@@ -145,11 +173,17 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "hpmopt-bench: measuring {} workload(s) + {} stress seed(s)",
+        "hpmopt-bench: measuring {} workload(s) + {} stress seed(s){}",
         args.workloads.len(),
-        args.seeds
+        args.seeds,
+        if args.serve { " + serve open-loop" } else { "" }
     );
-    let current = measure(&args.workloads, Size::Tiny, args.seeds);
+    let mut current = measure(&args.workloads, Size::Tiny, args.seeds);
+    if args.serve {
+        current
+            .serve
+            .push(hpmopt_serve::openloop::trajectory_point());
+    }
     print_trajectory(&current);
 
     if args.update {
