@@ -202,8 +202,13 @@ pub fn simulate(jobs: &[SimJob], workers: usize, dispatch: Dispatch) -> SimResul
             None => fifo.pop_front(),
         }
         .expect("loop invariant: queue is non-empty here");
-        result.waits.push((job.tenant, t - job.arrival));
-        free[w] = t + job.service;
+        // An idle-jump iteration can admit several simultaneous
+        // arrivals; a different worker may then pop one while its own
+        // free time is still below that arrival. Dispatch never starts
+        // before the job arrives.
+        let start = t.max(job.arrival);
+        result.waits.push((job.tenant, start - job.arrival));
+        free[w] = start + job.service;
         result.makespan = result.makespan.max(free[w]);
     }
     result
@@ -577,6 +582,21 @@ mod tests {
         assert_eq!(four.makespan, 1000);
         assert!(four.waits.iter().all(|&(_, w)| w == 0));
         assert_eq!(one.waits.iter().map(|&(_, w)| w).max(), Some(3000));
+    }
+
+    #[test]
+    fn simulate_duplicate_arrivals_never_start_before_arrival() {
+        // Regression: two jobs arriving at the same nonzero cycle with
+        // two idle workers. The idle jump admits both on worker 0's
+        // iteration; worker 1 (free at 0) then pops the second job and
+        // `t - arrival` underflowed. Both jobs must start at their
+        // arrival with zero wait.
+        let jobs = jobs_heavy_light(&[(1000, 500), (1000, 500)], &[]);
+        let r = simulate(&jobs, 2, Dispatch::Fifo);
+        assert_eq!(r.waits, vec![(0, 0), (0, 0)]);
+        assert_eq!(r.makespan, 1500);
+        let fair = simulate(&jobs, 2, Dispatch::Fair { quantum: 1000 });
+        assert_eq!(fair.waits, vec![(0, 0), (0, 0)]);
     }
 
     #[test]

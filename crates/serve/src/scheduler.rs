@@ -232,12 +232,18 @@ impl<T> ShardedScheduler<T> {
     /// worker. Returns the depth of the target shard after the push
     /// (for the `serve.queue_depth` gauge).
     pub fn submit(&self, tenant: &str, cost: u64, item: T) -> usize {
+        // Count the item BEFORE it becomes poppable: `pending` is then
+        // always >= the number of queued items, so a claimer's
+        // decrement can never underflow. A worker that wins the race
+        // between this increment and the push below scans, misses, and
+        // re-checks the gate — it never observes pending == 0 with an
+        // item still queued.
+        self.gate.lock().unwrap().pending += 1;
         let depth = {
             let mut shard = self.shards[self.shard_of(tenant)].lock().unwrap();
             shard.push(tenant, cost, item);
             shard.len()
         };
-        self.gate.lock().unwrap().pending += 1;
         self.wake.notify_one();
         depth
     }
@@ -298,10 +304,12 @@ impl<T> ShardedScheduler<T> {
         }
     }
 
-    /// Block until every submitted item has been claimed by a worker.
+    /// Block until every submitted item has been claimed by a worker,
+    /// or until the scheduler stops (a stopped scheduler abandons its
+    /// backlog, so waiting on it would never return).
     pub fn drain(&self) {
         let mut gate = self.gate.lock().unwrap();
-        while gate.pending > 0 {
+        while gate.pending > 0 && !gate.stopping {
             gate = self.drained.wait(gate).unwrap();
         }
     }
@@ -317,7 +325,17 @@ impl<T> ShardedScheduler<T> {
         self.drained.notify_all();
     }
 
-    /// Total unclaimed items across shards (diagnostics).
+    /// Unclaimed items by the gate's count: one lock, no shard sweep.
+    /// May transiently exceed [`ShardedScheduler::backlog`] while a
+    /// racing `submit` has counted an item but not yet pushed it.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.gate.lock().unwrap().pending
+    }
+
+    /// Total unclaimed items across shards (diagnostics; locks every
+    /// shard in sequence — prefer [`ShardedScheduler::pending`] on hot
+    /// paths).
     #[must_use]
     pub fn backlog(&self) -> usize {
         self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
@@ -457,6 +475,70 @@ mod tests {
             assert_eq!(*claim, expected);
         }
         assert_eq!(s.backlog(), 0);
+    }
+
+    #[test]
+    fn concurrent_submits_race_claimers_without_loss() {
+        // Regression: submit() once made the item poppable before
+        // counting it in the gate, so a racing claimer could decrement
+        // pending below zero (panic in debug, wrap + hang in release).
+        // Hammer submits against claimers and verify exact delivery.
+        let s: ShardedScheduler<u64> = ShardedScheduler::new(4, &SchedulerConfig::default());
+        const PER_TENANT: u64 = 200;
+        let claimed = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let (s, claimed) = (&s, &claimed);
+                scope.spawn(move || {
+                    while let Some((item, _)) = s.next(w) {
+                        claimed.lock().unwrap().push(item);
+                    }
+                });
+            }
+            let submitters: Vec<_> = (0..3u64)
+                .map(|t| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        let tenant = format!("t{t}");
+                        for i in 0..PER_TENANT {
+                            s.submit(&tenant, 1, t * PER_TENANT + i);
+                        }
+                    })
+                })
+                .collect();
+            for h in submitters {
+                h.join().unwrap();
+            }
+            // Every submit has been counted; drain() returns only once
+            // every counted item has also been claimed.
+            s.drain();
+            s.stop();
+        });
+        let mut claimed = claimed.into_inner().unwrap();
+        claimed.sort_unstable();
+        assert_eq!(claimed, (0..3 * PER_TENANT).collect::<Vec<_>>());
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn drain_after_stop_returns() {
+        // Regression: drain() looped solely on pending > 0, so a
+        // stopped scheduler with an abandoned backlog deadlocked any
+        // drainer despite stop() documenting that it unblocks them.
+        let s: ShardedScheduler<u32> = ShardedScheduler::new(2, &SchedulerConfig::default());
+        s.submit("t", 1, 1);
+        s.stop();
+        s.drain(); // must return despite the abandoned item
+        assert_eq!(s.backlog(), 1, "the item stays abandoned, not claimed");
+
+        // And a drainer already blocked when stop() lands wakes up too.
+        let s2: ShardedScheduler<u32> = ShardedScheduler::new(2, &SchedulerConfig::default());
+        s2.submit("t", 1, 1);
+        std::thread::scope(|scope| {
+            scope.spawn(|| s2.drain());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            s2.stop();
+        });
     }
 
     #[test]

@@ -186,11 +186,13 @@ impl Service {
             .scheduler
             .submit(&tenant, 1, Queued { id, spec, budget });
         // High-water marks: deepest single shard, and jobs in flight
-        // (queued + running).
+        // (queued + running). `pending()` reads the scheduler's gate
+        // counter — one lock, not a sweep over every shard mutex, which
+        // would reintroduce the cross-shard contention sharding removed.
         t.set_gauge_max(MetricId::ServeQueueDepth, depth as u64);
         t.set_gauge_max(
             MetricId::ServeLiveJobs,
-            self.inner.scheduler.backlog() as u64 + self.inner.running(),
+            self.inner.scheduler.pending() as u64 + self.inner.running(),
         );
         Ok(id)
     }
